@@ -1,0 +1,67 @@
+// Ablation: router queue depth on the direct path (buffer bloat).
+//
+// The era's conventional wisdom sized queues at the bandwidth-delay
+// product; over-buffered bottlenecks inflate RTT (hurting every
+// ACK-clocked mechanism) while under-buffered ones cost utilization. The
+// depot's user-space buffering is immune to this trade-off: it parks data
+// *outside* the congestion control loop. This bench sweeps the direct
+// path's queue depth and reports throughput alongside the standing queue
+// the transfer built up.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "exp/raw_tcp.hpp"
+#include "net/topology.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lsl;
+  using namespace lsl::time_literals;
+  bench::banner(
+      "Ablation -- bottleneck queue depth (buffer bloat) on a direct path",
+      "Deep queues buy throughput but build a standing queue that inflates "
+      "RTT; BDP-sized queues are the sweet spot. (100 Mbit/s, 40 ms RTT: "
+      "BDP = 500 KB.)");
+
+  const std::size_t iterations = bench::scaled(3, 2);
+  Table table({"queue", "goodput Mbit/s", "mean standing queue",
+               "max queue", "queue drops"});
+  for (const std::uint64_t queue :
+       {kib(64), kib(256), kib(512), mib(2), mib(8), mib(32)}) {
+    OnlineStats bw;
+    OnlineStats mean_q;
+    OnlineStats max_q;
+    OnlineStats drops;
+    for (std::size_t it = 0; it < iterations; ++it) {
+      sim::Simulator sim;
+      net::Topology topo(sim, 700 + it);
+      const auto a = topo.add_node("a");
+      const auto b = topo.add_node("b");
+      net::LinkConfig link;
+      link.rate = Bandwidth::mbps(100);
+      link.propagation_delay = 20_ms;
+      link.queue_capacity_bytes = queue;
+      topo.add_duplex_link(a, b, link);
+      topo.compute_routes();
+      tcp::TcpStack sa(topo, a);
+      tcp::TcpStack sb(topo, b);
+      const auto r = exp::run_raw_transfer(
+          sim, sa, sb, mib(32), tcp::TcpOptions{}.with_buffers(mib(8)));
+      if (r.completed) {
+        bw.add(r.goodput.megabits_per_second());
+        const auto& stats = topo.link(0).stats();
+        mean_q.add(stats.mean_queue_bytes() / 1024.0);
+        max_q.add(static_cast<double>(stats.max_queue_bytes) / 1024.0);
+        drops.add(static_cast<double>(stats.packets_dropped_queue));
+      }
+    }
+    table.add_row({format_bytes(queue), Table::num(bw.mean(), 1),
+                   Table::num(mean_q.mean(), 0) + "KB",
+                   Table::num(max_q.mean(), 0) + "KB",
+                   Table::num(drops.mean(), 0)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: the logistical effect under background contention.
+//
+// The paper's measurements ran over shared production networks. This bench
+// re-runs the UCSB->UIUC comparison while background flows churn across
+// the same links, checking that the LSL advantage is not an artifact of a
+// quiet network.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "testbed/abilene_paths.hpp"
+#include "testbed/cross_traffic.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lsl;
+  using namespace lsl::time_literals;
+  bench::banner(
+      "Ablation -- the logistical effect under background cross traffic "
+      "(UCSB->UIUC, 16MB)",
+      "LSL's advantage must survive contention: background flows load both "
+      "the depot path and the direct path.");
+
+  const auto scenario = testbed::ucsb_uiuc_via_denver();
+  const std::size_t iterations = bench::scaled(5, 2);
+
+  Table table({"background flows", "direct Mbit/s", "LSL Mbit/s", "speedup"});
+  for (const std::size_t flows : {std::size_t{0}, std::size_t{2},
+                                  std::size_t{6}}) {
+    OnlineStats direct_bw;
+    OnlineStats lsl_bw;
+    for (std::size_t it = 0; it < iterations; ++it) {
+      for (const bool via : {false, true}) {
+        testbed::PathTestbed bed(scenario, 5000 + it);
+        std::unique_ptr<testbed::CrossTraffic> traffic;
+        if (flows > 0) {
+          testbed::CrossTrafficConfig config;
+          config.flows = flows;
+          config.mean_burst_bytes = mib(2);
+          config.mean_gap = 100_ms;
+          config.tcp_buffer = kib(512);
+          traffic = std::make_unique<testbed::CrossTraffic>(bed.harness(),
+                                                            config, 17 + it);
+        }
+        const auto handle = bed.launch(via, mib(16));
+        const auto r = bed.harness().wait(handle, 3600_s);
+        if (r.completed) {
+          (via ? lsl_bw : direct_bw).add(r.goodput.megabits_per_second());
+        }
+      }
+    }
+    table.add_row({Table::num_int(static_cast<long long>(flows)),
+                   Table::num(direct_bw.mean(), 1),
+                   Table::num(lsl_bw.mean(), 1),
+                   Table::num(lsl_bw.mean() / direct_bw.mean(), 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: the edge-equivalence margin epsilon.
+//
+// The paper fixed eps at 10% of the edge value, noting "clusters coalesced
+// around 10% and higher values did little to alter the generated
+// schedules", and did not evaluate the choice further. This sweep does:
+// eps controls how aggressively the scheduler relays, trading coverage
+// (fraction of pairs scheduled) against decision quality (mean speedup of
+// the scheduled set and the share of harmful schedules).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "testbed/sweep.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lsl;
+  bench::banner(
+      "Ablation -- epsilon edge-equivalence sweep",
+      "Higher eps: fewer, safer relay decisions with shorter paths. The "
+      "useful regime is where mean speedup > 1 with meaningful coverage.");
+
+  const auto grid =
+      testbed::SyntheticGrid::planetlab(testbed::PlanetLabConfig{}, 2004);
+
+  Table table({"epsilon", "frac scheduled", "mean hops", "mean speedup",
+               "% harmful"});
+  for (const double eps : {0.0, 0.05, 0.10, 0.15, 0.25, 0.40, 0.60}) {
+    testbed::SweepConfig config;
+    config.max_size_exp = 4;  // 1-8 MB keeps the sweep brisk
+    config.iterations = bench::scaled(3, 2);
+    config.max_cases = 250;
+    config.epsilon = eps;
+    const auto result = testbed::run_speedup_sweep(grid, config, 42);
+    const auto all = result.all_speedups();
+    table.add_row({Table::num(eps, 2),
+                   Table::num(result.fraction_scheduled, 3),
+                   Table::num(result.mean_path_hops, 2),
+                   all.empty() ? "-" : Table::num(mean_of(all), 3),
+                   all.empty() ? "-"
+                               : Table::num(percentile_rank_below(all, 1.0), 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation: SACK vs plain NewReno loss recovery in the TCP substrate.
+//
+// A design choice of this reproduction: Linux 2.4 (the paper's stack)
+// shipped with SACK enabled, so our default is on. This quantifies what
+// the option is worth across loss regimes -- and shows that the inverse-RTT
+// scaling the logistical effect exploits holds either way.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "exp/raw_tcp.hpp"
+#include "net/topology.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lsl;
+using namespace lsl::time_literals;
+
+double measure(double loss, SimTime one_way, std::uint64_t queue, bool sack,
+               std::size_t iterations) {
+  OnlineStats bw;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    sim::Simulator sim;
+    net::Topology topo(sim, 500 + it);
+    const auto a = topo.add_node("a");
+    const auto b = topo.add_node("b");
+    net::LinkConfig link;
+    link.rate = Bandwidth::mbps(155);
+    link.propagation_delay = one_way;
+    link.queue_capacity_bytes = queue;
+    link.loss_rate = loss;
+    topo.add_duplex_link(a, b, link);
+    topo.compute_routes();
+    tcp::TcpStack stack_a(topo, a);
+    tcp::TcpStack stack_b(topo, b);
+    auto options = tcp::TcpOptions{}.with_buffers(mib(8));
+    options.sack_enabled = sack;
+    const auto r =
+        exp::run_raw_transfer(sim, stack_a, stack_b, mib(16), options);
+    if (r.completed) {
+      bw.add(r.goodput.megabits_per_second());
+    }
+  }
+  return bw.mean();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Ablation -- SACK vs NewReno recovery (16MB, 155 Mbit/s, 8MB buffers)",
+      "SACK recovers burst losses in about one RTT; NewReno fills one hole "
+      "per RTT. Both preserve the inverse-RTT throughput law.");
+
+  const std::size_t iterations = bench::scaled(4, 2);
+  Table table(
+      {"scenario", "loss", "RTT", "SACK Mbit/s", "NewReno Mbit/s", "ratio"});
+  struct Case {
+    const char* label;
+    double loss;
+    SimTime one_way;
+    std::uint64_t queue;
+  };
+  // Random-loss rows (deep queues): single losses per window, where Reno's
+  // dup-ack inflation competes well. Shallow-queue rows force slow-start
+  // overshoot burst drops, where SACK's hole-filling dominates.
+  for (const Case c : {Case{"random loss", 1e-4, 23_ms, mib(8)},
+                       Case{"random loss", 1e-4, 35_ms, mib(8)},
+                       Case{"random loss", 1e-3, 23_ms, mib(8)},
+                       Case{"random loss", 1e-3, 35_ms, mib(8)},
+                       Case{"burst (overflow)", 0.0, 23_ms, mib(1)},
+                       Case{"burst + random", 1e-4, 23_ms, mib(1)}}) {
+    const double with_sack =
+        measure(c.loss, c.one_way, c.queue, true, iterations);
+    const double without =
+        measure(c.loss, c.one_way, c.queue, false, iterations);
+    table.add_row({c.label, Table::num(c.loss, 4), (c.one_way * 2).str(),
+                   Table::num(with_sack, 1), Table::num(without, 1),
+                   Table::num(without > 0 ? with_sack / without : 0, 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared helpers for the figure/table regeneration binaries.
+//
+// Every binary prints: a banner naming the paper artifact it regenerates,
+// the data series (CSV-friendly), and a short interpretation line comparing
+// against the paper's qualitative claim. Iteration counts can be scaled
+// down with LSL_BENCH_SCALE (e.g. 0.2 for smoke runs).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/log.hpp"
+
+namespace lsl::bench {
+
+inline double scale_factor() {
+  if (const char* v = std::getenv("LSL_BENCH_SCALE")) {
+    const double s = std::atof(v);
+    if (s > 0.0) {
+      return s;
+    }
+  }
+  return 1.0;
+}
+
+inline std::size_t scaled(std::size_t n, std::size_t min_value = 1) {
+  const auto s = static_cast<std::size_t>(static_cast<double>(n) *
+                                          scale_factor());
+  return s < min_value ? min_value : s;
+}
+
+inline void banner(const char* artifact, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", artifact);
+  std::printf("  %s\n", description);
+  std::printf("==============================================================\n");
+  lsl::init_log_from_env();
+}
+
+}  // namespace lsl::bench

@@ -1,0 +1,17 @@
+// Figure 3: observed bandwidth vs transfer size, UCSB -> UF,
+// direct vs LSL via a Houston depot (1 MB - 128 MB, 10 iterations each).
+#include "bench_common.hpp"
+#include "path_figure.hpp"
+
+int main() {
+  lsl::bench::banner(
+      "Figure 3 -- Data transfers from UCSB to UF (1MB - 128MB)",
+      "Paper claim: the depot-segmented connection reaches higher bandwidth "
+      "with smaller transfer sizes; the UCSB->Houston leg is the bottleneck.");
+  lsl::bench::run_path_figure(
+      lsl::testbed::ucsb_uf_via_houston(),
+      {lsl::mib(1), lsl::mib(2), lsl::mib(4), lsl::mib(8), lsl::mib(16),
+       lsl::mib(32), lsl::mib(64), lsl::mib(128)},
+      lsl::bench::scaled(10, 3));
+  return 0;
+}

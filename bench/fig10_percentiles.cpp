@@ -1,0 +1,42 @@
+// Figure 10: median, 25th and 75th percentile of absolute speedup per
+// transfer size over all host pairs (the variance behind Figure 9's means).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "testbed/sweep.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lsl;
+  bench::banner(
+      "Figure 10 -- Median / 25th / 75th percentile of speedup per size",
+      "Paper claim: acceptable speedup in many cases but quite a few where "
+      "LSL made performance worse; improvements up to 4x exist.");
+
+  const auto grid =
+      testbed::SyntheticGrid::planetlab(testbed::PlanetLabConfig{}, 2004);
+  testbed::SweepConfig config;
+  config.max_size_exp = 7;
+  config.iterations = bench::scaled(5, 2);
+  config.max_cases = 0;
+  config.epsilon = grid.noise().sweep_epsilon;
+  const auto result = testbed::run_speedup_sweep(grid, config, 42);
+
+  Table table({"size", "p25", "median", "p75", "min", "max"});
+  FigureData fig("Speedup quartiles per transfer size", "size_mb",
+                 {"p25", "median", "p75"});
+  for (const auto& [size, xs] : result.speedups_by_size) {
+    const auto box = BoxStats::of(xs);
+    table.add_row({format_bytes(size), Table::num(box.q25, 3),
+                   Table::num(box.median, 3), Table::num(box.q75, 3),
+                   Table::num(box.min, 2), Table::num(box.max, 2)});
+    fig.add_point(static_cast<double>(size) / static_cast<double>(kMiB),
+                  {box.q25, box.median, box.q75});
+  }
+  table.print(std::cout);
+  std::printf("\n");
+  fig.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Micro-benchmarks for protocol hot paths: session header encode/decode,
+// SACK scoreboard maintenance, and receive-buffer reassembly.
+#include <benchmark/benchmark.h>
+
+#include "lsl/header.hpp"
+#include "tcp/recv_buffer.hpp"
+#include "tcp/sack.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace lsl;
+
+session::SessionHeader sample_header(std::size_t route_hops) {
+  Rng rng(9);
+  session::SessionHeader h;
+  h.session_id = session::SessionId::random(rng);
+  h.src = 3;
+  h.dst = 9;
+  h.dst_port = session::kLslPort;
+  h.payload_bytes = mib(64);
+  for (std::size_t i = 0; i < route_hops; ++i) {
+    h.loose_route.push_back(static_cast<net::NodeId>(100 + i));
+  }
+  return h;
+}
+
+void BM_HeaderEncode(benchmark::State& state) {
+  const auto header = sample_header(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session::encode(header));
+  }
+}
+BENCHMARK(BM_HeaderEncode)->Arg(0)->Arg(4)->Arg(16);
+
+void BM_HeaderDecode(benchmark::State& state) {
+  const auto bytes =
+      session::encode(sample_header(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session::decode(bytes));
+  }
+}
+BENCHMARK(BM_HeaderDecode)->Arg(0)->Arg(4)->Arg(16);
+
+void BM_SackScoreboardScatteredAdds(benchmark::State& state) {
+  const auto holes = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    tcp::SackScoreboard board;
+    // Alternating received/lost MSS-sized runs, added out of order.
+    for (std::uint64_t i = 0; i < holes; ++i) {
+      const std::uint64_t begin = (2 * i + 1) * 1460;
+      board.add(begin, begin + 1460);
+    }
+    benchmark::DoNotOptimize(board.next_hole(0, holes * 2 * 1460));
+  }
+}
+BENCHMARK(BM_SackScoreboardScatteredAdds)->Arg(16)->Arg(256);
+
+void BM_RecvBufferInOrderSegments(benchmark::State& state) {
+  for (auto _ : state) {
+    tcp::RecvBuffer buf(mib(8));
+    std::uint64_t offset = 0;
+    for (int i = 0; i < 1000; ++i) {
+      buf.on_segment(offset, 1460, {});
+      offset += 1460;
+      if (buf.readable() > mib(1)) {
+        buf.read(buf.readable());
+      }
+    }
+    benchmark::DoNotOptimize(buf.rcv_nxt());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000 * 1460);
+}
+BENCHMARK(BM_RecvBufferInOrderSegments);
+
+void BM_RecvBufferEveryOtherSegmentLost(benchmark::State& state) {
+  for (auto _ : state) {
+    tcp::RecvBuffer buf(mib(8));
+    // Odd segments arrive first (all OOO), then the evens fill the holes.
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      buf.on_segment((2 * i + 1) * 1460, 1460, {});
+    }
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      buf.on_segment(2 * i * 1460, 1460, {});
+    }
+    benchmark::DoNotOptimize(buf.readable());
+  }
+}
+BENCHMARK(BM_RecvBufferEveryOtherSegmentLost);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Micro-benchmarks for the scheduling core: the paper claims the MMP
+// algorithm "can be solved quickly" (O(N log N) with sorted edges; our
+// dense-matrix variant is O(N^2) per tree, which must still be fast enough
+// to re-run at 5-minute scheduling intervals for hundreds of hosts).
+#include <benchmark/benchmark.h>
+
+#include "sched/minimax.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lsl;
+using namespace lsl::sched;
+
+CostMatrix random_matrix(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  CostMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        m.set_cost(i, j, rng.uniform(1.0, 100.0));
+      }
+    }
+  }
+  return m;
+}
+
+void BM_BuildMmpTree(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto matrix = random_matrix(n, 42);
+  for (auto _ : state) {
+    auto tree = build_mmp_tree(matrix, 0, {.epsilon = 0.1});
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BuildMmpTree)->RangeMultiplier(2)->Range(16, 1024)->Complexity();
+
+void BM_BuildShortestPathTree(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto matrix = random_matrix(n, 42);
+  for (auto _ : state) {
+    auto tree = build_shortest_path_tree(matrix, 0);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_BuildShortestPathTree)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_RouteTableForNode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Scheduler scheduler(random_matrix(n, 7), {.epsilon = 0.1});
+  std::size_t node = 0;
+  for (auto _ : state) {
+    auto table = scheduler.route_table_for(node);
+    benchmark::DoNotOptimize(table);
+    node = (node + 1) % n;
+  }
+}
+BENCHMARK(BM_RouteTableForNode)->Arg(64)->Arg(142)->Arg(256);
+
+void BM_FullSchedule142Hosts(benchmark::State& state) {
+  // The paper's deployment size: all-pairs decisions for 142 hosts.
+  const auto matrix = random_matrix(142, 9);
+  for (auto _ : state) {
+    const Scheduler scheduler(CostMatrix(matrix), {.epsilon = 0.1});
+    double checksum = 0.0;
+    for (std::size_t s = 0; s < 142; ++s) {
+      checksum += scheduler.tree_from(s).cost[(s + 1) % 142];
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+}
+BENCHMARK(BM_FullSchedule142Hosts);
+
+void BM_MinimaxOracle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto matrix = random_matrix(n, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minimax_cost_oracle(matrix, 0, n - 1));
+  }
+}
+BENCHMARK(BM_MinimaxOracle)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Micro-benchmarks for the simulation substrate: event kernel throughput
+// and end-to-end packet cost, which bound how large a packet-level
+// experiment the harness can run.
+#include <benchmark/benchmark.h>
+
+#include "exp/raw_tcp.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/stack.hpp"
+
+namespace {
+
+using namespace lsl;
+using namespace lsl::time_literals;
+
+void BM_ScheduleAndRunEvents(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < batch; ++i) {
+      sim.schedule_at(SimTime::nanoseconds(static_cast<std::int64_t>(i)),
+                      [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ScheduleAndRunEvents)->Arg(1024)->Arg(65536);
+
+void BM_TimerChurn(benchmark::State& state) {
+  // Arm/cancel cycles dominate TCP timer traffic.
+  sim::Simulator sim;
+  sim::Timer timer(sim, [] {});
+  for (auto _ : state) {
+    timer.arm(1_ms);
+    timer.cancel();
+  }
+}
+BENCHMARK(BM_TimerChurn);
+
+void BM_PacketTransferPerMegabyte(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Topology topo(sim, 1);
+    const auto a = topo.add_node("a");
+    const auto b = topo.add_node("b");
+    net::LinkConfig link;
+    link.rate = Bandwidth::mbps(1000);
+    link.propagation_delay = 1_ms;
+    topo.add_duplex_link(a, b, link);
+    topo.compute_routes();
+    tcp::TcpStack sa(topo, a);
+    tcp::TcpStack sb(topo, b);
+    const auto r = exp::run_raw_transfer(
+        sim, sa, sb, mib(1), tcp::TcpOptions{}.with_buffers(mib(1)));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(mib(1)));
+}
+BENCHMARK(BM_PacketTransferPerMegabyte);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+#include "path_figure.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace lsl::bench {
+
+void run_path_figure(const testbed::PathScenario& scenario,
+                     const std::vector<std::uint64_t>& sizes,
+                     std::size_t iterations) {
+  std::printf("Configured path RTTs (paper's measured values):\n");
+  std::printf("  src <-> depot : %.0f ms\n",
+              (scenario.src_depot_delay * 2).to_milliseconds());
+  std::printf("  depot <-> dst : %.0f ms\n",
+              (scenario.depot_dst_delay * 2).to_milliseconds());
+  std::printf("  src <-> dst   : %.0f ms (direct)\n\n",
+              (scenario.direct_delay * 2).to_milliseconds());
+
+  FigureData fig("Bandwidth vs transfer size: " + scenario.name, "size_mb",
+                 {"direct_mbps", "lsl_mbps", "speedup"});
+  Table table({"size", "direct Mbit/s", "LSL Mbit/s", "speedup"});
+
+  for (const std::uint64_t size : sizes) {
+    OnlineStats direct_bw;
+    OnlineStats lsl_bw;
+    for (std::size_t it = 0; it < iterations; ++it) {
+      const std::uint64_t seed = 1000 + it;
+      {
+        testbed::PathTestbed bed(scenario, seed);
+        const auto r = bed.run(/*via_depot=*/false, size);
+        if (r.completed) {
+          direct_bw.add(r.goodput.megabits_per_second());
+        }
+      }
+      {
+        testbed::PathTestbed bed(scenario, seed);
+        const auto r = bed.run(/*via_depot=*/true, size);
+        if (r.completed) {
+          lsl_bw.add(r.goodput.megabits_per_second());
+        }
+      }
+    }
+    const double speedup =
+        direct_bw.mean() > 0 ? lsl_bw.mean() / direct_bw.mean() : 0.0;
+    fig.add_point(static_cast<double>(size) / static_cast<double>(kMiB),
+                  {direct_bw.mean(), lsl_bw.mean(), speedup});
+    table.add_row({format_bytes(size), Table::num(direct_bw.mean(), 2),
+                   Table::num(lsl_bw.mean(), 2), Table::num(speedup, 2)});
+  }
+  table.print(std::cout);
+  std::printf("\n");
+  fig.print(std::cout);
+}
+
+}  // namespace lsl::bench

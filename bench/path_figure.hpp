@@ -1,0 +1,17 @@
+// Shared driver for the Figure 2/3 style bandwidth-vs-size sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "testbed/abilene_paths.hpp"
+
+namespace lsl::bench {
+
+/// Runs direct and LSL transfers of each size `iterations` times over fresh
+/// testbeds, printing the Table + FigureData series to stdout.
+void run_path_figure(const testbed::PathScenario& scenario,
+                     const std::vector<std::uint64_t>& sizes,
+                     std::size_t iterations);
+
+}  // namespace lsl::bench

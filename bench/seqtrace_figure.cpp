@@ -1,0 +1,71 @@
+#include "seqtrace_figure.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "exp/trace.hpp"
+#include "util/table.hpp"
+
+namespace lsl::bench {
+
+void run_seqtrace_figure(const testbed::PathScenario& scenario,
+                         std::uint64_t bytes, std::size_t iterations,
+                         SimTime horizon, SimTime step) {
+  using namespace lsl::time_literals;
+  exp::TraceAverager averager(horizon, step);
+
+  for (std::size_t it = 0; it < iterations; ++it) {
+    const std::uint64_t seed = 2000 + it;
+
+    // Direct transfer: trace the source's connection.
+    {
+      testbed::PathTestbed bed(scenario, seed);
+      exp::SeqTrace trace;
+      const auto origin = bed.harness().simulator().now();
+      const auto handle = bed.harness().launch_traced(
+          bed.src(), bed.make_spec(false, bytes),
+          [&](tcp::Connection& conn) { trace.attach(conn, origin); });
+      (void)bed.harness().wait(handle, SimTime::seconds(3600));
+      averager.add_run("direct", trace);
+    }
+
+    // Relayed transfer: trace both sublinks from their senders.
+    {
+      testbed::PathTestbed bed(scenario, seed);
+      exp::SeqTrace sub1;
+      exp::SeqTrace sub2;
+      const auto origin = bed.harness().simulator().now();
+      bed.harness().depot(bed.depot()).on_downstream_open =
+          [&](tcp::Connection& conn, const session::SessionHeader&) {
+            sub2.attach(conn, origin);
+          };
+      const auto handle = bed.harness().launch_traced(
+          bed.src(), bed.make_spec(true, bytes),
+          [&](tcp::Connection& conn) { sub1.attach(conn, origin); });
+      (void)bed.harness().wait(handle, SimTime::seconds(3600));
+      averager.add_run("sublink1 (src->depot)", sub1);
+      averager.add_run("sublink2 (depot->dst)", sub2);
+    }
+  }
+
+  // Print the averaged series like the paper's figures: MB vs seconds.
+  const auto grid = averager.grid_seconds();
+  const auto series = averager.series();
+  std::printf("# Averaged acknowledged sequence number (MB) over time (s), "
+              "%zu iterations, %s transfers\n",
+              iterations, format_bytes(bytes).c_str());
+  std::printf("time_s");
+  for (const auto& s : series) {
+    std::printf(",%s", s.label.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::printf("%.2f", grid[i]);
+    for (const auto& s : series) {
+      std::printf(",%.3f", s.mib_at_grid[i]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace lsl::bench

@@ -1,0 +1,18 @@
+// Shared driver for the Figure 4/5 style sequence-number-over-time traces.
+#pragma once
+
+#include <cstdint>
+
+#include "testbed/abilene_paths.hpp"
+#include "util/time.hpp"
+
+namespace lsl::bench {
+
+/// Runs `iterations` 64 MB (by default) transfers each of: direct, and via
+/// the depot (tracing both sublinks), averages the acked-sequence curves on
+/// a uniform grid and prints the three series.
+void run_seqtrace_figure(const testbed::PathScenario& scenario,
+                         std::uint64_t bytes, std::size_t iterations,
+                         SimTime horizon, SimTime step);
+
+}  // namespace lsl::bench

@@ -1,0 +1,40 @@
+// Section 4.2 table: the percentile at which speedup becomes greater than 1
+// for each transfer size. Paper row: 1M:39 2M:43 4M:48 8M:43 16M:48 32M:46
+// 64M:49.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "testbed/sweep.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lsl;
+  bench::banner(
+      "Table (section 4.2) -- Percentile where speedup exceeds 1.0",
+      "Paper values ranged 39-49 across sizes: roughly 40-49% of scheduled "
+      "cases were slower via LSL, the rest faster.");
+
+  const auto grid =
+      testbed::SyntheticGrid::planetlab(testbed::PlanetLabConfig{}, 2004);
+  testbed::SweepConfig config;
+  config.max_size_exp = 7;
+  config.iterations = bench::scaled(5, 2);
+  config.max_cases = 0;
+  config.epsilon = grid.noise().sweep_epsilon;
+  const auto result = testbed::run_speedup_sweep(grid, config, 42);
+
+  static constexpr int kPaperRow[] = {39, 43, 48, 43, 48, 46, 49};
+  Table table({"size", "measured percentile", "paper"});
+  std::size_t index = 0;
+  for (const auto& [size, xs] : result.speedups_by_size) {
+    const double pct = percentile_rank_below(xs, 1.0);
+    const std::string paper =
+        index < std::size(kPaperRow) ? Table::num_int(kPaperRow[index]) : "-";
+    table.add_row({format_bytes(size), Table::num(pct, 1), paper});
+    ++index;
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// WAN bulk transfer on the paper's measured Abilene path.
+//
+// Recreates section 3's experiment interactively: moves files of several
+// sizes from "UCSB" to "UIUC", directly and through the Denver depot, and
+// prints the bandwidth each achieves plus the depot's view of the session.
+//
+//   $ ./wan_transfer
+#include <cstdio>
+
+#include "testbed/abilene_paths.hpp"
+#include "util/stats.hpp"
+
+using namespace lsl;
+
+int main() {
+  const auto scenario = testbed::ucsb_uiuc_via_denver();
+  std::printf("Path: UCSB -> UIUC, depot in Denver.\n");
+  std::printf("RTTs: %2.0f ms + %2.0f ms via depot, %2.0f ms direct.\n\n",
+              (scenario.src_depot_delay * 2).to_milliseconds(),
+              (scenario.depot_dst_delay * 2).to_milliseconds(),
+              (scenario.direct_delay * 2).to_milliseconds());
+
+  std::printf("%8s  %14s  %14s  %8s\n", "size", "direct Mbit/s",
+              "via depot Mbit/s", "speedup");
+  for (const std::uint64_t size : {mib(2), mib(8), mib(32)}) {
+    OnlineStats direct_bw;
+    OnlineStats lsl_bw;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      testbed::PathTestbed direct_bed(scenario, seed);
+      const auto direct = direct_bed.run(/*via_depot=*/false, size);
+      if (direct.completed) {
+        direct_bw.add(direct.goodput.megabits_per_second());
+      }
+      testbed::PathTestbed lsl_bed(scenario, seed);
+      const auto lsl = lsl_bed.run(/*via_depot=*/true, size);
+      if (lsl.completed) {
+        lsl_bw.add(lsl.goodput.megabits_per_second());
+      }
+    }
+    std::printf("%8s  %14.1f  %14.1f  %7.2fx\n", format_bytes(size).c_str(),
+                direct_bw.mean(), lsl_bw.mean(),
+                lsl_bw.mean() / direct_bw.mean());
+  }
+
+  std::printf("\nWhy it works: each TCP connection's control loop runs at "
+              "its own RTT;\nsplitting the 70 ms path in half roughly "
+              "doubles how fast each half can\nramp and recover, and the "
+              "depot's 32 MB pipeline decouples the two.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+# The paper's UCSB -> UIUC path (section 3): direct vs. via a Denver depot.
+# RTTs reproduce the measured table: 46 + 45 ms via depot, 70 ms direct.
+#
+#   lslsim scenarios/abilene_uiuc.lsl
+
+host ash.ucsb.edu  ucsb.edu
+host depot.denver  core
+host bell.uiuc.edu uiuc.edu
+
+link ash.ucsb.edu depot.denver   rate=155 delay=23   queue=8192 loss=1e-5
+link depot.denver bell.uiuc.edu  rate=155 delay=22.5 queue=8192 loss=5e-4
+link ash.ucsb.edu bell.uiuc.edu  rate=155 delay=35   queue=8192 loss=5e-4
+
+# 8 MB kernel buffers + 16 MB user buffer = the paper's 32 MB pipeline
+depot buffers=8192 user=16384
+
+# keep "direct" traffic on the direct link
+pin ash.ucsb.edu bell.uiuc.edu
+
+transfer ash.ucsb.edu bell.uiuc.edu size=16 buffers=8192
+transfer ash.ucsb.edu bell.uiuc.edu size=16 buffers=8192 via=depot.denver
+transfer ash.ucsb.edu bell.uiuc.edu size=64 buffers=8192
+transfer ash.ucsb.edu bell.uiuc.edu size=64 buffers=8192 via=depot.denver

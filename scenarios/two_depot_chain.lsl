@@ -1,0 +1,19 @@
+# A two-depot chain: four 20 ms hops replacing an 80 ms direct path.
+#
+#   lslsim scenarios/two_depot_chain.lsl
+
+host src    site-a
+host d1     core
+host d2     core
+host sink   site-b
+
+link src d1   rate=100 delay=10 queue=4096 loss=2e-4
+link d1  d2   rate=100 delay=10 queue=4096 loss=2e-4
+link d2  sink rate=100 delay=10 queue=4096 loss=2e-4
+link src sink rate=100 delay=40 queue=4096 loss=2e-4
+
+depot buffers=4096 user=8192
+pin src sink
+
+transfer src sink size=16 buffers=4096
+transfer src sink size=16 buffers=4096 via=d1,d2

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Render the paper's figures from the bench binaries' CSV output.
+
+Usage:
+    for b in build/bench/fig*; do $b; done > results/full_bench_run.txt
+    python3 scripts/plot_figures.py results/full_bench_run.txt -o results/
+
+Each bench binary prints one or more CSV blocks introduced by a line
+starting with '# <title>' followed by a header row; this script extracts
+every block and renders it with matplotlib (PNG, one file per block).
+Requires matplotlib; everything else in the repository is dependency-free.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+
+def parse_blocks(path):
+    """Yield (title, header, rows) for every CSV block in the bench output."""
+    blocks = []
+    with open(path) as f:
+        lines = f.read().splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if line.startswith("# ") and i + 1 < len(lines) and "," in lines[i + 1]:
+            title = line[2:].strip()
+            header = lines[i + 1].split(",")
+            rows = []
+            j = i + 2
+            while j < len(lines) and re.match(r"^-?[0-9.]+(,-?[0-9.eE+-]+)+$",
+                                              lines[j]):
+                rows.append([float(x) for x in lines[j].split(",")])
+                j += 1
+            if rows:
+                blocks.append((title, header, rows))
+            i = j
+        else:
+            i += 1
+    return blocks
+
+
+def slugify(title):
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    return slug[:72]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("input", help="captured bench output")
+    parser.add_argument("-o", "--outdir", default="results",
+                        help="directory for rendered PNGs")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(args.outdir, exist_ok=True)
+    blocks = parse_blocks(args.input)
+    if not blocks:
+        sys.exit(f"no CSV blocks found in {args.input}")
+
+    for title, header, rows in blocks:
+        xs = [r[0] for r in rows]
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for col in range(1, len(header)):
+            ax.plot(xs, [r[col] for r in rows], marker="o", markersize=3,
+                    label=header[col])
+        ax.set_xlabel(header[0])
+        ax.set_title(title, fontsize=10)
+        if header[0].startswith("size"):
+            ax.set_xscale("log", base=2)
+        ax.grid(True, alpha=0.3)
+        ax.legend(fontsize=8)
+        out = os.path.join(args.outdir, slugify(title) + ".png")
+        fig.tight_layout()
+        fig.savefig(out, dpi=140)
+        plt.close(fig)
+        print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

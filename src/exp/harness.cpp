@@ -1,0 +1,126 @@
+#include "exp/harness.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace lsl::exp {
+
+SimHarness::SimHarness(std::uint64_t seed)
+    : rng_(seed), topo_(std::make_unique<net::Topology>(sim_, seed ^ 0xA5A5)) {}
+
+net::NodeId SimHarness::add_host(std::string name, std::string site) {
+  LSL_ASSERT_MSG(!deployed_, "cannot add hosts after deploy()");
+  return topo_->add_node(std::move(name), std::move(site));
+}
+
+void SimHarness::add_link(net::NodeId a, net::NodeId b,
+                          const net::LinkConfig& config) {
+  LSL_ASSERT_MSG(!deployed_, "cannot add links after deploy()");
+  topo_->add_duplex_link(a, b, config);
+}
+
+void SimHarness::deploy(const session::DepotConfig& uniform) {
+  deploy([&uniform](net::NodeId) { return uniform; });
+}
+
+void SimHarness::deploy(
+    const std::function<session::DepotConfig(net::NodeId)>& per_host) {
+  LSL_ASSERT_MSG(!deployed_, "deploy() called twice");
+  deployed_ = true;
+  topo_->compute_routes();
+  const std::size_t n = topo_->node_count();
+  stacks_.reserve(n);
+  depots_.reserve(n);
+  for (net::NodeId id = 0; id < n; ++id) {
+    stacks_.push_back(std::make_unique<tcp::TcpStack>(*topo_, id));
+    depots_.push_back(
+        std::make_unique<session::Depot>(*stacks_.back(), per_host(id)));
+    depots_.back()->on_session_complete =
+        [this](const session::SessionRecord& record) { on_complete(record); };
+  }
+}
+
+tcp::TcpStack& SimHarness::stack(net::NodeId id) {
+  LSL_ASSERT(id < stacks_.size());
+  return *stacks_[id];
+}
+
+session::Depot& SimHarness::depot(net::NodeId id) {
+  LSL_ASSERT(id < depots_.size());
+  return *depots_[id];
+}
+
+SimHarness::Handle SimHarness::launch(net::NodeId src,
+                                      const session::TransferSpec& spec) {
+  return launch_traced(src, spec, nullptr);
+}
+
+SimHarness::Handle SimHarness::launch_traced(
+    net::NodeId src, const session::TransferSpec& spec,
+    const std::function<void(tcp::Connection&)>& on_source_conn) {
+  LSL_ASSERT_MSG(deployed_, "launch before deploy()");
+  auto source = session::LslSource::start(stack(src), spec, rng_);
+  if (on_source_conn && source->connection() != nullptr) {
+    on_source_conn(*source->connection());
+  }
+  Pending pending;
+  pending.started = sim_.now();
+  pending_.emplace(source->session_id(), pending);
+  ++unfinished_;
+  sources_.push_back(source);  // keep alive until the harness dies
+  return Handle{source->session_id()};
+}
+
+void SimHarness::on_complete(const session::SessionRecord& record) {
+  const auto it = pending_.find(record.header.session_id);
+  if (it == pending_.end() || it->second.done) {
+    return;
+  }
+  Pending& p = it->second;
+  p.done = true;
+  p.outcome.completed = true;
+  p.outcome.bytes = record.bytes;
+  p.outcome.elapsed = record.completed_at - p.started;
+  p.outcome.goodput = throughput_of(record.bytes, p.outcome.elapsed);
+  LSL_ASSERT(unfinished_ > 0);
+  --unfinished_;
+}
+
+SimHarness::TransferOutcome SimHarness::wait(const Handle& handle,
+                                             SimTime deadline) {
+  const auto it = pending_.find(handle.id);
+  LSL_ASSERT_MSG(it != pending_.end(), "unknown transfer handle");
+  while (!it->second.done && sim_.now() < deadline) {
+    if (!sim_.step()) {
+      break;
+    }
+  }
+  return it->second.outcome;
+}
+
+std::size_t SimHarness::wait_all(SimTime deadline) {
+  while (unfinished_ > 0 && sim_.now() < deadline) {
+    if (!sim_.step()) {
+      break;
+    }
+  }
+  return unfinished_;
+}
+
+SimHarness::TransferOutcome SimHarness::outcome(const Handle& handle) const {
+  const auto it = pending_.find(handle.id);
+  LSL_ASSERT_MSG(it != pending_.end(), "unknown transfer handle");
+  return it->second.outcome;
+}
+
+SimHarness::TransferOutcome SimHarness::run_transfer(
+    net::NodeId src, const session::TransferSpec& spec, SimTime deadline) {
+  const Handle handle = launch(src, spec);
+  auto outcome = wait(handle, deadline);
+  // Drain connection teardown so back-to-back transfers start clean.
+  sim_.run(sim_.now() + SimTime::seconds(2));
+  return outcome;
+}
+
+}  // namespace lsl::exp

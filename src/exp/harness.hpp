@@ -1,0 +1,104 @@
+// Packet-level experiment harness: builds a topology, deploys a TCP stack
+// and an LSL depot on every host, launches transfers, and collects
+// end-to-end measurements matched by session id.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lsl/depot.hpp"
+#include "lsl/endpoint.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/stack.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace lsl::exp {
+
+class SimHarness {
+ public:
+  explicit SimHarness(std::uint64_t seed);
+
+  SimHarness(const SimHarness&) = delete;
+  SimHarness& operator=(const SimHarness&) = delete;
+
+  // ---- topology construction -------------------------------------------
+  net::NodeId add_host(std::string name, std::string site = {});
+  void add_link(net::NodeId a, net::NodeId b, const net::LinkConfig& config);
+
+  /// Compute routes and start a TCP stack + depot on every host. Call once,
+  /// after all hosts and links exist.
+  void deploy(const session::DepotConfig& uniform);
+  void deploy(
+      const std::function<session::DepotConfig(net::NodeId)>& per_host);
+
+  // ---- accessors ---------------------------------------------------------
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Topology& topology() { return *topo_; }
+  [[nodiscard]] tcp::TcpStack& stack(net::NodeId id);
+  [[nodiscard]] session::Depot& depot(net::NodeId id);
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] std::size_t host_count() const { return stacks_.size(); }
+
+  // ---- transfers ----------------------------------------------------------
+  struct TransferOutcome {
+    bool completed = false;
+    std::uint64_t bytes = 0;
+    SimTime elapsed = SimTime::zero();
+    Bandwidth goodput;
+  };
+
+  /// Handle for a launched transfer.
+  struct Handle {
+    session::SessionId id;
+  };
+
+  /// Launch without blocking; completion is recorded internally.
+  Handle launch(net::NodeId src, const session::TransferSpec& spec);
+
+  /// Launch and attach a hook to the source's first-hop connection (tracing).
+  Handle launch_traced(
+      net::NodeId src, const session::TransferSpec& spec,
+      const std::function<void(tcp::Connection&)>& on_source_conn);
+
+  /// Run the simulation until `handle` completes or `deadline` passes.
+  TransferOutcome wait(const Handle& handle, SimTime deadline);
+
+  /// Run until all launched transfers complete or `deadline` passes.
+  /// Returns the number still unfinished.
+  std::size_t wait_all(SimTime deadline);
+
+  [[nodiscard]] TransferOutcome outcome(const Handle& handle) const;
+
+  /// Convenience: launch + wait.
+  TransferOutcome run_transfer(net::NodeId src,
+                               const session::TransferSpec& spec,
+                               SimTime deadline = SimTime::seconds(3600));
+
+ private:
+  struct Pending {
+    SimTime started;
+    bool done = false;
+    TransferOutcome outcome;
+  };
+
+  void on_complete(const session::SessionRecord& record);
+
+  sim::Simulator sim_;
+  Rng rng_;
+  std::unique_ptr<net::Topology> topo_;
+  std::vector<std::unique_ptr<tcp::TcpStack>> stacks_;
+  std::vector<std::unique_ptr<session::Depot>> depots_;
+  std::unordered_map<session::SessionId, Pending, session::SessionIdHash>
+      pending_;
+  std::vector<session::LslSource::Ptr> sources_;
+  std::size_t unfinished_ = 0;
+  bool deployed_ = false;
+};
+
+}  // namespace lsl::exp

@@ -1,0 +1,38 @@
+// Raw TCP bulk-transfer driver (no LSL layer): used for baselines such as
+// PSockets-style parallel sockets and for SACK on/off ablations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "tcp/stack.hpp"
+#include "util/units.hpp"
+
+namespace lsl::exp {
+
+struct RawTransferResult {
+  bool completed = false;
+  std::uint64_t bytes_delivered = 0;
+  SimTime elapsed = SimTime::zero();
+  Bandwidth goodput;
+  tcp::ConnectionStats sender_stats;
+};
+
+/// Drives one bulk transfer of `bytes` from `src` to a sink listening on
+/// `dst` (port chosen internally), running the simulation until the
+/// receiver sees EOF or `deadline` passes.
+RawTransferResult run_raw_transfer(sim::Simulator& sim, tcp::TcpStack& src,
+                                   tcp::TcpStack& dst, std::uint64_t bytes,
+                                   const tcp::TcpOptions& options,
+                                   SimTime deadline = SimTime::seconds(3600),
+                                   net::Port port = 5001);
+
+/// PSockets-style striping: `streams` parallel TCP connections each carry
+/// bytes/streams; completion is when every stripe has fully arrived.
+RawTransferResult run_parallel_transfer(
+    sim::Simulator& sim, tcp::TcpStack& src, tcp::TcpStack& dst,
+    std::uint64_t bytes, std::size_t streams, const tcp::TcpOptions& options,
+    SimTime deadline = SimTime::seconds(3600), net::Port base_port = 6001);
+
+}  // namespace lsl::exp

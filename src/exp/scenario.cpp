@@ -1,0 +1,277 @@
+#include "exp/scenario.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace lsl::exp {
+
+namespace {
+
+/// Split a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+/// Parse "key=value" into its parts; returns false when '=' is absent.
+bool split_kv(const std::string& token, std::string& key,
+              std::string& value) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+    return false;
+  }
+  key = token.substr(0, eq);
+  value = token.substr(eq + 1);
+  return true;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+std::string err_at(std::size_t line_no, const std::string& message) {
+  return "line " + std::to_string(line_no) + ": " + message;
+}
+
+}  // namespace
+
+ParseResult parse_scenario(const std::string& text) {
+  Scenario scenario;
+  std::map<std::string, bool> host_names;
+
+  std::istringstream input(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(input, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string& directive = tokens[0];
+
+    if (directive == "host") {
+      if (tokens.size() < 2 || tokens.size() > 3) {
+        return {std::nullopt, err_at(line_no, "host <name> [site]")};
+      }
+      ScenarioHost host;
+      host.name = tokens[1];
+      host.site = tokens.size() == 3 ? tokens[2] : tokens[1];
+      if (host_names.contains(host.name)) {
+        return {std::nullopt,
+                err_at(line_no, "duplicate host '" + host.name + "'")};
+      }
+      host_names[host.name] = true;
+      scenario.hosts.push_back(std::move(host));
+      continue;
+    }
+
+    if (directive == "link") {
+      if (tokens.size() < 3) {
+        return {std::nullopt,
+                err_at(line_no, "link <a> <b> [key=value...]")};
+      }
+      ScenarioLink link;
+      link.a = tokens[1];
+      link.b = tokens[2];
+      for (const std::string& host : {link.a, link.b}) {
+        if (!host_names.contains(host)) {
+          return {std::nullopt,
+                  err_at(line_no, "unknown host '" + host + "'")};
+        }
+      }
+      for (std::size_t t = 3; t < tokens.size(); ++t) {
+        std::string key;
+        std::string value;
+        double number = 0.0;
+        if (!split_kv(tokens[t], key, value) ||
+            !parse_double(value, number)) {
+          return {std::nullopt,
+                  err_at(line_no, "bad attribute '" + tokens[t] + "'")};
+        }
+        if (key == "rate") {
+          link.config.rate = Bandwidth::mbps(number);
+        } else if (key == "delay") {
+          link.config.propagation_delay =
+              SimTime::from_seconds(number * 1e-3);
+        } else if (key == "queue") {
+          link.config.queue_capacity_bytes =
+              static_cast<std::uint64_t>(number * 1024);
+        } else if (key == "loss") {
+          link.config.loss_rate = number;
+        } else {
+          return {std::nullopt,
+                  err_at(line_no, "unknown link attribute '" + key + "'")};
+        }
+      }
+      scenario.links.push_back(std::move(link));
+      continue;
+    }
+
+    if (directive == "depot") {
+      for (std::size_t t = 1; t < tokens.size(); ++t) {
+        std::string key;
+        std::string value;
+        double number = 0.0;
+        if (!split_kv(tokens[t], key, value) ||
+            !parse_double(value, number)) {
+          return {std::nullopt,
+                  err_at(line_no, "bad attribute '" + tokens[t] + "'")};
+        }
+        if (key == "buffers") {
+          scenario.depot.tcp = scenario.depot.tcp.with_buffers(
+              static_cast<std::uint64_t>(number * 1024));
+        } else if (key == "user") {
+          scenario.depot.user_buffer_bytes =
+              static_cast<std::uint64_t>(number * 1024);
+        } else if (key == "max_sessions") {
+          scenario.depot.max_sessions = static_cast<std::size_t>(number);
+        } else {
+          return {std::nullopt,
+                  err_at(line_no, "unknown depot attribute '" + key + "'")};
+        }
+      }
+      continue;
+    }
+
+    if (directive == "pin") {
+      if (tokens.size() != 3) {
+        return {std::nullopt, err_at(line_no, "pin <a> <b>")};
+      }
+      for (const std::string& host : {tokens[1], tokens[2]}) {
+        if (!host_names.contains(host)) {
+          return {std::nullopt,
+                  err_at(line_no, "unknown host '" + host + "'")};
+        }
+      }
+      scenario.pins.push_back(ScenarioPin{tokens[1], tokens[2]});
+      continue;
+    }
+
+    if (directive == "transfer") {
+      if (tokens.size() < 3) {
+        return {std::nullopt,
+                err_at(line_no, "transfer <src> <dst> [key=value...]")};
+      }
+      ScenarioTransfer transfer;
+      transfer.src = tokens[1];
+      transfer.dst = tokens[2];
+      for (const std::string& host : {transfer.src, transfer.dst}) {
+        if (!host_names.contains(host)) {
+          return {std::nullopt,
+                  err_at(line_no, "unknown host '" + host + "'")};
+        }
+      }
+      for (std::size_t t = 3; t < tokens.size(); ++t) {
+        std::string key;
+        std::string value;
+        if (!split_kv(tokens[t], key, value)) {
+          return {std::nullopt,
+                  err_at(line_no, "bad attribute '" + tokens[t] + "'")};
+        }
+        if (key == "via") {
+          std::istringstream hops(value);
+          std::string hop;
+          while (std::getline(hops, hop, ',')) {
+            if (!host_names.contains(hop)) {
+              return {std::nullopt,
+                      err_at(line_no, "unknown via host '" + hop + "'")};
+            }
+            transfer.via.push_back(hop);
+          }
+        } else {
+          double number = 0.0;
+          if (!parse_double(value, number)) {
+            return {std::nullopt,
+                    err_at(line_no, "bad attribute '" + tokens[t] + "'")};
+          }
+          if (key == "size") {
+            transfer.bytes = static_cast<std::uint64_t>(number * kMiB);
+          } else if (key == "buffers") {
+            transfer.buffer_bytes =
+                static_cast<std::uint64_t>(number * 1024);
+          } else {
+            return {std::nullopt,
+                    err_at(line_no,
+                           "unknown transfer attribute '" + key + "'")};
+          }
+        }
+      }
+      if (transfer.bytes == 0) {
+        return {std::nullopt, err_at(line_no, "transfer needs size=<MiB>")};
+      }
+      scenario.transfers.push_back(std::move(transfer));
+      continue;
+    }
+
+    return {std::nullopt,
+            err_at(line_no, "unknown directive '" + directive + "'")};
+  }
+
+  if (scenario.hosts.size() < 2) {
+    return {std::nullopt, "scenario needs at least two hosts"};
+  }
+  if (scenario.links.empty()) {
+    return {std::nullopt, "scenario has no links"};
+  }
+  return {std::move(scenario), {}};
+}
+
+std::vector<ScenarioOutcome> run_scenario(const Scenario& scenario,
+                                          std::uint64_t seed,
+                                          SimTime per_transfer_deadline) {
+  SimHarness harness(seed);
+  std::map<std::string, net::NodeId> ids;
+  for (const auto& host : scenario.hosts) {
+    ids[host.name] = harness.add_host(host.name, host.site);
+  }
+  for (const auto& link : scenario.links) {
+    harness.add_link(ids.at(link.a), ids.at(link.b), link.config);
+  }
+  harness.deploy(scenario.depot);
+  auto& topo = harness.topology();
+  for (const auto& pin : scenario.pins) {
+    const auto a = ids.at(pin.a);
+    const auto b = ids.at(pin.b);
+    net::Link* forward = topo.link_between(a, b);
+    net::Link* backward = topo.link_between(b, a);
+    LSL_ASSERT_MSG(forward != nullptr && backward != nullptr,
+                   "pin requires a direct link between the pair");
+    topo.node(a).set_route(b, forward);
+    topo.node(b).set_route(a, backward);
+  }
+
+  std::vector<ScenarioOutcome> outcomes;
+  for (const auto& transfer : scenario.transfers) {
+    session::TransferSpec spec;
+    spec.dst = ids.at(transfer.dst);
+    for (const auto& hop : transfer.via) {
+      spec.via.push_back(ids.at(hop));
+    }
+    spec.payload_bytes = transfer.bytes;
+    spec.tcp = tcp::TcpOptions{}.with_buffers(transfer.buffer_bytes);
+    ScenarioOutcome record;
+    record.transfer = transfer;
+    record.outcome = harness.run_transfer(ids.at(transfer.src), spec,
+                                          harness.simulator().now() +
+                                              per_transfer_deadline);
+    outcomes.push_back(std::move(record));
+  }
+  return outcomes;
+}
+
+}  // namespace lsl::exp

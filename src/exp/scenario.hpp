@@ -1,0 +1,91 @@
+// Text scenario files: a small declarative format describing a topology,
+// depot configuration, and a list of transfers, so experiments can be run
+// from the command line (tools/lslsim) without writing C++.
+//
+//   # hosts: name and site
+//   host ash.ucsb.edu ucsb.edu
+//   host depot.denver  core
+//   host bell.uiuc.edu uiuc.edu
+//
+//   # duplex links: endpoints plus key=value attributes
+//   link ash.ucsb.edu depot.denver   rate=155 delay=23 queue=8192 loss=1e-5
+//   link depot.denver bell.uiuc.edu  rate=155 delay=22.5 queue=8192 loss=5e-4
+//   link ash.ucsb.edu bell.uiuc.edu  rate=155 delay=35 queue=8192 loss=5e-4
+//
+//   # optional: depot tuning (applies to every host)
+//   depot buffers=8192 user=16384 max_sessions=64
+//
+//   # pin a pair's routing onto their direct link (both directions)
+//   pin ash.ucsb.edu bell.uiuc.edu
+//
+//   # transfers run in order; via is a comma-separated depot list
+//   transfer ash.ucsb.edu bell.uiuc.edu size=64 buffers=8192
+//   transfer ash.ucsb.edu bell.uiuc.edu size=64 buffers=8192 via=depot.denver
+//
+// Units: rate in Mbit/s, delay in ms (one way), queue/buffers/user in KiB,
+// size in MiB, loss as a probability.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/harness.hpp"
+
+namespace lsl::exp {
+
+struct ScenarioHost {
+  std::string name;
+  std::string site;
+};
+
+struct ScenarioLink {
+  std::string a;
+  std::string b;
+  net::LinkConfig config;
+};
+
+struct ScenarioPin {
+  std::string a;
+  std::string b;
+};
+
+struct ScenarioTransfer {
+  std::string src;
+  std::string dst;
+  std::vector<std::string> via;
+  std::uint64_t bytes = 0;
+  std::uint64_t buffer_bytes = 64 * kKiB;
+};
+
+struct Scenario {
+  std::vector<ScenarioHost> hosts;
+  std::vector<ScenarioLink> links;
+  std::vector<ScenarioPin> pins;
+  session::DepotConfig depot;
+  std::vector<ScenarioTransfer> transfers;
+};
+
+struct ParseResult {
+  std::optional<Scenario> scenario;
+  std::string error;  ///< set when scenario is empty; includes line number
+
+  [[nodiscard]] bool ok() const { return scenario.has_value(); }
+};
+
+/// Parse scenario text (see format above).
+[[nodiscard]] ParseResult parse_scenario(const std::string& text);
+
+/// Result of one scenario transfer.
+struct ScenarioOutcome {
+  ScenarioTransfer transfer;
+  SimHarness::TransferOutcome outcome;
+};
+
+/// Build the harness, run every transfer in order, return the outcomes.
+[[nodiscard]] std::vector<ScenarioOutcome> run_scenario(
+    const Scenario& scenario, std::uint64_t seed,
+    SimTime per_transfer_deadline = SimTime::seconds(3600));
+
+}  // namespace lsl::exp

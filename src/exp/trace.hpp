@@ -1,0 +1,66 @@
+// Sequence-number-over-time tracing (the paper's Figures 4 and 5): records
+// the highest cumulatively acknowledged payload byte at the sender of a TCP
+// connection, then resamples onto a uniform grid and averages across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tcp/connection.hpp"
+#include "util/time.hpp"
+
+namespace lsl::exp {
+
+/// One run's trace: (time since attach, acked payload bytes) samples.
+class SeqTrace {
+ public:
+  /// Attach to a connection's ack-advance hook. The connection must outlive
+  /// the recording window (the trace copies no further state).
+  void attach(tcp::Connection& conn, SimTime origin);
+
+  void add_sample(SimTime t, std::uint64_t bytes);
+
+  [[nodiscard]] const std::vector<std::pair<SimTime, std::uint64_t>>& samples()
+      const {
+    return samples_;
+  }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Acked bytes at time `t` (step interpolation; 0 before first sample).
+  [[nodiscard]] std::uint64_t value_at(SimTime t) const;
+
+ private:
+  SimTime origin_ = SimTime::zero();
+  std::vector<std::pair<SimTime, std::uint64_t>> samples_;
+};
+
+/// Averages a set of traces onto a uniform grid, producing one series per
+/// labelled flow -- the data behind a Fig 4/5 style plot.
+class TraceAverager {
+ public:
+  TraceAverager(SimTime horizon, SimTime step)
+      : horizon_(horizon), step_(step) {}
+
+  void add_run(const std::string& label, const SeqTrace& trace);
+
+  struct Series {
+    std::string label;
+    std::vector<double> mib_at_grid;  ///< averaged MB (MiB) per grid point
+  };
+
+  [[nodiscard]] std::vector<Series> series() const;
+  [[nodiscard]] std::vector<double> grid_seconds() const;
+
+ private:
+  struct Accumulator {
+    std::vector<double> sum;
+    std::size_t runs = 0;
+  };
+
+  SimTime horizon_;
+  SimTime step_;
+  std::vector<std::pair<std::string, Accumulator>> acc_;
+};
+
+}  // namespace lsl::exp

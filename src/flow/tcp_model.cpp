@@ -1,0 +1,62 @@
+#include "flow/tcp_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace lsl::flow {
+
+Bandwidth steady_rate(const ConnectionParams& params) {
+  LSL_ASSERT(params.rtt > SimTime::zero());
+  const double rtt_s = params.rtt.to_seconds();
+  double rate = params.bottleneck.bits_per_second();
+  rate = std::min(rate,
+                  static_cast<double>(params.window_bytes) * 8.0 / rtt_s);
+  if (params.loss_rate > 0.0) {
+    const double mathis = kMathisConstant *
+                          static_cast<double>(params.mss) * 8.0 /
+                          (rtt_s * std::sqrt(params.loss_rate));
+    rate = std::min(rate, mathis);
+  }
+  return Bandwidth{std::max(rate, 1.0)};
+}
+
+SimTime data_time(const ConnectionParams& params, std::uint64_t bytes) {
+  if (bytes == 0) {
+    return SimTime::zero();
+  }
+  const Bandwidth steady = steady_rate(params);
+  const double steady_window_bytes =
+      steady.bytes_per_second() * params.rtt.to_seconds();
+
+  // Slow-start ramp: one window per RTT, doubling, until the window that
+  // sustains the steady rate is reached.
+  double cwnd = static_cast<double>(params.initial_cwnd_segments) *
+                params.mss;
+  double sent = 0.0;
+  double elapsed_s = 0.0;
+  const double rtt_s = params.rtt.to_seconds();
+  while (cwnd < steady_window_bytes) {
+    if (sent + cwnd >= static_cast<double>(bytes)) {
+      // Finishes inside this ramp round.
+      const double frac = (static_cast<double>(bytes) - sent) / cwnd;
+      return SimTime::from_seconds(elapsed_s + frac * rtt_s);
+    }
+    sent += cwnd;
+    elapsed_s += rtt_s;
+    cwnd *= 2.0;
+  }
+  const double remaining = static_cast<double>(bytes) - sent;
+  elapsed_s += remaining / steady.bytes_per_second();
+  // Final half-RTT for the tail to arrive and be acknowledged.
+  elapsed_s += rtt_s / 2.0;
+  return SimTime::from_seconds(elapsed_s);
+}
+
+SimTime transfer_time(const ConnectionParams& params, std::uint64_t bytes) {
+  // SYN + SYN-ACK costs one RTT before the first data byte leaves.
+  return params.rtt + data_time(params, bytes);
+}
+
+}  // namespace lsl::flow

@@ -1,0 +1,48 @@
+// Analytic TCP transfer-time model.
+//
+// The packet-level simulator is ground truth; this model reproduces its
+// aggregate behaviour in closed form so the paper's 362,895-measurement
+// PlanetLab sweep runs in seconds. A transfer is handshake + slow-start
+// ramp (cwnd doubling per RTT from the initial window) + remainder at the
+// steady rate
+//     steady = min(bottleneck, window/RTT, mathis(RTT, loss)),
+// where the Mathis term uses a constant calibrated against the simulator
+// (per-segment ACKs + SACK recovery run hotter than the textbook 1.22).
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace lsl::flow {
+
+/// Mathis constant calibrated against the packet simulator (see
+/// flow_model_test.cpp); textbook sqrt(3/2) applies to delayed-ACK Reno.
+constexpr double kMathisConstant = 2.3;
+
+struct ConnectionParams {
+  SimTime rtt = SimTime::milliseconds(50);
+  /// Path capacity: min of link rates and host throughput caps.
+  Bandwidth bottleneck = Bandwidth::mbps(100);
+  /// Effective window: min(send buffer, receive buffer).
+  std::uint64_t window_bytes = 64 * kKiB;
+  double loss_rate = 0.0;
+  std::uint32_t mss = 1460;
+  std::uint32_t initial_cwnd_segments = 2;
+};
+
+/// Long-run throughput of one connection.
+[[nodiscard]] Bandwidth steady_rate(const ConnectionParams& params);
+
+/// Time to move `bytes` over one connection, including the connection
+/// handshake and the slow-start ramp.
+[[nodiscard]] SimTime transfer_time(const ConnectionParams& params,
+                                    std::uint64_t bytes);
+
+/// Time for the data phase only (no handshake) -- used when composing
+/// pipelined relay paths whose handshakes happen in series.
+[[nodiscard]] SimTime data_time(const ConnectionParams& params,
+                                std::uint64_t bytes);
+
+}  // namespace lsl::flow

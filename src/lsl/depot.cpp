@@ -1,0 +1,660 @@
+#include "lsl/depot.hpp"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace lsl::session {
+
+// ---------------------------------------------------------------------------
+// Relay: one accepted session flowing through this depot.
+
+class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
+ public:
+  Relay(Depot& depot, tcp::Connection::Ptr upstream)
+      : depot_(depot),
+        up_(std::move(upstream)),
+        accepted_at_(depot.stack_.simulator().now()) {}
+
+  void start() {
+    up_->on_readable = [this] { on_upstream_readable(); };
+    up_->on_eof = [this] { on_upstream_eof(); };
+    up_->on_closed = [this] { on_upstream_closed(); };
+    // Data may already be buffered by the time the relay is attached.
+    on_upstream_readable();
+  }
+
+  /// Forcefully terminate this session (depot shutdown).
+  void abort_session() { fail(); }
+
+  void detach_callbacks() {
+    auto clear = [](const tcp::Connection::Ptr& c) {
+      if (c) {
+        c->on_readable = nullptr;
+        c->on_writable = nullptr;
+        c->on_eof = nullptr;
+        c->on_closed = nullptr;
+        c->on_connected = nullptr;
+      }
+    };
+    clear(up_);
+    clear(down_);
+    for (auto& child : children_) {
+      clear(child.conn);
+    }
+  }
+
+ private:
+  enum class Phase {
+    kReadingHeader,
+    kRelaying,    ///< unicast store-and-forward
+    kDelivering,  ///< this node is the destination
+    kStoring,     ///< async session parked here
+    kServingFetch,
+    kMulticast,
+    kDone,
+  };
+
+  struct Child {
+    tcp::Connection::Ptr conn;
+    std::uint64_t sent = 0;  ///< payload stream offset written so far
+    bool header_written = false;
+    bool closed = false;
+  };
+
+  // ---- header ingestion --------------------------------------------------
+
+  void on_upstream_readable() {
+    if (phase_ == Phase::kReadingHeader) {
+      ingest_header();
+      if (phase_ == Phase::kReadingHeader) {
+        return;  // still incomplete
+      }
+    }
+    pump();
+  }
+
+  void ingest_header() {
+    // Read conservatively until the full header is buffered; any payload
+    // that rides along in the same segment stays queued in the socket for
+    // the relay pump.
+    while (phase_ == Phase::kReadingHeader) {
+      std::size_t want = kHeaderPreambleBytes;
+      if (hdr_buf_.size() >= kHeaderPreambleBytes) {
+        const auto total = peek_header_length(hdr_buf_);
+        if (!total.has_value()) {
+          fail();
+          return;
+        }
+        want = *total;
+      }
+      if (hdr_buf_.size() < want) {
+        auto r = up_->read(want - hdr_buf_.size());
+        if (r.n == 0) {
+          return;  // wait for more bytes
+        }
+        LSL_ASSERT_MSG(r.real_bytes.size() == r.n,
+                       "session header bytes must be real content");
+        hdr_buf_.insert(hdr_buf_.end(), r.real_bytes.begin(),
+                        r.real_bytes.end());
+        continue;
+      }
+      const auto parsed = decode(hdr_buf_);
+      if (!parsed.has_value()) {
+        fail();
+        return;
+      }
+      hdr_ = *parsed;
+      begin_role();
+      return;
+    }
+  }
+
+  // ---- role selection ----------------------------------------------------
+
+  void begin_role() {
+    const net::NodeId me = depot_.node_id();
+
+    if (hdr_.type == SessionType::kFetch) {
+      phase_ = Phase::kServingFetch;
+      serve_fetch();
+      return;
+    }
+
+    if (hdr_.multicast.has_value()) {
+      const auto index = hdr_.multicast->find(me);
+      if (index.has_value()) {
+        const auto kids = hdr_.multicast->children_of(*index);
+        if (!kids.empty()) {
+          phase_ = Phase::kMulticast;
+          if (!reserve_buffer()) {
+            return;
+          }
+          for (const net::NodeId kid : kids) {
+            open_child(kid);
+          }
+          pump();
+          return;
+        }
+      }
+      // Leaf (or not in the tree at all): consume locally.
+      phase_ = Phase::kDelivering;
+      pump();
+      return;
+    }
+
+    if (hdr_.dst == me) {
+      phase_ = Phase::kDelivering;
+      pump();
+      return;
+    }
+
+    if (hdr_.async_session && hdr_.loose_route.empty()) {
+      // Last depot on an asynchronous session: park the payload here; the
+      // receiver fetches it later by session id.
+      phase_ = Phase::kStoring;
+      pump();
+      return;
+    }
+
+    // Unicast forwarding: loose source route first, then the route table,
+    // then direct. Hops naming this depot itself are collapsed -- relaying
+    // to yourself only burns connections.
+    SessionHeader fwd = hdr_;
+    while (!fwd.loose_route.empty() && fwd.loose_route.front() == me) {
+      fwd.loose_route.erase(fwd.loose_route.begin());
+    }
+    net::NodeId next = hdr_.dst;
+    if (!fwd.loose_route.empty()) {
+      next = fwd.loose_route.front();
+      fwd.loose_route.erase(fwd.loose_route.begin());
+    } else if (const auto hop = depot_.routes_.next_hop(hdr_.dst);
+               hop.has_value() && *hop != me) {
+      next = *hop;
+    }
+    phase_ = Phase::kRelaying;
+    if (!reserve_buffer()) {
+      return;
+    }
+    forward_header_ = std::move(fwd);
+    open_downstream(next);
+    pump();
+  }
+
+  /// Claim relay buffer memory from the depot pool; fails the session when
+  /// the pool is exhausted.
+  bool reserve_buffer() {
+    user_buffer_granted_ = depot_.reserve_user_memory();
+    if (user_buffer_granted_ == 0) {
+      ++depot_.stats_.sessions_refused;
+      fail();
+      return false;
+    }
+    return true;
+  }
+
+  void open_downstream(net::NodeId next) {
+    down_ = depot_.stack_.connect(next, kLslPort, depot_.config_.tcp);
+    if (depot_.on_downstream_open) {
+      depot_.on_downstream_open(*down_, forward_header_);
+    }
+    down_->on_connected = [this] {
+      const auto bytes = encode(forward_header_);
+      const std::uint64_t n = down_->write_bytes(bytes);
+      LSL_ASSERT_MSG(n == bytes.size(),
+                     "send buffer must hold the session header");
+      down_ready_ = true;
+      pump();
+    };
+    down_->on_writable = [this] { pump(); };
+    down_->on_closed = [this] { on_downstream_closed(); };
+  }
+
+  void open_child(net::NodeId kid) {
+    Child child;
+    child.conn = depot_.stack_.connect(kid, kLslPort, depot_.config_.tcp);
+    const std::size_t index = children_.size();
+    child.conn->on_connected = [this, index] {
+      Child& c = children_[index];
+      const auto bytes = encode(hdr_);  // same tree travels to every child
+      const std::uint64_t n = c.conn->write_bytes(bytes);
+      LSL_ASSERT(n == bytes.size());
+      c.header_written = true;
+      pump();
+    };
+    child.conn->on_writable = [this] { pump(); };
+    child.conn->on_closed = [this, index] {
+      children_[index].closed = true;
+      pump();
+    };
+    children_.push_back(std::move(child));
+  }
+
+  // ---- the relay pump ----------------------------------------------------
+
+  void pump() {
+    if (phase_ == Phase::kDone || phase_ == Phase::kReadingHeader) {
+      return;
+    }
+    switch (phase_) {
+      case Phase::kRelaying:
+        push_downstream();
+        pull_upstream();
+        push_downstream();
+        break;
+      case Phase::kDelivering:
+      case Phase::kStoring:
+        drain_locally();
+        break;
+      case Phase::kMulticast:
+        push_children();
+        pull_upstream();
+        push_children();
+        break;
+      default:
+        break;
+    }
+    finish_if_drained();
+  }
+
+  void pull_upstream() {
+    while (user_used() < user_buffer_granted_ &&
+           up_->readable_bytes() > 0) {
+      const std::uint64_t room = user_buffer_granted_ - user_used();
+      const std::uint64_t want =
+          std::min({room, depot_.config_.relay_chunk_bytes,
+                    up_->readable_bytes()});
+      const auto r = up_->read(want);
+      if (r.n == 0) {
+        break;
+      }
+      buf_high_ += r.n;
+      payload_seen_ += r.n;
+    }
+  }
+
+  void push_downstream() {
+    if (!down_ready_ || down_ == nullptr) {
+      return;
+    }
+    while (buf_base_ < buf_high_) {
+      const std::uint64_t n = down_->write_synthetic(buf_high_ - buf_base_);
+      if (n == 0) {
+        break;
+      }
+      buf_base_ += n;
+      depot_.stats_.bytes_relayed += n;
+    }
+  }
+
+  void push_children() {
+    std::uint64_t min_sent = buf_high_;
+    for (auto& child : children_) {
+      if (child.closed) {
+        continue;
+      }
+      if (child.header_written) {
+        while (child.sent < buf_high_) {
+          const std::uint64_t n =
+              child.conn->write_synthetic(buf_high_ - child.sent);
+          if (n == 0) {
+            break;
+          }
+          child.sent += n;
+          depot_.stats_.bytes_relayed += n;
+        }
+      }
+      min_sent = std::min(min_sent, child.sent);
+    }
+    buf_base_ = std::max(buf_base_, min_sent);
+  }
+
+  void drain_locally() {
+    while (up_->readable_bytes() > 0) {
+      const auto r = up_->read(up_->readable_bytes());
+      if (r.n == 0) {
+        break;
+      }
+      payload_seen_ += r.n;
+      if (phase_ == Phase::kDelivering) {
+        depot_.stats_.bytes_delivered += r.n;
+      }
+    }
+  }
+
+  // ---- fetch serving (async sessions) -------------------------------------
+
+  void serve_fetch() {
+    const auto it = depot_.store_.find(hdr_.session_id);
+    if (it == depot_.store_.end()) {
+      LSL_WARN("depot %u: fetch for unknown session %s", depot_.node_id(),
+               hdr_.session_id.str().c_str());
+      fail();
+      return;
+    }
+    const auto& [stored_header, stored_bytes] = it->second;
+    SessionHeader response = stored_header;
+    response.type = SessionType::kData;
+    response.loose_route.clear();
+    response.async_session = false;
+    response.payload_bytes = stored_bytes;
+    const auto bytes = encode(response);
+    up_->write_bytes(bytes);
+    fetch_remaining_ = stored_bytes;
+    up_->on_writable = [this] { pump_fetch(); };
+    pump_fetch();
+  }
+
+  void pump_fetch() {
+    while (fetch_remaining_ > 0) {
+      const std::uint64_t n = up_->write_synthetic(fetch_remaining_);
+      if (n == 0) {
+        return;
+      }
+      fetch_remaining_ -= n;
+      depot_.stats_.bytes_relayed += n;
+    }
+    up_->close();
+    done();
+  }
+
+  // ---- teardown ------------------------------------------------------------
+
+  void on_upstream_eof() {
+    up_eof_ = true;
+    pump();
+  }
+
+  void on_upstream_closed() {
+    if (phase_ == Phase::kDone) {
+      return;
+    }
+    // Upstream went away entirely; flush whatever we hold and finish.
+    pump();
+  }
+
+  void on_downstream_closed() {
+    if (phase_ == Phase::kDone) {
+      return;
+    }
+    if (!up_eof_ || buf_base_ < buf_high_) {
+      // Downstream died mid-relay: tear the session down.
+      fail();
+    }
+  }
+
+  void finish_if_drained() {
+    if (phase_ == Phase::kDone || !up_eof_ || up_->readable_bytes() > 0) {
+      return;
+    }
+    switch (phase_) {
+      case Phase::kRelaying:
+        if (buf_base_ == buf_high_ && down_ready_) {
+          down_->close();
+          up_->close();  // our send direction was never used; finish both
+          ++depot_.stats_.sessions_relayed;
+          done();
+        }
+        break;
+      case Phase::kDelivering: {
+        const SessionHeader header = hdr_;
+        const std::uint64_t bytes = payload_seen_;
+        const SimTime accepted = accepted_at_;
+        up_->close();
+        done();
+        depot_.session_delivered(header, bytes, accepted);
+        break;
+      }
+      case Phase::kStoring:
+        depot_.store_session(hdr_, payload_seen_);
+        up_->close();
+        done();
+        break;
+      case Phase::kMulticast: {
+        bool all_sent = true;
+        for (const auto& child : children_) {
+          if (!child.closed && child.sent < buf_high_) {
+            all_sent = false;
+            break;
+          }
+        }
+        if (all_sent) {
+          for (auto& child : children_) {
+            if (!child.closed) {
+              child.conn->close();
+            }
+          }
+          up_->close();
+          ++depot_.stats_.sessions_relayed;
+          done();
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void fail() {
+    if (phase_ == Phase::kDone) {
+      return;
+    }
+    if (up_) {
+      up_->abort();
+    }
+    if (down_) {
+      down_->abort();
+    }
+    for (auto& child : children_) {
+      if (child.conn && !child.closed) {
+        child.conn->abort();
+      }
+    }
+    done();
+  }
+
+  void done() {
+    if (phase_ == Phase::kDone) {
+      return;
+    }
+    phase_ = Phase::kDone;
+    depot_.release_user_memory(user_buffer_granted_);
+    user_buffer_granted_ = 0;
+    depot_.relay_done(this);
+  }
+
+  [[nodiscard]] std::uint64_t user_used() const {
+    return buf_high_ - buf_base_;
+  }
+
+  Depot& depot_;
+  tcp::Connection::Ptr up_;
+  tcp::Connection::Ptr down_;
+  Phase phase_ = Phase::kReadingHeader;
+  std::vector<std::byte> hdr_buf_;
+  SessionHeader hdr_;
+  SessionHeader forward_header_;
+  bool down_ready_ = false;
+  bool up_eof_ = false;
+  /// Relay buffer accounting in payload-stream offsets: [buf_base_,
+  /// buf_high_) is held in user space right now.
+  std::uint64_t buf_base_ = 0;
+  std::uint64_t buf_high_ = 0;
+  std::uint64_t payload_seen_ = 0;
+  std::uint64_t fetch_remaining_ = 0;
+  SimTime accepted_at_;
+  std::uint64_t user_buffer_granted_ = 0;
+  std::vector<Child> children_;
+};
+
+// ---------------------------------------------------------------------------
+// Depot
+
+Depot::Depot(tcp::TcpStack& stack, DepotConfig config)
+    : stack_(stack), config_(config) {
+  stack_.listen(
+      kLslPort, [this](tcp::Connection::Ptr conn) { on_accept(std::move(conn)); },
+      config_.tcp);
+}
+
+void Depot::shutdown() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  stack_.stop_listening(kLslPort);
+  // fail() ends each relay via a deferred erase; iterate over a copy.
+  const auto relays = relays_;
+  for (const auto& relay : relays) {
+    relay->abort_session();
+  }
+  store_.clear();
+  store_order_.clear();
+  store_bytes_used_ = 0;
+  stripes_.clear();
+}
+
+void Depot::restart() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  stack_.listen(
+      kLslPort,
+      [this](tcp::Connection::Ptr conn) { on_accept(std::move(conn)); },
+      config_.tcp);
+}
+
+Depot::~Depot() {
+  for (auto& relay : relays_) {
+    relay->detach_callbacks();
+  }
+  if (running_) {
+    stack_.stop_listening(kLslPort);
+  }
+}
+
+void Depot::on_accept(tcp::Connection::Ptr conn) {
+  if (active_ >= config_.max_sessions) {
+    ++stats_.sessions_refused;
+    conn->abort();
+    return;
+  }
+  ++stats_.sessions_accepted;
+  ++active_;
+  auto relay = std::make_shared<Relay>(*this, std::move(conn));
+  relays_.push_back(relay);
+  relay->start();
+}
+
+void Depot::relay_done(Relay* relay) {
+  LSL_ASSERT(active_ > 0);
+  --active_;
+  // Deferred removal: we're inside the relay's own callback chain.
+  stack_.simulator().schedule_after(SimTime::zero(), [this, relay] {
+    for (auto it = relays_.begin(); it != relays_.end(); ++it) {
+      if (it->get() == relay) {
+        (*it)->detach_callbacks();
+        relays_.erase(it);
+        break;
+      }
+    }
+  });
+}
+
+void Depot::session_delivered(const SessionHeader& header,
+                              std::uint64_t bytes, SimTime accepted_at) {
+  SessionRecord record;
+  record.header = header;
+  record.completed_at = stack_.simulator().now();
+
+  if (header.stripe.has_value() && header.stripe->count > 1) {
+    // One stripe of a striped session: aggregate until all have arrived.
+    auto& partial = stripes_[header.session_id];
+    if (partial.remaining == 0) {
+      partial.remaining = header.stripe->count;
+      partial.first_accepted = accepted_at;
+    }
+    partial.bytes += bytes;
+    partial.first_accepted = std::min(partial.first_accepted, accepted_at);
+    if (--partial.remaining > 0) {
+      return;
+    }
+    record.bytes = partial.bytes;
+    record.accepted_at = partial.first_accepted;
+    stripes_.erase(header.session_id);
+  } else {
+    record.bytes = bytes;
+    record.accepted_at = accepted_at;
+  }
+
+  ++stats_.sessions_delivered;
+  if (on_session_complete) {
+    on_session_complete(record);
+  }
+}
+
+void Depot::store_session(const SessionHeader& header, std::uint64_t bytes) {
+  if (bytes > config_.max_store_bytes) {
+    // Cannot ever fit; count it as evicted-on-arrival.
+    ++stats_.sessions_evicted;
+    return;
+  }
+  while (store_bytes_used_ + bytes > config_.max_store_bytes &&
+         !store_order_.empty()) {
+    const SessionId victim = store_order_.front();
+    store_order_.pop_front();
+    if (const auto it = store_.find(victim); it != store_.end()) {
+      store_bytes_used_ -= it->second.second;
+      store_.erase(it);
+      ++stats_.sessions_evicted;
+    }
+  }
+  // Replacing an existing id keeps accounting consistent.
+  if (const auto it = store_.find(header.session_id); it != store_.end()) {
+    store_bytes_used_ -= it->second.second;
+  } else {
+    store_order_.push_back(header.session_id);
+  }
+  store_[header.session_id] = {header, bytes};
+  store_bytes_used_ += bytes;
+  ++stats_.sessions_stored;
+}
+
+std::uint64_t Depot::reserve_user_memory() {
+  if (config_.total_user_memory_bytes == 0) {
+    return config_.user_buffer_bytes;  // unlimited pool
+  }
+  const std::uint64_t available =
+      config_.total_user_memory_bytes > user_memory_in_use_
+          ? config_.total_user_memory_bytes - user_memory_in_use_
+          : 0;
+  const std::uint64_t grant =
+      std::min(config_.user_buffer_bytes, available);
+  if (grant < config_.min_user_grant_bytes) {
+    return 0;
+  }
+  user_memory_in_use_ += grant;
+  return grant;
+}
+
+void Depot::release_user_memory(std::uint64_t bytes) {
+  if (config_.total_user_memory_bytes == 0 || bytes == 0) {
+    return;
+  }
+  LSL_ASSERT(user_memory_in_use_ >= bytes);
+  user_memory_in_use_ -= bytes;
+}
+
+std::optional<std::uint64_t> Depot::stored_bytes(const SessionId& id) const {
+  const auto it = store_.find(id);
+  if (it == store_.end()) {
+    return std::nullopt;
+  }
+  return it->second.second;
+}
+
+}  // namespace lsl::session

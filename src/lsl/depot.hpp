@@ -1,0 +1,156 @@
+// LSL depot: the user-level session-layer router.
+//
+// A depot listens on the LSL port and, per accepted session:
+//   * parses the in-band session header,
+//   * picks the next hop (loose source route option, then its route table,
+//     then direct to the destination),
+//   * relays the byte stream through a bounded user-space buffer with
+//     backpressure -- it only reads from the upstream socket when buffer
+//     space exists, so TCP flow control propagates upstream exactly as in
+//     the paper's measured 32 MB pipeline (2 x 8 MB kernel + 2 x 8 MB user),
+//   * delivers locally (and fires the completion callback) when this node is
+//     the session's destination,
+//   * stores the payload for async sessions (receiver fetches later), and
+//   * fans a multicast staging tree session out to its children.
+//
+// Admission control (paper section 6 future work): a depot refuses new
+// sessions past max_sessions.
+#pragma once
+
+#include <deque>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "lsl/header.hpp"
+#include "lsl/route_table.hpp"
+#include "tcp/stack.hpp"
+#include "util/units.hpp"
+
+namespace lsl::session {
+
+struct DepotConfig {
+  /// User-space relay buffer per session. The paper's depots allocate
+  /// send_buffer + receive_buffer bytes of user storage (16 MB with the
+  /// 8 MB kernel buffers used on Abilene).
+  std::uint64_t user_buffer_bytes = 16 * kMiB;
+  /// TCP options for both the accepted (upstream) and initiated
+  /// (downstream) connections -- the "kernel buffers".
+  tcp::TcpOptions tcp;
+  /// Admission control: refuse sessions beyond this many concurrent.
+  std::size_t max_sessions = 1024;
+  /// Largest single read when pulling from the upstream socket.
+  std::uint64_t relay_chunk_bytes = 256 * kKiB;
+  /// Total bytes of parked asynchronous sessions this depot will hold;
+  /// storing past the cap evicts the oldest sessions first.
+  std::uint64_t max_store_bytes = 256 * kMiB;
+  /// Depot-wide cap on relay user-space memory across concurrent sessions
+  /// (0 = unlimited). Sessions get up to user_buffer_bytes each; when the
+  /// pool runs low a session is granted less, and below min_user_grant it
+  /// is refused outright (admission control by memory, complementing
+  /// max_sessions).
+  std::uint64_t total_user_memory_bytes = 0;
+  std::uint64_t min_user_grant_bytes = 64 * kKiB;
+};
+
+struct DepotStats {
+  std::uint64_t sessions_accepted = 0;
+  std::uint64_t sessions_refused = 0;
+  std::uint64_t sessions_relayed = 0;
+  std::uint64_t sessions_delivered = 0;
+  std::uint64_t sessions_stored = 0;
+  std::uint64_t sessions_evicted = 0;
+  std::uint64_t bytes_relayed = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+/// A completed local delivery (this node was the destination).
+struct SessionRecord {
+  SessionHeader header;
+  std::uint64_t bytes = 0;
+  SimTime accepted_at = SimTime::zero();
+  SimTime completed_at = SimTime::zero();
+};
+
+class Depot {
+ public:
+  /// Fired when a session addressed to this node finishes arriving.
+  std::function<void(const SessionRecord&)> on_session_complete;
+
+  /// Fired when this depot opens a downstream relay connection (before the
+  /// handshake completes); experiments attach trace hooks here.
+  std::function<void(tcp::Connection&, const SessionHeader&)>
+      on_downstream_open;
+
+  Depot(tcp::TcpStack& stack, DepotConfig config);
+  ~Depot();
+
+  Depot(const Depot&) = delete;
+  Depot& operator=(const Depot&) = delete;
+
+  void set_route_table(RouteTable table) { routes_ = std::move(table); }
+  [[nodiscard]] const RouteTable& route_table() const { return routes_; }
+
+  /// Take the depot out of service: stop listening, abort every active
+  /// session (peers see RST), drop the async store. The object remains
+  /// valid for introspection; restart() brings it back.
+  void shutdown();
+  void restart();
+  [[nodiscard]] bool running() const { return running_; }
+
+  [[nodiscard]] const DepotStats& stats() const { return stats_; }
+  [[nodiscard]] net::NodeId node_id() const { return stack_.node_id(); }
+  [[nodiscard]] std::size_t active_sessions() const { return active_; }
+
+  /// Async-session store introspection (bytes held for a session id).
+  [[nodiscard]] std::optional<std::uint64_t> stored_bytes(
+      const SessionId& id) const;
+  [[nodiscard]] std::uint64_t store_bytes_used() const {
+    return store_bytes_used_;
+  }
+
+ private:
+  class Relay;
+  friend class Relay;
+
+  void on_accept(tcp::Connection::Ptr conn);
+  void relay_done(Relay* relay);
+  /// Park an async session, evicting the oldest entries past the cap.
+  void store_session(const SessionHeader& header, std::uint64_t bytes);
+  /// Account one finished local delivery; aggregates striped sessions and
+  /// fires on_session_complete when the whole session has arrived.
+  void session_delivered(const SessionHeader& header, std::uint64_t bytes,
+                         SimTime accepted_at);
+  /// Reserve relay buffer memory from the depot-wide pool; returns the
+  /// granted byte count (0 when the pool cannot meet the minimum grant).
+  [[nodiscard]] std::uint64_t reserve_user_memory();
+  void release_user_memory(std::uint64_t bytes);
+
+  tcp::TcpStack& stack_;
+  DepotConfig config_;
+  RouteTable routes_;
+  DepotStats stats_;
+  std::size_t active_ = 0;
+  std::vector<std::shared_ptr<Relay>> relays_;
+  /// Stored async sessions: id -> (header, payload byte count), plus
+  /// insertion order for capacity eviction.
+  std::unordered_map<SessionId, std::pair<SessionHeader, std::uint64_t>,
+                     SessionIdHash>
+      store_;
+  std::deque<SessionId> store_order_;
+  std::uint64_t store_bytes_used_ = 0;
+  /// Partially arrived striped sessions: id -> (bytes so far, stripes left,
+  /// earliest accept time).
+  struct PartialStripes {
+    std::uint64_t bytes = 0;
+    std::uint16_t remaining = 0;
+    SimTime first_accepted = SimTime::zero();
+  };
+  std::unordered_map<SessionId, PartialStripes, SessionIdHash> stripes_;
+  std::uint64_t user_memory_in_use_ = 0;
+  bool running_ = true;
+};
+
+}  // namespace lsl::session

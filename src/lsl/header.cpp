@@ -1,0 +1,264 @@
+#include "lsl/header.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace lsl::session {
+
+namespace {
+
+constexpr std::byte kMagic0{'L'};
+constexpr std::byte kMagic1{'S'};
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::byte>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(std::byte{v}); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v >> 8));
+    u8(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> in) : in_(in) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const { return in_.size() - pos_; }
+
+  std::uint8_t u8() {
+    if (pos_ >= in_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(in_[pos_++]);
+  }
+  std::uint16_t u16() {
+    const auto hi = u8();
+    const auto lo = u8();
+    return static_cast<std::uint16_t>((hi << 8) | lo);
+  }
+  std::uint32_t u32() {
+    const auto hi = u16();
+    const auto lo = u16();
+    return (static_cast<std::uint32_t>(hi) << 16) | lo;
+  }
+  std::uint64_t u64() {
+    const auto hi = u32();
+    const auto lo = u32();
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+  }
+  void skip(std::size_t n) {
+    if (remaining() < n) {
+      ok_ = false;
+      return;
+    }
+    pos_ += n;
+  }
+
+ private:
+  std::span<const std::byte> in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::vector<net::NodeId> MulticastTree::children_of(std::size_t index) const {
+  std::vector<net::NodeId> kids;
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].parent_index == index) {
+      kids.push_back(entries[i].node);
+    }
+  }
+  return kids;
+}
+
+std::optional<std::size_t> MulticastTree::find(net::NodeId node) const {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].node == node) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t SessionHeader::encoded_size() const {
+  std::size_t size = kFixedHeaderBytes;
+  if (!loose_route.empty()) {
+    size += 4 + 4 * loose_route.size();
+  }
+  if (multicast.has_value()) {
+    size += 4 + 2 + 6 * multicast->entries.size();
+  }
+  if (async_session) {
+    size += 4;
+  }
+  if (stripe.has_value()) {
+    size += 4 + 4;
+  }
+  return size;
+}
+
+std::vector<std::byte> encode(const SessionHeader& header) {
+  std::vector<std::byte> out;
+  out.reserve(header.encoded_size());
+  Writer w(out);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  w.u16(header.version);
+  w.u16(static_cast<std::uint16_t>(header.type));
+  w.u16(static_cast<std::uint16_t>(header.encoded_size()));
+  for (const std::uint8_t b : header.session_id.bytes) {
+    w.u8(b);
+  }
+  w.u32(header.src);
+  w.u16(header.src_port);
+  w.u32(header.dst);
+  w.u16(header.dst_port);
+  w.u64(header.payload_bytes);
+
+  if (!header.loose_route.empty()) {
+    w.u16(kOptLooseSourceRoute);
+    w.u16(static_cast<std::uint16_t>(4 * header.loose_route.size()));
+    for (const net::NodeId hop : header.loose_route) {
+      w.u32(hop);
+    }
+  }
+  if (header.multicast.has_value()) {
+    w.u16(kOptMulticastTree);
+    w.u16(static_cast<std::uint16_t>(2 + 6 * header.multicast->entries.size()));
+    w.u16(static_cast<std::uint16_t>(header.multicast->entries.size()));
+    for (const auto& e : header.multicast->entries) {
+      w.u32(e.node);
+      w.u16(e.parent_index);
+    }
+  }
+  if (header.async_session) {
+    w.u16(kOptAsyncSession);
+    w.u16(0);
+  }
+  if (header.stripe.has_value()) {
+    w.u16(kOptStripe);
+    w.u16(4);
+    w.u16(header.stripe->index);
+    w.u16(header.stripe->count);
+  }
+  LSL_ASSERT(out.size() == header.encoded_size());
+  return out;
+}
+
+std::optional<std::size_t> peek_header_length(
+    std::span<const std::byte> preamble) {
+  if (preamble.size() < kHeaderPreambleBytes) {
+    return std::nullopt;
+  }
+  if (preamble[0] != kMagic0 || preamble[1] != kMagic1) {
+    return std::nullopt;
+  }
+  Reader r(preamble.subspan(6, 2));
+  const std::uint16_t len = r.u16();
+  if (len < kFixedHeaderBytes) {
+    return std::nullopt;
+  }
+  return len;
+}
+
+std::optional<SessionHeader> decode(std::span<const std::byte> bytes) {
+  const auto total = peek_header_length(bytes);
+  if (!total.has_value() || bytes.size() < *total) {
+    return std::nullopt;
+  }
+  Reader r(bytes.first(*total));
+  r.skip(2);  // magic, verified by peek
+  SessionHeader h;
+  h.version = r.u16();
+  h.type = static_cast<SessionType>(r.u16());
+  r.skip(2);  // header length, already consumed via peek
+  for (auto& b : h.session_id.bytes) {
+    b = r.u8();
+  }
+  h.src = r.u32();
+  h.src_port = r.u16();
+  h.dst = r.u32();
+  h.dst_port = r.u16();
+  h.payload_bytes = r.u64();
+
+  while (r.ok() && r.remaining() > 0) {
+    const std::uint16_t opt_type = r.u16();
+    const std::uint16_t opt_len = r.u16();
+    if (!r.ok() || r.remaining() < opt_len) {
+      return std::nullopt;
+    }
+    switch (opt_type) {
+      case kOptLooseSourceRoute: {
+        if (opt_len % 4 != 0) {
+          return std::nullopt;
+        }
+        for (std::uint16_t i = 0; i < opt_len / 4; ++i) {
+          h.loose_route.push_back(r.u32());
+        }
+        break;
+      }
+      case kOptMulticastTree: {
+        const std::uint16_t count = r.u16();
+        if (opt_len != 2 + 6 * count) {
+          return std::nullopt;
+        }
+        MulticastTree tree;
+        for (std::uint16_t i = 0; i < count; ++i) {
+          MulticastTree::Entry e;
+          e.node = r.u32();
+          e.parent_index = r.u16();
+          tree.entries.push_back(e);
+        }
+        h.multicast = std::move(tree);
+        break;
+      }
+      case kOptAsyncSession: {
+        if (opt_len != 0) {
+          return std::nullopt;
+        }
+        h.async_session = true;
+        break;
+      }
+      case kOptStripe: {
+        if (opt_len != 4) {
+          return std::nullopt;
+        }
+        StripeInfo stripe;
+        stripe.index = r.u16();
+        stripe.count = r.u16();
+        if (stripe.count == 0 || stripe.index >= stripe.count) {
+          return std::nullopt;
+        }
+        h.stripe = stripe;
+        break;
+      }
+      default:
+        // Unknown options are skipped (forward compatibility).
+        r.skip(opt_len);
+        break;
+    }
+  }
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return h;
+}
+
+}  // namespace lsl::session

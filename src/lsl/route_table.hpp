@@ -1,0 +1,34 @@
+// Per-depot forwarding state: destination -> next hop, exactly the
+// "destination/next hop tuples" the paper's scheduler emits for hop-by-hop
+// routing (section 4.2).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+
+namespace lsl::session {
+
+class RouteTable {
+ public:
+  void set(net::NodeId dst, net::NodeId next_hop) { routes_[dst] = next_hop; }
+
+  void clear() { routes_.clear(); }
+
+  /// Next hop toward `dst`; nullopt means "no entry: go direct".
+  [[nodiscard]] std::optional<net::NodeId> next_hop(net::NodeId dst) const {
+    const auto it = routes_.find(dst);
+    if (it == routes_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return routes_.size(); }
+
+ private:
+  std::unordered_map<net::NodeId, net::NodeId> routes_;
+};
+
+}  // namespace lsl::session

@@ -1,0 +1,53 @@
+// 128-bit LSL session identifier (paper section 2: "Each session begins with
+// a header containing a 128-bit session identifier").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace lsl::session {
+
+struct SessionId {
+  std::array<std::uint8_t, 16> bytes{};
+
+  [[nodiscard]] static SessionId random(Rng& rng) {
+    SessionId id;
+    for (std::size_t i = 0; i < 16; i += 8) {
+      const std::uint64_t v = rng.next_u64();
+      for (std::size_t j = 0; j < 8; ++j) {
+        id.bytes[i + j] = static_cast<std::uint8_t>(v >> (8 * j));
+      }
+    }
+    return id;
+  }
+
+  [[nodiscard]] std::string str() const {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string s;
+    s.reserve(32);
+    for (const std::uint8_t b : bytes) {
+      s.push_back(kHex[b >> 4]);
+      s.push_back(kHex[b & 0xF]);
+    }
+    return s;
+  }
+
+  friend bool operator==(const SessionId&, const SessionId&) = default;
+  friend auto operator<=>(const SessionId&, const SessionId&) = default;
+};
+
+struct SessionIdHash {
+  std::size_t operator()(const SessionId& id) const {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const std::uint8_t b : id.bytes) {
+      h ^= b;
+      h *= 0x100000001B3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace lsl::session

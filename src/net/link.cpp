@@ -1,0 +1,72 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace lsl::net {
+
+Link::Link(sim::Simulator& simulator, LinkConfig config, Rng rng)
+    : sim_(simulator), config_(config), rng_(rng) {}
+
+void Link::enqueue(Packet packet) {
+  const std::uint64_t size = packet.wire_bytes();
+  if (queued_bytes_ + size > config_.queue_capacity_bytes) {
+    ++stats_.packets_dropped_queue;
+    LSL_TRACE("link: queue drop uid=%llu seq=%llu",
+              static_cast<unsigned long long>(packet.uid),
+              static_cast<unsigned long long>(packet.tcp.seq));
+    return;
+  }
+  stats_.queue_bytes_observed += queued_bytes_;  // depth found on arrival
+  queued_bytes_ += size;
+  stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
+  queue_.push_back(std::move(packet));
+  if (!transmitting_) {
+    start_transmission();
+  }
+}
+
+void Link::start_transmission() {
+  LSL_ASSERT(!queue_.empty());
+  transmitting_ = true;
+  const SimTime tx = config_.rate.transmit_time(queue_.front().wire_bytes());
+  sim_.schedule_after(tx, [this] { finish_transmission(); });
+}
+
+void Link::finish_transmission() {
+  LSL_ASSERT(!queue_.empty());
+  Packet packet = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= packet.wire_bytes();
+
+  ++stats_.packets_sent;
+  stats_.bytes_sent += packet.wire_bytes();
+
+  if (rng_.chance(config_.loss_rate)) {
+    ++stats_.packets_dropped_loss;
+    LSL_TRACE("link: loss drop uid=%llu seq=%llu",
+              static_cast<unsigned long long>(packet.uid),
+              static_cast<unsigned long long>(packet.tcp.seq));
+  } else {
+    LSL_ASSERT_MSG(static_cast<bool>(deliver_), "link has no receiver");
+    SimTime delay = config_.propagation_delay;
+    if (config_.jitter > SimTime::zero()) {
+      delay += SimTime::nanoseconds(static_cast<std::int64_t>(
+          rng_.next_below(static_cast<std::uint64_t>(config_.jitter.ns()))));
+    }
+    sim_.schedule_after(
+        delay,
+        [this, p = std::move(packet)]() mutable { deliver_(std::move(p)); });
+  }
+
+  if (!queue_.empty()) {
+    start_transmission();
+  } else {
+    transmitting_ = false;
+  }
+}
+
+}  // namespace lsl::net

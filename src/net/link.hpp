@@ -1,0 +1,87 @@
+// Unidirectional link with a drop-tail byte-bounded queue, store-and-forward
+// serialization, fixed propagation delay, and Bernoulli packet loss.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace lsl::net {
+
+struct LinkConfig {
+  Bandwidth rate = Bandwidth::mbps(100);
+  SimTime propagation_delay = SimTime::milliseconds(1);
+  /// Drop-tail queue capacity in bytes (including the packet in service).
+  std::uint64_t queue_capacity_bytes = 512 * 1024;
+  /// Per-packet Bernoulli loss probability, applied at transmit completion.
+  double loss_rate = 0.0;
+  /// Maximum extra per-packet propagation delay, drawn uniformly from
+  /// [0, jitter]. Nonzero jitter reorders packets (delivery order is by
+  /// arrival time), exercising receivers' reassembly and dup-ACK logic.
+  SimTime jitter = SimTime::zero();
+};
+
+struct LinkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t packets_dropped_queue = 0;
+  std::uint64_t packets_dropped_loss = 0;
+  /// High-water mark of queued bytes (buffer-bloat diagnostics).
+  std::uint64_t max_queue_bytes = 0;
+  /// Sum over transmitted packets of the queue depth they found on
+  /// arrival; divide by packets_sent for the mean standing queue.
+  std::uint64_t queue_bytes_observed = 0;
+
+  [[nodiscard]] double mean_queue_bytes() const {
+    return packets_sent > 0 ? static_cast<double>(queue_bytes_observed) /
+                                  static_cast<double>(packets_sent)
+                            : 0.0;
+  }
+};
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(Packet)>;
+
+  Link(sim::Simulator& simulator, LinkConfig config, Rng rng);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Install the receiver-side delivery callback (the destination node).
+  void set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+
+  /// Remove and return the current delivery callback (for taps that wrap
+  /// it, e.g. exp::PacketLog).
+  [[nodiscard]] DeliverFn take_deliver() { return std::move(deliver_); }
+
+  /// Offer a packet to the link; drops silently if the queue is full.
+  void enqueue(Packet packet);
+
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t queued_bytes() const { return queued_bytes_; }
+
+  /// Mutable loss-rate knob; experiments vary path quality mid-run.
+  void set_loss_rate(double p) { config_.loss_rate = p; }
+
+ private:
+  void start_transmission();
+  void finish_transmission();
+
+  sim::Simulator& sim_;
+  LinkConfig config_;
+  Rng rng_;
+  DeliverFn deliver_;
+  std::deque<Packet> queue_;
+  std::uint64_t queued_bytes_ = 0;
+  bool transmitting_ = false;
+  LinkStats stats_;
+};
+
+}  // namespace lsl::net

@@ -1,0 +1,70 @@
+// Packet and TCP segment header representation.
+//
+// The simulator carries one protocol (TCP); the segment header is embedded in
+// the packet directly. Sequence/ack numbers are 64-bit absolute stream
+// offsets: the real protocol's 32-bit wraparound is an encoding concern that
+// has no effect on the dynamics studied here, and 64-bit arithmetic removes a
+// whole class of wrap bugs from the simulation. Application payload is
+// synthetic (a byte count); only the first bytes of a stream may carry real
+// content (the LSL session header), stored in `content`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lsl::net {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = 0xFFFFFFFFU;
+
+using Port = std::uint16_t;
+
+/// TCP segment flags (subset sufficient for bulk transfer + connection
+/// lifecycle).
+enum TcpFlags : std::uint8_t {
+  kFlagSyn = 1U << 0U,
+  kFlagAck = 1U << 1U,
+  kFlagFin = 1U << 2U,
+  kFlagRst = 1U << 3U,
+};
+
+/// A SACK block: [begin, end) in wire sequence space.
+struct SackBlock {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+struct TcpHeader {
+  Port src_port = 0;
+  Port dst_port = 0;
+  std::uint64_t seq = 0;  ///< First payload byte's stream offset.
+  std::uint64_t ack = 0;  ///< Next expected stream offset (valid iff ACK set).
+  std::uint64_t wnd = 0;  ///< Advertised receive window, bytes.
+  std::uint8_t flags = 0;
+  /// Selective acknowledgment blocks (bounded like the real option: <= 4).
+  std::vector<SackBlock> sack;
+
+  [[nodiscard]] bool has(TcpFlags f) const { return (flags & f) != 0; }
+};
+
+/// IP+TCP header overhead charged to every packet on the wire.
+constexpr std::uint32_t kPacketOverheadBytes = 40;
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  TcpHeader tcp;
+  std::uint32_t payload_bytes = 0;
+  /// Real bytes at the start of the payload (never longer than
+  /// payload_bytes); used only for in-band LSL session headers.
+  std::vector<std::byte> content;
+  /// Monotone id assigned at send for tracing.
+  std::uint64_t uid = 0;
+
+  [[nodiscard]] std::uint32_t wire_bytes() const {
+    return payload_bytes + kPacketOverheadBytes;
+  }
+};
+
+}  // namespace lsl::net

@@ -1,0 +1,74 @@
+// Topology: owns nodes and links, computes static shortest-delay routes.
+//
+// Links are added as duplex pairs (or single directions for asymmetric
+// setups). compute_routes() runs Dijkstra from every node over propagation
+// delay and fills each node's forwarding table; explicit policy routes can be
+// layered afterwards (the Abilene experiment pins the "direct" path onto its
+// own link to match the paper's measured RTT triangle).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace lsl::net {
+
+class Topology {
+ public:
+  /// `seed` drives per-link loss sampling streams.
+  Topology(sim::Simulator& simulator, std::uint64_t seed);
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  NodeId add_node(std::string name, std::string site = {});
+
+  /// Add a duplex link (two independent unidirectional links) between a and
+  /// b. Returns the index of the a->b direction; b->a is index+1.
+  std::size_t add_duplex_link(NodeId a, NodeId b, const LinkConfig& config);
+
+  /// Add a single unidirectional link a->b.
+  std::size_t add_link(NodeId a, NodeId b, const LinkConfig& config);
+
+  /// Fill every node's forwarding table with shortest-propagation-delay
+  /// routes. Must be called after all links are added (may be re-called).
+  void compute_routes();
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] Link& link(std::size_t index) { return *links_[index]; }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  /// Directed link from a to b, or nullptr when not adjacent.
+  [[nodiscard]] Link* link_between(NodeId a, NodeId b);
+
+  /// Look up a node id by name; asserts existence.
+  [[nodiscard]] NodeId find(const std::string& name) const;
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Inject a packet at its source node (entry point used by TCP stacks).
+  void send(Packet packet);
+
+ private:
+  struct Edge {
+    NodeId to;
+    Link* link;
+  };
+
+  sim::Simulator& sim_;
+  Rng link_rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace lsl::net

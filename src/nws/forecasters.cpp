@@ -1,0 +1,132 @@
+#include "nws/forecasters.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace lsl::nws {
+
+void LastValueForecaster::observe(double value) {
+  last_ = value;
+  seen_ = true;
+}
+
+void RunningMeanForecaster::observe(double value) {
+  sum_ += value;
+  ++count_;
+}
+
+double RunningMeanForecaster::predict() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+SlidingMeanForecaster::SlidingMeanForecaster(std::size_t window)
+    : capacity_(window) {
+  LSL_ASSERT(window > 0);
+}
+
+void SlidingMeanForecaster::observe(double value) {
+  window_.push_back(value);
+  sum_ += value;
+  if (window_.size() > capacity_) {
+    sum_ -= window_.front();
+    window_.pop_front();
+  }
+}
+
+double SlidingMeanForecaster::predict() const {
+  return window_.empty() ? 0.0
+                         : sum_ / static_cast<double>(window_.size());
+}
+
+SlidingMedianForecaster::SlidingMedianForecaster(std::size_t window)
+    : capacity_(window) {
+  LSL_ASSERT(window > 0);
+}
+
+void SlidingMedianForecaster::observe(double value) {
+  window_.push_back(value);
+  if (window_.size() > capacity_) {
+    window_.pop_front();
+  }
+}
+
+double SlidingMedianForecaster::predict() const {
+  if (window_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted(window_.begin(), window_.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  if (sorted.size() % 2 == 1) {
+    return sorted[mid];
+  }
+  return 0.5 * (sorted[mid - 1] + sorted[mid]);
+}
+
+EwmaForecaster::EwmaForecaster(double alpha) : alpha_(alpha) {
+  LSL_ASSERT(alpha > 0.0 && alpha <= 1.0);
+}
+
+void EwmaForecaster::observe(double value) {
+  if (!seen_) {
+    value_ = value;
+    seen_ = true;
+  } else {
+    value_ = alpha_ * value + (1.0 - alpha_) * value_;
+  }
+}
+
+AdaptiveForecaster::AdaptiveForecaster() {
+  members_.push_back(std::make_unique<LastValueForecaster>());
+  members_.push_back(std::make_unique<RunningMeanForecaster>());
+  members_.push_back(std::make_unique<SlidingMeanForecaster>(10));
+  members_.push_back(std::make_unique<SlidingMedianForecaster>(10));
+  members_.push_back(std::make_unique<EwmaForecaster>(0.25));
+  error_.assign(members_.size(), 0.0);
+}
+
+AdaptiveForecaster::AdaptiveForecaster(
+    std::vector<std::unique_ptr<Forecaster>> members)
+    : members_(std::move(members)) {
+  LSL_ASSERT(!members_.empty());
+  error_.assign(members_.size(), 0.0);
+}
+
+void AdaptiveForecaster::observe(double value) {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i]->ready()) {
+      error_[i] += std::abs(members_[i]->predict() - value);
+    }
+    members_[i]->observe(value);
+  }
+}
+
+std::size_t AdaptiveForecaster::best_index() const {
+  std::size_t best = 0;
+  double best_error = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i]->ready() && error_[i] < best_error) {
+      best_error = error_[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+double AdaptiveForecaster::predict() const {
+  return members_[best_index()]->predict();
+}
+
+bool AdaptiveForecaster::ready() const {
+  return std::any_of(members_.begin(), members_.end(),
+                     [](const auto& m) { return m->ready(); });
+}
+
+std::string AdaptiveForecaster::best_member() const {
+  return members_[best_index()]->name();
+}
+
+}  // namespace lsl::nws

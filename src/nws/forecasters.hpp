@@ -1,0 +1,118 @@
+// Network Weather Service style forecasting.
+//
+// The NWS runs a bank of simple predictors over each measurement series and,
+// at any instant, trusts the one with the lowest cumulative error so far.
+// We implement the classic members (last value, running mean, sliding mean,
+// sliding median, EWMA) and the adaptive bank.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lsl::nws {
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Feed the next measurement.
+  virtual void observe(double value) = 0;
+  /// Current prediction; meaningful only when ready().
+  [[nodiscard]] virtual double predict() const = 0;
+  [[nodiscard]] virtual bool ready() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class LastValueForecaster final : public Forecaster {
+ public:
+  void observe(double value) override;
+  [[nodiscard]] double predict() const override { return last_; }
+  [[nodiscard]] bool ready() const override { return seen_; }
+  [[nodiscard]] std::string name() const override { return "last_value"; }
+
+ private:
+  double last_ = 0.0;
+  bool seen_ = false;
+};
+
+class RunningMeanForecaster final : public Forecaster {
+ public:
+  void observe(double value) override;
+  [[nodiscard]] double predict() const override;
+  [[nodiscard]] bool ready() const override { return count_ > 0; }
+  [[nodiscard]] std::string name() const override { return "running_mean"; }
+
+ private:
+  double sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+class SlidingMeanForecaster final : public Forecaster {
+ public:
+  explicit SlidingMeanForecaster(std::size_t window);
+  void observe(double value) override;
+  [[nodiscard]] double predict() const override;
+  [[nodiscard]] bool ready() const override { return !window_.empty(); }
+  [[nodiscard]] std::string name() const override { return "sliding_mean"; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+};
+
+class SlidingMedianForecaster final : public Forecaster {
+ public:
+  explicit SlidingMedianForecaster(std::size_t window);
+  void observe(double value) override;
+  [[nodiscard]] double predict() const override;
+  [[nodiscard]] bool ready() const override { return !window_.empty(); }
+  [[nodiscard]] std::string name() const override { return "sliding_median"; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+};
+
+class EwmaForecaster final : public Forecaster {
+ public:
+  explicit EwmaForecaster(double alpha);
+  void observe(double value) override;
+  [[nodiscard]] double predict() const override { return value_; }
+  [[nodiscard]] bool ready() const override { return seen_; }
+  [[nodiscard]] std::string name() const override { return "ewma"; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seen_ = false;
+};
+
+/// The NWS adaptive strategy: run every member on the series, score each by
+/// cumulative absolute one-step-ahead error, predict with the current best.
+class AdaptiveForecaster final : public Forecaster {
+ public:
+  /// Builds the standard bank.
+  AdaptiveForecaster();
+  explicit AdaptiveForecaster(
+      std::vector<std::unique_ptr<Forecaster>> members);
+
+  void observe(double value) override;
+  [[nodiscard]] double predict() const override;
+  [[nodiscard]] bool ready() const override;
+  [[nodiscard]] std::string name() const override { return "adaptive"; }
+
+  /// Name of the member currently trusted.
+  [[nodiscard]] std::string best_member() const;
+
+ private:
+  [[nodiscard]] std::size_t best_index() const;
+
+  std::vector<std::unique_ptr<Forecaster>> members_;
+  std::vector<double> error_;
+};
+
+}  // namespace lsl::nws

@@ -1,0 +1,102 @@
+#include "nws/monitor.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace lsl::nws {
+
+double NoiseModel::sample(double truth, Rng& rng) const {
+  double value = truth * rng.lognormal(0.0, lognormal_sigma);
+  if (rng.chance(outlier_probability)) {
+    value *= outlier_factor;
+  }
+  return value;
+}
+
+PerformanceMonitor::PerformanceMonitor(std::vector<std::string> sites,
+                                       NoiseModel noise, std::uint64_t seed)
+    : sites_(std::move(sites)), noise_(noise), rng_(seed) {
+  LSL_ASSERT(!sites_.empty());
+  site_index_of_host_.resize(sites_.size());
+  for (std::size_t host = 0; host < sites_.size(); ++host) {
+    std::size_t index = site_names_.size();
+    for (std::size_t s = 0; s < site_names_.size(); ++s) {
+      if (site_names_[s] == sites_[host]) {
+        index = s;
+        break;
+      }
+    }
+    if (index == site_names_.size()) {
+      site_names_.push_back(sites_[host]);
+      site_representative_.push_back(host);
+    }
+    site_index_of_host_[host] = index;
+  }
+}
+
+void PerformanceMonitor::observe_epoch(const TruthFn& truth) {
+  ++epochs_;
+  const std::size_t s = site_names_.size();
+  for (std::size_t a = 0; a < s; ++a) {
+    for (std::size_t b = 0; b < s; ++b) {
+      if (a == b) {
+        continue;
+      }
+      const std::size_t host_a = site_representative_[a];
+      const std::size_t host_b = site_representative_[b];
+      const double measured = noise_.sample(
+          truth(host_a, host_b).megabits_per_second(), rng_);
+      auto& forecaster = pair_forecasts_[{a, b}];
+      if (forecaster == nullptr) {
+        forecaster = std::make_unique<AdaptiveForecaster>();
+      }
+      forecaster->observe(measured);
+    }
+  }
+}
+
+Bandwidth PerformanceMonitor::forecast(std::size_t i, std::size_t j) const {
+  LSL_ASSERT(i < sites_.size() && j < sites_.size());
+  const std::size_t a = site_index_of_host_[i];
+  const std::size_t b = site_index_of_host_[j];
+  if (a == b) {
+    // Intra-site traffic rides the LAN; model it as fast and flat.
+    return Bandwidth::mbps(1000.0);
+  }
+  const auto it = pair_forecasts_.find({a, b});
+  if (it == pair_forecasts_.end() || !it->second->ready()) {
+    return Bandwidth{0.0};
+  }
+  return Bandwidth::mbps(std::max(it->second->predict(), 1e-3));
+}
+
+sched::CostMatrix PerformanceMonitor::build_matrix() const {
+  const std::size_t n = sites_.size();
+  sched::CostMatrix matrix(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    matrix.set_label(i, "host" + std::to_string(i), sites_[i]);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        continue;
+      }
+      const Bandwidth bw = forecast(i, j);
+      if (bw.bits_per_second() > 0.0) {
+        matrix.set_bandwidth(i, j, bw);
+      }
+    }
+  }
+  return matrix;
+}
+
+std::size_t PerformanceMonitor::representative(const std::string& site) const {
+  for (std::size_t s = 0; s < site_names_.size(); ++s) {
+    if (site_names_[s] == site) {
+      return site_representative_[s];
+    }
+  }
+  LSL_ASSERT_MSG(false, "unknown site");
+  return 0;
+}
+
+}  // namespace lsl::nws

@@ -1,0 +1,73 @@
+// The measurement side of the scheduler's input: a monitor samples pairwise
+// bandwidth (with measurement noise and occasional outliers), feeds per-pair
+// forecasters, and aggregates to a fully connected host-level cost matrix
+// using site cliques -- all hosts at site A share the A->B wide-area
+// measurement, mirroring the performance-topology aggregation the paper
+// takes from Swany & Wolski [34].
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nws/forecasters.hpp"
+#include "sched/cost_matrix.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace lsl::nws {
+
+struct NoiseModel {
+  /// Multiplicative lognormal measurement noise (sigma of log).
+  double lognormal_sigma = 0.15;
+  /// Probability a probe lands during a transient event and reads far low.
+  double outlier_probability = 0.02;
+  /// Multiplier applied to outlier readings.
+  double outlier_factor = 0.3;
+
+  [[nodiscard]] double sample(double truth, Rng& rng) const;
+};
+
+/// Ground-truth callback: current end-to-end bandwidth between two hosts.
+using TruthFn = std::function<Bandwidth(std::size_t, std::size_t)>;
+
+class PerformanceMonitor {
+ public:
+  /// `sites[i]` labels host i; hosts sharing a label form a clique measured
+  /// through one representative pair.
+  PerformanceMonitor(std::vector<std::string> sites, NoiseModel noise,
+                     std::uint64_t seed);
+
+  /// Take one measurement epoch against the ground truth.
+  void observe_epoch(const TruthFn& truth);
+
+  /// Forecast bandwidth between two hosts (site-aggregated).
+  [[nodiscard]] Bandwidth forecast(std::size_t i, std::size_t j) const;
+
+  /// Assemble the scheduler's cost matrix from current forecasts.
+  [[nodiscard]] sched::CostMatrix build_matrix() const;
+
+  [[nodiscard]] std::size_t epochs() const { return epochs_; }
+  [[nodiscard]] std::size_t host_count() const { return sites_.size(); }
+
+ private:
+  /// Representative host of a site (first member).
+  [[nodiscard]] std::size_t representative(const std::string& site) const;
+
+  std::vector<std::string> sites_;
+  std::vector<std::string> site_names_;  ///< unique, in first-seen order
+  NoiseModel noise_;
+  Rng rng_;
+  /// (site index a, site index b) -> forecaster over measured Mbit/s.
+  std::map<std::pair<std::size_t, std::size_t>,
+           std::unique_ptr<AdaptiveForecaster>>
+      pair_forecasts_;
+  std::vector<std::size_t> site_index_of_host_;
+  std::vector<std::size_t> site_representative_;
+  std::size_t epochs_ = 0;
+};
+
+}  // namespace lsl::nws

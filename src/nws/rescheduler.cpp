@@ -1,0 +1,33 @@
+#include "nws/rescheduler.hpp"
+
+#include <utility>
+
+namespace lsl::nws {
+
+Rescheduler::Rescheduler(sim::Simulator& simulator,
+                         PerformanceMonitor monitor, TruthFn truth,
+                         SimTime interval, sched::SchedulerOptions options,
+                         OnSchedule on_schedule)
+    : sim_(simulator),
+      monitor_(std::move(monitor)),
+      truth_(std::move(truth)),
+      interval_(interval),
+      options_(std::move(options)),
+      on_schedule_(std::move(on_schedule)),
+      timer_(simulator, [this] { tick(); }) {}
+
+void Rescheduler::start() { tick(); }
+
+void Rescheduler::stop() { timer_.cancel(); }
+
+void Rescheduler::tick() {
+  monitor_.observe_epoch(truth_);
+  current_ = std::make_unique<sched::Scheduler>(monitor_.build_matrix(), options_);
+  ++rebuilds_;
+  if (on_schedule_) {
+    on_schedule_(*current_);
+  }
+  timer_.arm(interval_);
+}
+
+}  // namespace lsl::nws

@@ -1,0 +1,216 @@
+#include "sched/minimax.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace lsl::sched {
+
+namespace {
+
+std::vector<std::size_t> extract_path(std::size_t start,
+                                      std::span<const std::int64_t> parent,
+                                      std::size_t dst) {
+  if (dst >= parent.size() || parent[dst] < 0) {
+    return {};
+  }
+  std::vector<std::size_t> reversed;
+  std::size_t cursor = dst;
+  while (true) {
+    reversed.push_back(cursor);
+    if (cursor == start) {
+      break;
+    }
+    const std::int64_t p = parent[cursor];
+    if (p < 0 || reversed.size() > parent.size()) {
+      return {};  // broken or cyclic tree: treat as unreachable
+    }
+    cursor = static_cast<std::size_t>(p);
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+}  // namespace
+
+std::vector<std::size_t> MmpTree::path_to(std::size_t dst) const {
+  return extract_path(start, parent, dst);
+}
+
+std::vector<std::size_t> SpTree::path_to(std::size_t dst) const {
+  return extract_path(start, parent, dst);
+}
+
+MmpTree build_mmp_tree(const CostMatrix& matrix, std::size_t start,
+                       const MmpOptions& options) {
+  const std::size_t n = matrix.size();
+  LSL_ASSERT(start < n);
+  LSL_ASSERT(options.node_costs.empty() || options.node_costs.size() == n);
+  LSL_ASSERT_MSG(options.epsilon >= 0.0, "negative epsilon");
+
+  MmpTree tree;
+  tree.start = start;
+  tree.parent.assign(n, -1);
+  tree.cost.assign(n, kInfiniteCost);
+  std::vector<bool> in_tree(n, false);
+
+  tree.cost[start] = 0.0;
+  tree.parent[start] = static_cast<std::int64_t>(start);
+
+  // Appendix A: repeatedly move the cheapest fringe node into the tree and
+  // relax its outgoing edges with the epsilon-damped comparison.
+  std::size_t new_node = start;
+  for (std::size_t round = 0; round < n; ++round) {
+    in_tree[new_node] = true;
+    // The newly added node becomes an intermediate hop for anything routed
+    // through it; with the host-throughput extension, traversing it costs
+    // its node weight as well (the start node forwards nothing).
+    double through_cost = tree.cost[new_node];
+    if (!options.node_costs.empty() && new_node != start) {
+      through_cost = std::max(through_cost, options.node_costs[new_node]);
+    }
+    for (std::size_t other = 0; other < n; ++other) {
+      if (in_tree[other] || other == new_node) {
+        continue;
+      }
+      const double edge = matrix.cost(new_node, other);
+      if (edge == kInfiniteCost) {
+        continue;
+      }
+      const double relax_cost = std::max(edge, through_cost);
+      if (relax_cost * (1.0 + options.epsilon) < tree.cost[other]) {
+        tree.parent[other] = static_cast<std::int64_t>(new_node);
+        tree.cost[other] = relax_cost;
+      }
+    }
+    // Select the cheapest node not yet in the tree.
+    double best = kInfiniteCost;
+    std::size_t best_node = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && tree.cost[v] < best) {
+        best = tree.cost[v];
+        best_node = v;
+      }
+    }
+    if (best_node == n) {
+      break;  // remainder unreachable
+    }
+    new_node = best_node;
+  }
+  return tree;
+}
+
+double minimax_path_cost(const CostMatrix& matrix,
+                         std::span<const std::size_t> path,
+                         std::span<const double> node_costs) {
+  if (path.size() < 2) {
+    return 0.0;
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    worst = std::max(worst, matrix.cost(path[i], path[i + 1]));
+    if (!node_costs.empty() && i > 0) {
+      worst = std::max(worst, node_costs[path[i]]);
+    }
+  }
+  return worst;
+}
+
+SpTree build_shortest_path_tree(const CostMatrix& matrix, std::size_t start) {
+  const std::size_t n = matrix.size();
+  LSL_ASSERT(start < n);
+  SpTree tree;
+  tree.start = start;
+  tree.parent.assign(n, -1);
+  tree.cost.assign(n, kInfiniteCost);
+  std::vector<bool> done(n, false);
+  tree.cost[start] = 0.0;
+  tree.parent[start] = static_cast<std::int64_t>(start);
+  for (std::size_t round = 0; round < n; ++round) {
+    double best = kInfiniteCost;
+    std::size_t u = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!done[v] && tree.cost[v] < best) {
+        best = tree.cost[v];
+        u = v;
+      }
+    }
+    if (u == n) {
+      break;
+    }
+    done[u] = true;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (done[v]) {
+        continue;
+      }
+      const double edge = matrix.cost(u, v);
+      if (edge == kInfiniteCost) {
+        continue;
+      }
+      if (tree.cost[u] + edge < tree.cost[v]) {
+        tree.cost[v] = tree.cost[u] + edge;
+        tree.parent[v] = static_cast<std::int64_t>(u);
+      }
+    }
+  }
+  return tree;
+}
+
+double minimax_cost_oracle(const CostMatrix& matrix, std::size_t s,
+                           std::size_t t) {
+  const std::size_t n = matrix.size();
+  LSL_ASSERT(s < n && t < n);
+  if (s == t) {
+    return 0.0;
+  }
+  // Candidate thresholds: every finite edge cost.
+  std::vector<double> thresholds;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double c = matrix.cost(i, j);
+      if (i != j && c != kInfiniteCost) {
+        thresholds.push_back(c);
+      }
+    }
+  }
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  const auto reachable = [&](double limit) {
+    std::vector<bool> seen(n, false);
+    std::queue<std::size_t> frontier;
+    seen[s] = true;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const std::size_t u = frontier.front();
+      frontier.pop();
+      if (u == t) {
+        return true;
+      }
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!seen[v] && matrix.cost(u, v) <= limit) {
+          seen[v] = true;
+          frontier.push(v);
+        }
+      }
+    }
+    return false;
+  };
+
+  // Binary search for the smallest feasible threshold.
+  std::size_t lo = 0;
+  std::size_t hi = thresholds.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (reachable(thresholds[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo == thresholds.size() ? kInfiniteCost : thresholds[lo];
+}
+
+}  // namespace lsl::sched

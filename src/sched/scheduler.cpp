@@ -1,0 +1,87 @@
+#include "sched/scheduler.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace lsl::sched {
+
+Scheduler::Scheduler(CostMatrix matrix, SchedulerOptions options)
+    : matrix_(std::move(matrix)),
+      options_(std::move(options)),
+      trees_(matrix_.size()) {
+  LSL_ASSERT(options_.host_costs.empty() ||
+             options_.host_costs.size() == matrix_.size());
+}
+
+const MmpTree& Scheduler::tree_from(std::size_t src) const {
+  LSL_ASSERT(src < trees_.size());
+  if (!trees_[src].has_value()) {
+    MmpOptions mmp;
+    mmp.epsilon = options_.epsilon;
+    mmp.node_costs = options_.host_costs;
+    trees_[src] = build_mmp_tree(matrix_, src, mmp);
+  }
+  return *trees_[src];
+}
+
+std::vector<net::NodeId> Scheduler::Decision::via() const {
+  std::vector<net::NodeId> hops;
+  if (path.size() > 2) {
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      hops.push_back(static_cast<net::NodeId>(path[i]));
+    }
+  }
+  return hops;
+}
+
+Scheduler::Decision Scheduler::route(std::size_t src, std::size_t dst) const {
+  LSL_ASSERT(src < matrix_.size() && dst < matrix_.size());
+  Decision decision;
+  decision.direct_cost = matrix_.cost(src, dst);
+  const MmpTree& tree = tree_from(src);
+  decision.path = tree.path_to(dst);
+  if (!decision.path.empty()) {
+    decision.scheduled_cost = tree.cost[dst];
+  }
+  return decision;
+}
+
+session::RouteTable Scheduler::route_table_for(std::size_t node) const {
+  const MmpTree& tree = tree_from(node);
+  session::RouteTable table;
+  for (std::size_t dst = 0; dst < matrix_.size(); ++dst) {
+    if (dst == node) {
+      continue;
+    }
+    const auto path = tree.path_to(dst);
+    if (path.size() >= 2) {
+      table.set(static_cast<net::NodeId>(dst),
+                static_cast<net::NodeId>(path[1]));
+    }
+  }
+  return table;
+}
+
+double Scheduler::fraction_scheduled() const {
+  const std::size_t n = matrix_.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  std::size_t scheduled = 0;
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = 0; t < n; ++t) {
+      if (s == t) {
+        continue;
+      }
+      ++total;
+      if (route(s, t).uses_depots()) {
+        ++scheduled;
+      }
+    }
+  }
+  return static_cast<double>(scheduled) / static_cast<double>(total);
+}
+
+}  // namespace lsl::sched

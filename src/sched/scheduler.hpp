@@ -1,0 +1,67 @@
+// The LSL scheduler: turns a (noisy, forecast-derived) performance matrix
+// into logistical forwarding decisions.
+//
+// For each source it builds an epsilon-damped MMP tree (paper section 4) and
+// walks it per destination. A decision "uses depots" when the chosen path
+// has intermediate nodes; such paths are handed to sources as loose source
+// routes, or reduced to destination/next-hop route tables for hop-by-hop
+// forwarding at depots (section 4.2).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "lsl/route_table.hpp"
+#include "sched/cost_matrix.hpp"
+#include "sched/minimax.hpp"
+
+namespace lsl::sched {
+
+struct SchedulerOptions {
+  /// Edge-equivalence margin. The paper computed epsilon as 10% of the edge
+  /// value and notes clusters coalesced around 10%.
+  double epsilon = 0.10;
+  /// Host-throughput extension: per-node traversal costs (empty = off).
+  std::vector<double> host_costs;
+};
+
+class Scheduler {
+ public:
+  Scheduler(CostMatrix matrix, SchedulerOptions options = {});
+
+  struct Decision {
+    /// Full node path source..destination (empty when unreachable).
+    std::vector<std::size_t> path;
+    /// Minimax cost of the scheduled path and of the direct edge.
+    double scheduled_cost = kInfiniteCost;
+    double direct_cost = kInfiniteCost;
+
+    [[nodiscard]] bool uses_depots() const { return path.size() > 2; }
+    /// Intermediate hops, as a loose source route.
+    [[nodiscard]] std::vector<net::NodeId> via() const;
+  };
+
+  [[nodiscard]] Decision route(std::size_t src, std::size_t dst) const;
+
+  /// The full MMP tree rooted at `src` (cached).
+  [[nodiscard]] const MmpTree& tree_from(std::size_t src) const;
+
+  /// Destination -> next-hop table for hop-by-hop forwarding at `node`,
+  /// built from the node's own tree.
+  [[nodiscard]] session::RouteTable route_table_for(std::size_t node) const;
+
+  /// Fraction of ordered (src, dst) pairs routed through at least one depot
+  /// (the paper reports 26% on its PlanetLab pool).
+  [[nodiscard]] double fraction_scheduled() const;
+
+  [[nodiscard]] const CostMatrix& matrix() const { return matrix_; }
+  [[nodiscard]] const SchedulerOptions& options() const { return options_; }
+
+ private:
+  CostMatrix matrix_;
+  SchedulerOptions options_;
+  mutable std::vector<std::optional<MmpTree>> trees_;
+};
+
+}  // namespace lsl::sched

@@ -1,0 +1,89 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace lsl::sim {
+
+EventId Simulator::schedule_at(SimTime when, Action action) {
+  LSL_ASSERT_MSG(when >= now_, "cannot schedule into the past");
+  const EventId id{next_seq_++};
+  heap_.push(Entry{when, id.seq, std::move(action)});
+  return id;
+}
+
+EventId Simulator::schedule_after(SimTime delay, Action action) {
+  LSL_ASSERT_MSG(delay >= SimTime::zero(), "negative delay");
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid()) {
+    return false;
+  }
+  // Only tombstone ids that could still be pending; an id >= next_seq_ was
+  // never issued and an already-popped id is gone from the heap.
+  if (id.seq >= next_seq_) {
+    return false;
+  }
+  const auto [it, inserted] = cancelled_.insert(id.seq);
+  (void)it;
+  if (inserted) {
+    ++tombstones_;
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::pop_next(Entry& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; the action must be moved out, so we
+    // const_cast the known-mutable underlying entry before popping.
+    auto& top = const_cast<Entry&>(heap_.top());
+    if (const auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --tombstones_;
+      heap_.pop();
+      continue;
+    }
+    out.when = top.when;
+    out.seq = top.seq;
+    out.action = std::move(top.action);
+    heap_.pop();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Entry e;
+  if (!pop_next(e)) {
+    return false;
+  }
+  LSL_ASSERT(e.when >= now_);
+  now_ = e.when;
+  ++events_executed_;
+  e.action();
+  return true;
+}
+
+std::uint64_t Simulator::run(SimTime limit) {
+  stop_requested_ = false;
+  std::uint64_t executed = 0;
+  Entry e;
+  while (!stop_requested_ && pop_next(e)) {
+    if (e.when > limit) {
+      // Put time forward to the limit but not beyond; re-queue the event.
+      heap_.push(Entry{e.when, e.seq, std::move(e.action)});
+      now_ = limit;
+      break;
+    }
+    LSL_ASSERT(e.when >= now_);
+    now_ = e.when;
+    ++events_executed_;
+    ++executed;
+    e.action();
+  }
+  return executed;
+}
+
+}  // namespace lsl::sim

@@ -1,0 +1,94 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns a priority queue of (time, sequence, action) events.
+// Sequence numbers break ties so that same-timestamp events fire in schedule
+// order, which makes every run fully deterministic. Events are one-shot
+// closures; cancellable timers are layered on top (timer.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace lsl::sim {
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+struct EventId {
+  std::uint64_t seq = 0;
+
+  [[nodiscard]] bool valid() const { return seq != 0; }
+  friend bool operator==(EventId a, EventId b) { return a.seq == b.seq; }
+};
+
+/// Single-threaded discrete-event simulator.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `action` to run at absolute time `when` (>= now).
+  EventId schedule_at(SimTime when, Action action);
+
+  /// Schedule `action` to run `delay` from now (delay >= 0).
+  EventId schedule_after(SimTime delay, Action action);
+
+  /// Cancel a pending event. Returns false if it already ran or was
+  /// cancelled. Cancellation is O(1): the entry is tombstoned and skipped
+  /// when popped.
+  bool cancel(EventId id);
+
+  /// Run until the event queue is empty or `limit` is reached, whichever is
+  /// first. Returns the number of events executed.
+  std::uint64_t run(SimTime limit = SimTime::max());
+
+  /// Run a single event if one exists; returns false when the queue is empty.
+  bool step();
+
+  /// Stop at the end of the current event (run() returns afterwards).
+  void request_stop() { stop_requested_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const {
+    return heap_.size() - tombstones_;
+  }
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_executed_;
+  }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+
+    // Min-heap via std::priority_queue's max-heap comparison inversion.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(Entry& out);
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;  // tombstoned event seqs
+  std::size_t tombstones_ = 0;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t events_executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace lsl::sim

@@ -1,0 +1,62 @@
+// Restartable one-shot timer built on the Simulator.
+//
+// TCP needs retransmission / persist timers that are armed, re-armed, and
+// cancelled constantly; Timer wraps the tombstone-cancellation dance so the
+// protocol code can't leak stale events. The callback is fixed at
+// construction; arming only chooses the deadline.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace lsl::sim {
+
+class Timer {
+ public:
+  Timer(Simulator& simulator, std::function<void()> on_fire)
+      : sim_(simulator), on_fire_(std::move(on_fire)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { cancel(); }
+
+  /// (Re)arm the timer to fire `delay` from now. A pending arm is replaced.
+  void arm(SimTime delay) {
+    cancel();
+    deadline_ = sim_.now() + delay;
+    pending_ = sim_.schedule_after(delay, [this] {
+      pending_ = EventId{};
+      on_fire_();
+    });
+  }
+
+  /// Arm only if not already armed.
+  void arm_if_idle(SimTime delay) {
+    if (!armed()) {
+      arm(delay);
+    }
+  }
+
+  void cancel() {
+    if (pending_.valid()) {
+      sim_.cancel(pending_);
+      pending_ = EventId{};
+    }
+  }
+
+  [[nodiscard]] bool armed() const { return pending_.valid(); }
+
+  /// Deadline of the most recent arm (meaningful only while armed()).
+  [[nodiscard]] SimTime deadline() const { return deadline_; }
+
+ private:
+  Simulator& sim_;
+  std::function<void()> on_fire_;
+  EventId pending_{};
+  SimTime deadline_ = SimTime::zero();
+};
+
+}  // namespace lsl::sim

@@ -1,0 +1,870 @@
+#include "tcp/connection.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "tcp/stack.hpp"
+#include "util/log.hpp"
+
+namespace lsl::tcp {
+
+namespace {
+constexpr std::uint64_t kHugeSsthresh =
+    std::numeric_limits<std::uint64_t>::max() / 2;
+}  // namespace
+
+const char* to_string(TcpState s) {
+  switch (s) {
+    case TcpState::kClosed:
+      return "CLOSED";
+    case TcpState::kSynSent:
+      return "SYN_SENT";
+    case TcpState::kSynRcvd:
+      return "SYN_RCVD";
+    case TcpState::kEstablished:
+      return "ESTABLISHED";
+    case TcpState::kFinWait1:
+      return "FIN_WAIT_1";
+    case TcpState::kFinWait2:
+      return "FIN_WAIT_2";
+    case TcpState::kClosing:
+      return "CLOSING";
+    case TcpState::kCloseWait:
+      return "CLOSE_WAIT";
+    case TcpState::kLastAck:
+      return "LAST_ACK";
+    case TcpState::kTimeWait:
+      return "TIME_WAIT";
+    case TcpState::kDead:
+      return "DEAD";
+  }
+  return "?";
+}
+
+Connection::Connection(TcpStack& stack, net::NodeId local, net::NodeId remote,
+                       net::Port local_port, net::Port remote_port,
+                       TcpOptions opts)
+    : stack_(stack),
+      sim_(stack.simulator()),
+      local_node_(local),
+      remote_node_(remote),
+      local_port_(local_port),
+      remote_port_(remote_port),
+      opts_(opts),
+      send_buf_(opts.send_buffer_bytes),
+      recv_buf_(opts.recv_buffer_bytes),
+      rtt_(opts),
+      ssthresh_(kHugeSsthresh),
+      rto_timer_(sim_, [this] { on_rto(); }),
+      persist_timer_(sim_, [this] { on_persist(); }),
+      time_wait_timer_(sim_, [this] { become_dead(); }),
+      delack_timer_(sim_, [this] {
+        unacked_segments_ = 0;
+        send_pure_ack();
+      }) {
+  LSL_ASSERT_MSG(opts_.recv_buffer_bytes >= opts_.mss,
+                 "receive buffer smaller than one segment");
+  cwnd_ = static_cast<std::uint64_t>(opts_.initial_cwnd_segments) * opts_.mss;
+}
+
+Connection::~Connection() = default;
+
+std::uint64_t Connection::acked_payload() const { return send_buf_.head(); }
+
+std::string Connection::debug_string() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "%s una=%llu nxt=%llu max=%llu cwnd=%llu ssthresh=%llu wnd=%llu "
+      "flight=%llu buf=[%llu,%llu) rcv_nxt=%llu readable=%llu dup=%d rec=%d "
+      "fin(p=%d s=%d a=%d r=%d) rto=%d persist=%d",
+      to_string(state_), static_cast<unsigned long long>(snd_una_),
+      static_cast<unsigned long long>(snd_nxt_),
+      static_cast<unsigned long long>(snd_max_),
+      static_cast<unsigned long long>(cwnd_),
+      static_cast<unsigned long long>(ssthresh_ > 1ULL << 40 ? 0 : ssthresh_),
+      static_cast<unsigned long long>(snd_wnd_),
+      static_cast<unsigned long long>(flight()),
+      static_cast<unsigned long long>(send_buf_.head()),
+      static_cast<unsigned long long>(send_buf_.end()),
+      static_cast<unsigned long long>(rcv_nxt_wire_),
+      static_cast<unsigned long long>(recv_buf_.readable()), dup_acks_,
+      in_recovery_ ? 1 : 0, fin_pending_ ? 1 : 0, fin_sent_ ? 1 : 0,
+      fin_acked_ ? 1 : 0, fin_rcvd_ ? 1 : 0, rto_timer_.armed() ? 1 : 0,
+      persist_timer_.armed() ? 1 : 0);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Open / close
+
+void Connection::start_active_open() {
+  LSL_ASSERT(state_ == TcpState::kClosed);
+  state_ = TcpState::kSynSent;
+  send_control(net::kFlagSyn, 0);
+  snd_nxt_ = 1;
+  snd_max_ = 1;
+  arm_rto();
+}
+
+void Connection::start_passive_open() {
+  LSL_ASSERT(state_ == TcpState::kClosed);
+  state_ = TcpState::kSynRcvd;
+  // Caller feeds the SYN packet via handle_packet next.
+}
+
+void Connection::close() {
+  if (fin_pending_) {
+    return;
+  }
+  if (state_ == TcpState::kSynSent || state_ == TcpState::kSynRcvd ||
+      state_ == TcpState::kClosed) {
+    abort();
+    return;
+  }
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) {
+    return;  // already closing
+  }
+  fin_pending_ = true;
+  fin_wire_ = stream_data_end_wire();
+  try_send();
+}
+
+void Connection::abort() {
+  if (state_ == TcpState::kDead) {
+    return;
+  }
+  if (state_ != TcpState::kClosed) {
+    send_control(net::kFlagRst, snd_nxt_);
+  }
+  become_dead();
+}
+
+// ---------------------------------------------------------------------------
+// Application API
+
+std::uint64_t Connection::write_bytes(std::span<const std::byte> bytes) {
+  if (fin_pending_ || state_ == TcpState::kDead) {
+    return 0;
+  }
+  const std::uint64_t n = send_buf_.append_bytes(bytes);
+  try_send();
+  return n;
+}
+
+std::uint64_t Connection::write_synthetic(std::uint64_t n) {
+  if (fin_pending_ || state_ == TcpState::kDead) {
+    return 0;
+  }
+  const std::uint64_t accepted = send_buf_.append_synthetic(n);
+  try_send();
+  return accepted;
+}
+
+RecvBuffer::ReadResult Connection::read(std::uint64_t max) {
+  auto r = recv_buf_.read(max);
+  stats_.bytes_read += r.n;
+  if (r.n > 0) {
+    maybe_send_window_update();
+  }
+  if (at_eof() && !eof_delivered_) {
+    eof_delivered_ = true;
+    // Deliver EOF from a fresh event, never from inside the caller's own
+    // read(): a synchronous callback could observe the application's state
+    // before it has accounted for the bytes this read returns (the depot
+    // relay would close its session with a chunk still in hand).
+    auto self = shared_from_this();
+    sim_.schedule_after(SimTime::zero(), [self] {
+      if (self->on_eof) {
+        self->on_eof();
+      }
+    });
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Segment emission
+
+std::uint64_t Connection::advertised_window() const {
+  std::uint64_t w = recv_buf_.window();
+  // Receiver-side silly-window avoidance: never advertise a runt window.
+  if (w < opts_.mss) {
+    w = 0;
+  }
+  return w;
+}
+
+std::uint64_t Connection::usable_window() const {
+  return std::min(cwnd_, snd_wnd_);
+}
+
+void Connection::send_data_segment(std::uint64_t wire_seq, std::uint32_t len,
+                                   bool retransmission) {
+  net::Packet p;
+  p.src = local_node_;
+  p.dst = remote_node_;
+  p.uid = next_packet_uid_++;
+  p.tcp.src_port = local_port_;
+  p.tcp.dst_port = remote_port_;
+  p.tcp.seq = wire_seq;
+  p.tcp.ack = rcv_nxt_wire_;
+  p.tcp.flags = net::kFlagAck;
+  p.tcp.wnd = advertised_window();
+  p.payload_bytes = len;
+  p.content = send_buf_.content_slice(wire_seq - 1, len);
+  attach_sack_blocks(p.tcp);
+  last_advertised_wnd_ = p.tcp.wnd;
+
+  ++stats_.segments_sent;
+  if (retransmission) {
+    ++stats_.retransmits;
+  } else {
+    stats_.bytes_sent += len;
+    if (!timing_active_) {
+      timing_active_ = true;
+      timed_wire_end_ = wire_seq + len;
+      timed_sent_at_ = sim_.now();
+    }
+  }
+  // The segment carries a current cumulative ACK: any pending delayed ACK
+  // is satisfied by the piggyback.
+  delack_timer_.cancel();
+  unacked_segments_ = 0;
+  stack_.emit(std::move(p));
+  arm_rto();
+}
+
+void Connection::send_control(std::uint8_t flags, std::uint64_t wire_seq) {
+  net::Packet p;
+  p.src = local_node_;
+  p.dst = remote_node_;
+  p.uid = next_packet_uid_++;
+  p.tcp.src_port = local_port_;
+  p.tcp.dst_port = remote_port_;
+  p.tcp.seq = wire_seq;
+  p.tcp.flags = flags;
+  if (syn_rcvd_) {
+    p.tcp.flags |= net::kFlagAck;
+    p.tcp.ack = rcv_nxt_wire_;
+    attach_sack_blocks(p.tcp);
+  }
+  p.tcp.wnd = advertised_window();
+  p.payload_bytes = 0;
+  last_advertised_wnd_ = p.tcp.wnd;
+  ++stats_.segments_sent;
+  stack_.emit(std::move(p));
+}
+
+void Connection::send_pure_ack() { send_control(net::kFlagAck, snd_nxt_); }
+
+void Connection::attach_sack_blocks(net::TcpHeader& header) {
+  if (!opts_.sack_enabled || recv_buf_.ooo_bytes() == 0) {
+    return;
+  }
+  for (const auto& [begin, end] : recv_buf_.ooo_ranges(4)) {
+    // Data offsets -> wire sequence (+1 for the SYN).
+    header.sack.push_back(net::SackBlock{begin + 1, end + 1});
+  }
+}
+
+void Connection::maybe_send_window_update() {
+  if (state_ == TcpState::kDead || state_ == TcpState::kTimeWait) {
+    return;
+  }
+  const std::uint64_t w = advertised_window();
+  if (last_advertised_wnd_ == 0 && w >= opts_.mss) {
+    send_pure_ack();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sending engine
+
+void Connection::try_send() {
+  // Stream data may flow while established and must keep flowing after a
+  // local close until everything (including the FIN) is acknowledged: an
+  // RTO can rewind snd_nxt below buffered data in FIN_WAIT_1 / CLOSING /
+  // LAST_ACK, and that data still has to drain.
+  const bool may_send_data =
+      state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait ||
+      state_ == TcpState::kFinWait1 || state_ == TcpState::kClosing ||
+      state_ == TcpState::kLastAck;
+  if (!may_send_data) {
+    return;
+  }
+
+  {
+    const std::uint64_t window = usable_window();
+    while (snd_nxt_ < stream_data_end_wire()) {
+      const std::uint64_t offset = snd_nxt_ - 1;
+      const std::uint64_t avail = send_buf_.end() - offset;
+      const std::uint64_t fl = flight();
+      if (fl >= window) {
+        break;
+      }
+      const std::uint64_t room = window - fl;
+      const auto seg = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>({opts_.mss, avail, room}));
+      if (seg == 0) {
+        break;
+      }
+      // Sender-side SWS avoidance: while data remains and the pipe is
+      // non-empty, wait for more window rather than emit a runt. With
+      // Nagle enabled, hold *any* runt while data is unacknowledged, even
+      // the final one -- small writes coalesce until an ACK drains the
+      // pipe (RFC 896).
+      if (seg < opts_.mss && fl > 0 && (opts_.nagle || seg < avail)) {
+        break;
+      }
+      send_data_segment(snd_nxt_, seg, /*retransmission=*/false);
+      snd_nxt_ += seg;
+      snd_max_ = std::max(snd_max_, snd_nxt_);
+    }
+  }
+
+  // FIN goes out once all stream data has been transmitted.
+  if (fin_pending_ && snd_nxt_ == fin_wire_) {
+    send_control(net::kFlagFin, fin_wire_);
+    snd_nxt_ = fin_wire_ + 1;
+    snd_max_ = std::max(snd_max_, snd_nxt_);
+    if (!fin_sent_) {
+      fin_sent_ = true;
+      if (state_ == TcpState::kEstablished) {
+        state_ = TcpState::kFinWait1;
+      } else if (state_ == TcpState::kCloseWait) {
+        state_ = TcpState::kLastAck;
+      }
+    }
+    arm_rto();
+  }
+
+  // Zero-window probing: peer closed its window while we still have unsent
+  // data and nothing in flight. A lost window update would deadlock us; the
+  // persist timer pushes one byte past the window to force an ACK.
+  if (snd_wnd_ == 0 && flight() == 0 &&
+      snd_nxt_ < stream_data_end_wire() && may_send_data) {
+    persist_timer_.arm_if_idle(rtt_.rto());
+  } else {
+    persist_timer_.cancel();
+  }
+}
+
+void Connection::on_persist() {
+  if (state_ == TcpState::kDead) {
+    return;
+  }
+  if (snd_wnd_ == 0 && flight() == 0 && snd_nxt_ < stream_data_end_wire()) {
+    // One byte beyond the advertised window; RTO backoff then paces retries.
+    send_data_segment(snd_nxt_, 1, /*retransmission=*/true);
+    snd_nxt_ += 1;
+    snd_max_ = std::max(snd_max_, snd_nxt_);
+  }
+}
+
+void Connection::arm_rto() {
+  if (flight() > 0 || state_ == TcpState::kSynSent ||
+      state_ == TcpState::kSynRcvd) {
+    rto_timer_.arm_if_idle(rtt_.rto());
+  }
+}
+
+void Connection::restart_rto_if_needed() {
+  rto_timer_.cancel();
+  if (flight() > 0) {
+    rto_timer_.arm(rtt_.rto());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timeout handling
+
+void Connection::on_rto() {
+  if (state_ == TcpState::kDead || state_ == TcpState::kTimeWait) {
+    return;
+  }
+  ++stats_.timeouts;
+  timing_active_ = false;  // Karn: never sample retransmitted data
+  rtt_.backoff();
+
+  if (state_ == TcpState::kSynSent || state_ == TcpState::kSynRcvd) {
+    if (++syn_retries_ > opts_.max_syn_retries) {
+      // The peer is unreachable or refusing: give up.
+      become_dead();
+      return;
+    }
+    // Retransmit the (SYN / SYN+ACK) handshake segment.
+    ++stats_.retransmits;
+    send_control(net::kFlagSyn, 0);
+    rto_timer_.arm(rtt_.rto());
+    return;
+  }
+
+  const std::uint64_t fl = flight();
+  ssthresh_ = std::max(fl / 2, static_cast<std::uint64_t>(2) * opts_.mss);
+  cwnd_ = opts_.mss;
+  in_recovery_ = false;
+  dup_acks_ = 0;
+  sacked_.clear();  // conservative: assume the peer reneged
+  rtx_out_.clear();
+
+  // Go-back-N: rewind the send frontier; try_send refills from snd_una.
+  snd_nxt_ = snd_una_;
+  if (fin_sent_ && snd_una_ > fin_wire_) {
+    // Everything including FIN was sent; only FIN remains unacked.
+    snd_nxt_ = fin_wire_;
+  }
+  if (snd_nxt_ == fin_wire_ && fin_sent_) {
+    ++stats_.retransmits;
+    send_control(net::kFlagFin, fin_wire_);
+    snd_nxt_ = fin_wire_ + 1;
+  } else if (snd_nxt_ < stream_data_end_wire()) {
+    const std::uint64_t offset = snd_nxt_ - 1;
+    const auto len = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        opts_.mss, send_buf_.end() - offset));
+    if (len > 0) {
+      send_data_segment(snd_nxt_, len, /*retransmission=*/true);
+      snd_nxt_ += len;
+    }
+  }
+  rto_timer_.arm(rtt_.rto());
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+
+void Connection::handle_packet(const net::Packet& packet) {
+  const net::TcpHeader& h = packet.tcp;
+
+  if (h.has(net::kFlagRst)) {
+    LSL_DEBUG("tcp %u:%u: RST received", local_node_, local_port_);
+    become_dead();
+    return;
+  }
+
+  if (state_ == TcpState::kSynSent) {
+    if (h.has(net::kFlagSyn) && h.has(net::kFlagAck) && h.ack >= 1) {
+      syn_rcvd_ = true;
+      rcv_nxt_wire_ = 1;
+      snd_una_ = 1;
+      snd_wnd_ = h.wnd;
+      state_ = TcpState::kEstablished;
+      stats_.established_at = sim_.now();
+      restart_rto_if_needed();
+      send_pure_ack();
+      if (on_connected) {
+        on_connected();
+      }
+      try_send();
+    }
+    // Anything else in SYN_SENT (e.g. stray data) is dropped.
+    return;
+  }
+
+  if (h.has(net::kFlagSyn)) {
+    if (state_ == TcpState::kSynRcvd) {
+      if (!syn_rcvd_) {
+        // First SYN observed by this passive connection.
+        syn_rcvd_ = true;
+        rcv_nxt_wire_ = 1;
+        snd_wnd_ = h.wnd;
+        send_control(net::kFlagSyn, 0);  // SYN+ACK (ACK added by send_control)
+        snd_nxt_ = 1;
+        snd_max_ = 1;
+        arm_rto();
+      } else {
+        // Retransmitted SYN: our SYN+ACK was lost.
+        ++stats_.retransmits;
+        send_control(net::kFlagSyn, 0);
+        arm_rto();
+      }
+      return;
+    }
+    // Stray SYN on an established connection: peer never saw our SYN+ACK
+    // ack; re-ack it.
+    send_pure_ack();
+    return;
+  }
+
+  const bool had_payload = packet.payload_bytes > 0;
+  const bool had_fin = h.has(net::kFlagFin);
+
+  if (h.has(net::kFlagAck)) {
+    process_ack(packet);
+  }
+  if (state_ == TcpState::kDead) {
+    return;
+  }
+  if (had_payload) {
+    process_payload(packet);
+  }
+  if (had_fin) {
+    process_fin(packet);
+  }
+  if (had_fin) {
+    // FIN always elicits an immediate ACK.
+    delack_timer_.cancel();
+    unacked_segments_ = 0;
+    send_pure_ack();
+  } else if (had_payload) {
+    const bool out_of_order = recv_buf_.ooo_bytes() > 0;
+    acknowledge_data(out_of_order);
+  }
+}
+
+void Connection::acknowledge_data(bool out_of_order) {
+  if (!opts_.delayed_ack || out_of_order) {
+    // Immediate ACK; out-of-order arrivals must generate the duplicate
+    // ACKs fast retransmit depends on (RFC 5681).
+    delack_timer_.cancel();
+    unacked_segments_ = 0;
+    send_pure_ack();
+    return;
+  }
+  if (++unacked_segments_ >= 2) {
+    delack_timer_.cancel();
+    unacked_segments_ = 0;
+    send_pure_ack();
+    return;
+  }
+  delack_timer_.arm_if_idle(opts_.delayed_ack_timeout);
+}
+
+void Connection::process_ack(const net::Packet& packet) {
+  const net::TcpHeader& h = packet.tcp;
+  const std::uint64_t ack = h.ack;
+  if (ack > snd_max_) {
+    return;  // acks data never sent
+  }
+
+  const bool is_dup = ack == snd_una_ && snd_nxt_ > snd_una_ &&
+                      packet.payload_bytes == 0 && !h.has(net::kFlagFin) &&
+                      h.wnd == snd_wnd_ && snd_wnd_ > 0;
+  snd_wnd_ = h.wnd;
+
+  if (opts_.sack_enabled) {
+    for (const auto& block : h.sack) {
+      sacked_.add(block.begin, block.end);
+    }
+  }
+
+  if (ack > snd_una_) {
+    const std::uint64_t newly = ack - snd_una_;
+    snd_una_ = ack;
+    // After an RTO rewound snd_nxt, a cumulative ACK for data the receiver
+    // already held out-of-order can overtake the send frontier.
+    snd_nxt_ = std::max(snd_nxt_, snd_una_);
+    dup_acks_ = 0;
+    sacked_.prune_below(snd_una_);
+
+    if (state_ == TcpState::kSynRcvd && snd_una_ >= 1) {
+      advance_handshake_established();
+    }
+
+    // Free acknowledged payload from the send buffer.
+    const std::uint64_t data_acked =
+        std::min(ack > 0 ? ack - 1 : 0, send_buf_.end());
+    const std::uint64_t before = send_buf_.head();
+    if (data_acked > before) {
+      send_buf_.release_through(data_acked);
+      stats_.bytes_acked += data_acked - before;
+      if (on_ack_advance) {
+        on_ack_advance(sim_.now(), send_buf_.head());
+      }
+    }
+
+    if (timing_active_ && snd_una_ >= timed_wire_end_) {
+      rtt_.add_sample(sim_.now() - timed_sent_at_);
+      timing_active_ = false;
+    }
+
+    if (in_recovery_) {
+      if (ack >= recover_) {
+        // Full acknowledgment: deflate to ssthresh and exit recovery.
+        cwnd_ = std::max(ssthresh_,
+                         static_cast<std::uint64_t>(2) * opts_.mss);
+        in_recovery_ = false;
+        sacked_.clear();
+        rtx_out_.clear();
+      } else if (opts_.sack_enabled) {
+        rtx_out_.prune_below(snd_una_);
+        // The byte at the new snd_una is a proven hole.
+        if (!sacked_.covers(snd_una_) && !rtx_out_.covers(snd_una_)) {
+          const std::uint32_t sent = retransmit_at(snd_una_);
+          if (sent > 0) {
+            rtx_out_.add(snd_una_, snd_una_ + sent);
+          }
+        }
+        recovery_fill();
+        restart_rto_if_needed();
+      } else {
+        // NewReno partial ack: retransmit one hole per RTT.
+        retransmit_at(snd_una_);
+        cwnd_ = (cwnd_ > newly ? cwnd_ - newly : opts_.mss) + opts_.mss;
+        restart_rto_if_needed();
+      }
+    } else if (cwnd_ < ssthresh_) {
+      // Slow start: byte-counted growth capped at one MSS per ACK.
+      cwnd_ += std::min<std::uint64_t>(newly, opts_.mss);
+    } else {
+      // Congestion avoidance: ~one MSS per RTT.
+      cwnd_ += std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(opts_.mss) * opts_.mss / cwnd_);
+    }
+
+    if (fin_sent_ && !fin_acked_ && snd_una_ > fin_wire_) {
+      fin_acked_ = true;
+      on_fin_acked();
+      if (state_ == TcpState::kDead) {
+        return;
+      }
+    }
+
+    restart_rto_if_needed();
+    if (on_writable && send_buf_.free_space() > 0 && !fin_pending_) {
+      on_writable();
+    }
+    try_send();
+    return;
+  }
+
+  if (is_dup) {
+    ++stats_.dup_acks_seen;
+    if (in_recovery_) {
+      if (opts_.sack_enabled) {
+        recovery_fill();
+      } else {
+        cwnd_ += opts_.mss;  // Reno inflation for the departed duplicate
+        try_send();
+      }
+    } else if (++dup_acks_ == 3) {
+      enter_recovery();
+    }
+    return;
+  }
+
+  // Window update or stale ack: the usable window may have changed.
+  try_send();
+}
+
+void Connection::enter_recovery() {
+  in_recovery_ = true;
+  recover_ = snd_nxt_;
+  ssthresh_ = std::max(flight() / 2,
+                       static_cast<std::uint64_t>(2) * opts_.mss);
+  ++stats_.fast_retransmits;
+  timing_active_ = false;  // Karn
+  rtx_out_.clear();
+  // Retransmit the presumed-lost head segment.
+  if (fin_sent_ && snd_una_ == fin_wire_) {
+    ++stats_.retransmits;
+    send_control(net::kFlagFin, fin_wire_);
+  } else {
+    const std::uint32_t sent = retransmit_at(snd_una_);
+    if (sent > 0) {
+      rtx_out_.add(snd_una_, snd_una_ + sent);
+    }
+  }
+  cwnd_ = ssthresh_ + static_cast<std::uint64_t>(3) * opts_.mss;
+  restart_rto_if_needed();
+  if (opts_.sack_enabled) {
+    recovery_fill();
+  } else {
+    try_send();
+  }
+}
+
+std::uint32_t Connection::retransmit_at(std::uint64_t wire_seq) {
+  if (wire_seq < 1 || wire_seq >= stream_data_end_wire()) {
+    if (fin_sent_ && wire_seq == fin_wire_) {
+      ++stats_.retransmits;
+      send_control(net::kFlagFin, fin_wire_);
+      return 1;
+    }
+    return 0;
+  }
+  const std::uint64_t offset = wire_seq - 1;
+  auto len = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(opts_.mss, send_buf_.end() - offset));
+  if (len == 0) {
+    return 0;
+  }
+  // Do not re-send past data the peer already holds.
+  if (opts_.sack_enabled) {
+    const auto hole = sacked_.next_hole(wire_seq, wire_seq + len);
+    if (!hole.found) {
+      return 0;
+    }
+    len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(len, hole.end - hole.begin));
+  }
+  send_data_segment(wire_seq, len, /*retransmission=*/true);
+  return len;
+}
+
+std::uint64_t Connection::recovery_pipe() const {
+  // RFC 3517 SetPipe, simplified: bytes believed in the network are the
+  // outstanding window minus what the peer reported holding, minus holes
+  // presumed lost (gaps below the highest SACKed byte), plus holes we have
+  // already retransmitted (back in flight).
+  const std::uint64_t outstanding = snd_nxt_ - snd_una_;
+  const std::uint64_t limit = std::min(recover_, stream_data_end_wire());
+  const std::uint64_t highest = std::min(sacked_.highest_end(), limit);
+  std::uint64_t lost = 0;
+  if (highest > snd_una_) {
+    const std::uint64_t region = highest - snd_una_;
+    const std::uint64_t sacked_in = sacked_.bytes_below(highest);
+    const std::uint64_t rtx_in = rtx_out_.bytes_below(highest);
+    const std::uint64_t known = std::min(region, sacked_in + rtx_in);
+    lost = region - known;
+  }
+  const std::uint64_t known_absent = sacked_.sacked_bytes() + lost;
+  return outstanding > known_absent ? outstanding - known_absent : 0;
+}
+
+std::uint32_t Connection::send_next_recovery_hole() {
+  const std::uint64_t limit = std::min(recover_, stream_data_end_wire());
+  std::uint64_t cursor = snd_una_;
+  while (cursor < limit) {
+    const auto hole = sacked_.next_hole(cursor, limit);
+    if (!hole.found || !hole.bounded) {
+      // Gaps with no SACKed data above are not yet presumed lost.
+      return 0;
+    }
+    // Skip the parts of this hole already retransmitted.
+    const auto fresh = rtx_out_.next_hole(hole.begin, hole.end);
+    if (!fresh.found) {
+      cursor = hole.end;
+      continue;
+    }
+    const auto len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(opts_.mss, fresh.end - fresh.begin));
+    send_data_segment(fresh.begin, len, /*retransmission=*/true);
+    rtx_out_.add(fresh.begin, fresh.begin + len);
+    return len;
+  }
+  return 0;
+}
+
+void Connection::recovery_fill() {
+  while (in_recovery_) {
+    const std::uint64_t pipe = recovery_pipe();
+    if (pipe + opts_.mss > cwnd_) {
+      return;
+    }
+    if (send_next_recovery_hole() == 0) {
+      break;
+    }
+  }
+  // No presumed-lost holes left: push new data under the normal window
+  // machinery (cwnd here is ssthresh-ish, so this stays conservative).
+  try_send();
+}
+
+void Connection::process_payload(const net::Packet& packet) {
+  if (!syn_rcvd_ || packet.tcp.seq == 0) {
+    return;
+  }
+  const std::uint64_t offset = packet.tcp.seq - 1;
+  const auto res =
+      recv_buf_.on_segment(offset, packet.payload_bytes, packet.content);
+  if (res.advanced) {
+    rcv_nxt_wire_ = 1 + recv_buf_.rcv_nxt();
+    stats_.bytes_received = recv_buf_.rcv_nxt();
+    maybe_accept_pending_fin();
+    if (on_readable && recv_buf_.readable() > 0) {
+      on_readable();
+    }
+  }
+}
+
+void Connection::process_fin(const net::Packet& packet) {
+  // FIN sits after any payload carried in the same segment.
+  const std::uint64_t fin_seq = packet.tcp.seq + packet.payload_bytes;
+  if (!fin_rcvd_) {
+    peer_fin_seq_ = fin_seq;
+    peer_fin_seen_ = true;
+    maybe_accept_pending_fin();
+  }
+}
+
+void Connection::maybe_accept_pending_fin() {
+  if (!peer_fin_seen_ || fin_rcvd_ || rcv_nxt_wire_ != peer_fin_seq_) {
+    return;
+  }
+  fin_rcvd_ = true;
+  rcv_nxt_wire_ = peer_fin_seq_ + 1;
+  switch (state_) {
+    case TcpState::kEstablished:
+      state_ = TcpState::kCloseWait;
+      break;
+    case TcpState::kFinWait1:
+      state_ = fin_acked_ ? TcpState::kTimeWait : TcpState::kClosing;
+      if (state_ == TcpState::kTimeWait) {
+        enter_time_wait();
+      }
+      break;
+    case TcpState::kFinWait2:
+      enter_time_wait();
+      break;
+    default:
+      break;
+  }
+  if (at_eof() && !eof_delivered_) {
+    eof_delivered_ = true;
+    if (on_eof) {
+      on_eof();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle transitions
+
+void Connection::advance_handshake_established() {
+  state_ = TcpState::kEstablished;
+  stats_.established_at = sim_.now();
+  restart_rto_if_needed();
+  stack_.deliver_accept(ConnKey{remote_node_, local_port_, remote_port_});
+}
+
+void Connection::on_fin_acked() {
+  switch (state_) {
+    case TcpState::kFinWait1:
+      state_ = TcpState::kFinWait2;
+      break;
+    case TcpState::kClosing:
+      enter_time_wait();
+      break;
+    case TcpState::kLastAck:
+      become_dead();
+      break;
+    default:
+      break;
+  }
+}
+
+void Connection::enter_time_wait() {
+  state_ = TcpState::kTimeWait;
+  rto_timer_.cancel();
+  persist_timer_.cancel();
+  time_wait_timer_.arm(opts_.time_wait);
+}
+
+void Connection::become_dead() {
+  if (state_ == TcpState::kDead) {
+    return;
+  }
+  state_ = TcpState::kDead;
+  rto_timer_.cancel();
+  persist_timer_.cancel();
+  time_wait_timer_.cancel();
+  delack_timer_.cancel();
+  stack_.reap(ConnKey{remote_node_, local_port_, remote_port_});
+  if (on_closed) {
+    on_closed();
+  }
+}
+
+}  // namespace lsl::tcp

@@ -1,0 +1,238 @@
+// TCP connection: Reno/NewReno congestion control over the packet simulator.
+//
+// Implements the mechanisms the paper's "logistical effect" rests on:
+//   * slow start & congestion avoidance (throughput ramps at RTT cadence),
+//   * fast retransmit / fast recovery (NewReno partial-ACK handling),
+//   * retransmission timeout with Jacobson/Karels RTO and Karn's rule,
+//   * receive-window flow control from finite socket buffers (the depot
+//     backpressure path), including zero-window probing,
+//   * graceful close (FIN in both directions).
+//
+// Sequence numbering: each direction's SYN occupies wire sequence 0, data
+// byte k occupies wire sequence 1+k, FIN occupies 1+stream_length. Buffers
+// work in pure data offsets; the connection translates at the wire boundary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "sim/timer.hpp"
+#include "tcp/options.hpp"
+#include "tcp/recv_buffer.hpp"
+#include "tcp/rtt_estimator.hpp"
+#include "tcp/sack.hpp"
+#include "tcp/send_buffer.hpp"
+
+namespace lsl::tcp {
+
+class TcpStack;
+
+enum class TcpState {
+  kClosed,
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kClosing,
+  kCloseWait,
+  kLastAck,
+  kTimeWait,
+  kDead,
+};
+
+[[nodiscard]] const char* to_string(TcpState s);
+
+struct ConnectionStats {
+  std::uint64_t bytes_sent = 0;           ///< payload bytes first-transmitted
+  std::uint64_t bytes_acked = 0;          ///< payload bytes cumulatively acked
+  std::uint64_t bytes_received = 0;       ///< payload bytes admitted in order
+  std::uint64_t bytes_read = 0;           ///< bytes returned to the app
+  std::uint64_t segments_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t dup_acks_seen = 0;
+  SimTime established_at = SimTime::zero();
+};
+
+/// A TCP connection; doubles as the application-facing socket.
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  using Ptr = std::shared_ptr<Connection>;
+
+  /// Application callbacks. All optional; fired from within packet/timer
+  /// processing (never reentrantly into the caller of a socket method).
+  std::function<void()> on_connected;
+  std::function<void()> on_readable;
+  std::function<void()> on_writable;
+  std::function<void()> on_eof;     ///< peer FIN received & all data read
+  std::function<void()> on_closed;  ///< connection fully terminated
+  /// Sender-side trace hook: fires when cumulative acked payload advances;
+  /// argument is total acked payload bytes (the paper's Figs 4/5 series).
+  std::function<void(SimTime, std::uint64_t)> on_ack_advance;
+
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // ---- application API -------------------------------------------------
+  /// Queue real bytes (must precede all synthetic payload). Returns accepted.
+  std::uint64_t write_bytes(std::span<const std::byte> bytes);
+  /// Queue synthetic payload bytes. Returns accepted.
+  std::uint64_t write_synthetic(std::uint64_t n);
+  /// Read up to `max` in-order bytes.
+  RecvBuffer::ReadResult read(std::uint64_t max);
+  /// Close the send direction after all queued data (half-close).
+  void close();
+  /// Hard abort: RST to peer, immediate teardown.
+  void abort();
+
+  [[nodiscard]] std::uint64_t readable_bytes() const {
+    return recv_buf_.readable();
+  }
+  [[nodiscard]] std::uint64_t writable_bytes() const {
+    return send_buf_.free_space();
+  }
+  /// True once the peer's FIN is received and every byte has been read.
+  [[nodiscard]] bool at_eof() const {
+    return fin_rcvd_ && recv_buf_.readable() == 0;
+  }
+
+  // ---- introspection ---------------------------------------------------
+  [[nodiscard]] TcpState state() const { return state_; }
+  [[nodiscard]] const ConnectionStats& stats() const { return stats_; }
+  [[nodiscard]] const TcpOptions& options() const { return opts_; }
+  [[nodiscard]] std::uint64_t cwnd() const { return cwnd_; }
+  [[nodiscard]] std::uint64_t ssthresh() const { return ssthresh_; }
+  [[nodiscard]] SimTime srtt() const { return rtt_.srtt(); }
+  [[nodiscard]] net::NodeId local_node() const { return local_node_; }
+  [[nodiscard]] net::NodeId remote_node() const { return remote_node_; }
+  [[nodiscard]] net::Port local_port() const { return local_port_; }
+  [[nodiscard]] net::Port remote_port() const { return remote_port_; }
+  /// Total payload bytes the peer has acknowledged (sender-side progress).
+  [[nodiscard]] std::uint64_t acked_payload() const;
+
+  /// One-line internal state summary for diagnostics.
+  [[nodiscard]] std::string debug_string() const;
+
+ private:
+  friend class TcpStack;
+
+  Connection(TcpStack& stack, net::NodeId local, net::NodeId remote,
+             net::Port local_port, net::Port remote_port, TcpOptions opts);
+
+  void start_active_open();
+  void start_passive_open();  ///< caller feeds the SYN via handle_packet
+
+  void handle_packet(const net::Packet& packet);
+
+  void process_ack(const net::Packet& packet);
+  void process_payload(const net::Packet& packet);
+  void process_fin(const net::Packet& packet);
+  void maybe_accept_pending_fin();
+
+  void try_send();
+  void send_data_segment(std::uint64_t wire_seq, std::uint32_t len,
+                         bool retransmission);
+  void send_control(std::uint8_t flags, std::uint64_t wire_seq);
+  void send_pure_ack();
+  /// ACK generation for received data: immediate, or deferred per the
+  /// delayed-ACK rules when enabled.
+  void acknowledge_data(bool out_of_order);
+  void attach_sack_blocks(net::TcpHeader& header);
+  void maybe_send_window_update();
+
+  void enter_recovery();
+  /// RFC 3517-style pipe-limited recovery: while the estimated in-network
+  /// byte count is below cwnd, retransmit presumed-lost holes (then new
+  /// data). Self-clocked by arriving (dup/partial) ACKs.
+  void recovery_fill();
+  [[nodiscard]] std::uint64_t recovery_pipe() const;
+  /// Retransmit the next presumed-lost, not-yet-retransmitted hole segment.
+  /// Returns bytes sent (0 when no eligible hole remains).
+  std::uint32_t send_next_recovery_hole();
+  /// Retransmit up to one MSS of payload starting at `wire_seq`; returns the
+  /// length sent (0 when nothing to send there).
+  std::uint32_t retransmit_at(std::uint64_t wire_seq);
+  void on_rto();
+  void on_persist();
+  void arm_rto();
+  void restart_rto_if_needed();
+
+  void advance_handshake_established();
+  void on_fin_acked();
+  void enter_time_wait();
+  void become_dead();
+
+  [[nodiscard]] std::uint64_t flight() const { return snd_nxt_ - snd_una_; }
+  [[nodiscard]] std::uint64_t usable_window() const;
+  [[nodiscard]] std::uint64_t advertised_window() const;
+  [[nodiscard]] std::uint64_t stream_data_end_wire() const {
+    return 1 + send_buf_.end();
+  }
+
+  TcpStack& stack_;
+  sim::Simulator& sim_;
+  net::NodeId local_node_;
+  net::NodeId remote_node_;
+  net::Port local_port_;
+  net::Port remote_port_;
+  TcpOptions opts_;
+
+  TcpState state_ = TcpState::kClosed;
+
+  SendBuffer send_buf_;
+  RecvBuffer recv_buf_;
+  RttEstimator rtt_;
+
+  // Sender state (wire sequence units).
+  std::uint64_t snd_una_ = 0;
+  std::uint64_t snd_nxt_ = 0;
+  std::uint64_t snd_max_ = 0;  ///< highest wire seq ever sent
+  std::uint64_t snd_wnd_ = 0;  ///< peer advertised window (bytes)
+  std::uint64_t cwnd_ = 0;
+  std::uint64_t ssthresh_ = 0;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recover_ = 0;
+  SackScoreboard sacked_;
+  SackScoreboard rtx_out_;  ///< ranges retransmitted this recovery episode
+
+  bool fin_pending_ = false;  ///< close() called, FIN not yet sent
+  bool fin_sent_ = false;
+  std::uint64_t fin_wire_ = 0;
+  bool fin_acked_ = false;
+
+  // Receiver state.
+  std::uint64_t rcv_nxt_wire_ = 0;  ///< 0 until SYN arrives, then 1 + data
+  bool syn_rcvd_ = false;
+  bool peer_fin_seen_ = false;
+  std::uint64_t peer_fin_seq_ = 0;
+  bool fin_rcvd_ = false;
+  bool eof_delivered_ = false;
+  std::uint64_t last_advertised_wnd_ = 0;
+
+  // RTT timing (Karn's algorithm): one timed segment at a time.
+  bool timing_active_ = false;
+  std::uint64_t timed_wire_end_ = 0;
+  SimTime timed_sent_at_ = SimTime::zero();
+
+  sim::Timer rto_timer_;
+  sim::Timer persist_timer_;
+  sim::Timer time_wait_timer_;
+  sim::Timer delack_timer_;
+  int unacked_segments_ = 0;  ///< data segments since the last ACK we sent
+  int syn_retries_ = 0;
+
+  ConnectionStats stats_;
+  std::uint64_t next_packet_uid_ = 1;
+};
+
+}  // namespace lsl::tcp

@@ -1,0 +1,66 @@
+// Per-connection TCP tuning knobs.
+//
+// The paper's experiments hinge on exactly these parameters: the Abilene
+// tests used 8 MB socket buffers set with setsockopt, PlanetLab hosts were
+// pinned at 64 KB, and depot relays combine both. Defaults mirror a
+// conservative early-2000s Linux host.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace lsl::tcp {
+
+struct TcpOptions {
+  /// Maximum segment size (payload bytes per packet).
+  std::uint32_t mss = 1460;
+
+  /// Socket send buffer (bytes the app may queue ahead of ACKs).
+  std::uint64_t send_buffer_bytes = 64 * kKiB;
+
+  /// Socket receive buffer; its free space is the advertised window.
+  std::uint64_t recv_buffer_bytes = 64 * kKiB;
+
+  /// Initial congestion window, in segments (RFC 2581 allowed 2).
+  std::uint32_t initial_cwnd_segments = 2;
+
+  /// Selective acknowledgment (on by default, as in Linux 2.4). When off,
+  /// loss recovery degrades to plain NewReno partial-ACK hole filling.
+  bool sack_enabled = true;
+
+  /// Delayed acknowledgments (RFC 1122): ACK every second full segment or
+  /// after delayed_ack_timeout, whichever first; out-of-order data is ACKed
+  /// immediately. Off by default so that direct-vs-relayed comparisons are
+  /// clocked identically; the ablation benches exercise it.
+  bool delayed_ack = false;
+  SimTime delayed_ack_timeout = SimTime::milliseconds(40);
+
+  /// Give up on a handshake after this many SYN (or SYN-ACK)
+  /// retransmissions; the connection dies and on_closed fires.
+  int max_syn_retries = 6;
+
+  /// Nagle's algorithm (RFC 896): hold sub-MSS segments while unacked data
+  /// is in flight, coalescing small writes. Off by default: bulk transfers
+  /// never produce runts mid-stream and benches want minimum latency.
+  bool nagle = false;
+
+  /// Retransmission timer bounds (Jacobson/Karels estimator output clamps).
+  SimTime initial_rto = SimTime::seconds(1);
+  SimTime min_rto = SimTime::milliseconds(200);
+  SimTime max_rto = SimTime::seconds(60);
+
+  /// Linger in TIME_WAIT before the connection object is reaped. Kept far
+  /// below 2*MSL; sequence reuse cannot occur in the 64-bit sim space.
+  SimTime time_wait = SimTime::milliseconds(500);
+
+  [[nodiscard]] TcpOptions with_buffers(std::uint64_t bytes) const {
+    TcpOptions o = *this;
+    o.send_buffer_bytes = bytes;
+    o.recv_buffer_bytes = bytes;
+    return o;
+  }
+};
+
+}  // namespace lsl::tcp

@@ -1,0 +1,53 @@
+// Sender-side SACK scoreboard: the set of wire-sequence ranges the peer has
+// reported holding above the cumulative ACK. Used during fast recovery to
+// retransmit only the holes (RFC 2018/3517 in spirit; bookkeeping simplified
+// by the simulator's 64-bit sequence space).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace lsl::tcp {
+
+class SackScoreboard {
+ public:
+  /// Merge the reported range [begin, end).
+  void add(std::uint64_t begin, std::uint64_t end);
+
+  /// Drop all state below `seq` (cumulatively acknowledged).
+  void prune_below(std::uint64_t seq);
+
+  void clear();
+
+  [[nodiscard]] bool covers(std::uint64_t seq) const;
+
+  struct Hole {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    bool found = false;
+    /// True when the hole is bounded above by a SACKed range -- i.e. the
+    /// peer demonstrably received later data, so this gap is presumed lost.
+    bool bounded = false;
+  };
+
+  /// First unsacked gap at or after `from`, clipped to `limit`.
+  [[nodiscard]] Hole next_hole(std::uint64_t from, std::uint64_t limit) const;
+
+  [[nodiscard]] std::uint64_t sacked_bytes() const { return bytes_; }
+  [[nodiscard]] bool empty() const { return ranges_.empty(); }
+
+  /// End of the highest range (0 when empty).
+  [[nodiscard]] std::uint64_t highest_end() const {
+    return ranges_.empty() ? 0 : ranges_.rbegin()->second;
+  }
+
+  /// Total bytes held in ranges below `seq` (ranges straddling it count
+  /// partially).
+  [[nodiscard]] std::uint64_t bytes_below(std::uint64_t seq) const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> ranges_;  ///< begin -> end, disjoint
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace lsl::tcp

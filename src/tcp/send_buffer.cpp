@@ -1,0 +1,39 @@
+#include "tcp/send_buffer.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace lsl::tcp {
+
+std::uint64_t SendBuffer::append_bytes(std::span<const std::byte> bytes) {
+  LSL_ASSERT_MSG(end_ == prefix_.size(),
+                 "real bytes must precede synthetic payload");
+  const std::uint64_t n = std::min<std::uint64_t>(bytes.size(), free_space());
+  prefix_.insert(prefix_.end(), bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(n));
+  end_ += n;
+  return n;
+}
+
+std::uint64_t SendBuffer::append_synthetic(std::uint64_t n) {
+  const std::uint64_t accepted = std::min(n, free_space());
+  end_ += accepted;
+  return accepted;
+}
+
+void SendBuffer::release_through(std::uint64_t offset) {
+  LSL_ASSERT_MSG(offset <= end_, "release beyond buffered data");
+  head_ = std::max(head_, offset);
+}
+
+std::vector<std::byte> SendBuffer::content_slice(std::uint64_t offset,
+                                                 std::uint64_t len) const {
+  if (offset >= prefix_.size() || len == 0) {
+    return {};
+  }
+  const std::uint64_t stop = std::min<std::uint64_t>(prefix_.size(), offset + len);
+  return {prefix_.begin() + static_cast<std::ptrdiff_t>(offset),
+          prefix_.begin() + static_cast<std::ptrdiff_t>(stop)};
+}
+
+}  // namespace lsl::tcp

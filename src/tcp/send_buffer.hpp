@@ -1,0 +1,48 @@
+// Sender-side socket buffer.
+//
+// Byte accounting over absolute stream offsets: [head_, end_) is buffered,
+// bytes below head_ have been acknowledged and released. Application payload
+// is synthetic (counted, not stored) except for an optional *prefix* of real
+// bytes at the very start of the stream — the LSL session header — which must
+// be written before any synthetic payload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lsl::tcp {
+
+class SendBuffer {
+ public:
+  explicit SendBuffer(std::uint64_t capacity) : capacity_(capacity) {}
+
+  /// Append real bytes; only legal while the stream is still all-prefix.
+  /// Returns the number of bytes accepted (bounded by free space).
+  std::uint64_t append_bytes(std::span<const std::byte> bytes);
+
+  /// Append synthetic payload; returns bytes accepted.
+  std::uint64_t append_synthetic(std::uint64_t n);
+
+  /// Release acknowledged bytes below `offset`.
+  void release_through(std::uint64_t offset);
+
+  /// Real content overlapping [offset, offset+len), empty when none.
+  [[nodiscard]] std::vector<std::byte> content_slice(std::uint64_t offset,
+                                                     std::uint64_t len) const;
+
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t head() const { return head_; }
+  [[nodiscard]] std::uint64_t end() const { return end_; }
+  [[nodiscard]] std::uint64_t used() const { return end_ - head_; }
+  [[nodiscard]] std::uint64_t free_space() const { return capacity_ - used(); }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t head_ = 0;
+  std::uint64_t end_ = 0;
+  std::vector<std::byte> prefix_;  ///< real bytes for offsets [0, size())
+};
+
+}  // namespace lsl::tcp

@@ -1,0 +1,90 @@
+#include "tcp/stack.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace lsl::tcp {
+
+TcpStack::TcpStack(net::Topology& topology, net::NodeId node)
+    : topology_(topology), node_(node) {
+  topology_.node(node).set_local_deliver(
+      [this](net::Packet p) { on_packet(std::move(p)); });
+}
+
+void TcpStack::listen(net::Port port, AcceptFn on_accept, TcpOptions options) {
+  LSL_ASSERT_MSG(!listeners_.contains(port), "port already listening");
+  listeners_.emplace(port, Listener{std::move(on_accept), options});
+}
+
+void TcpStack::stop_listening(net::Port port) { listeners_.erase(port); }
+
+Connection::Ptr TcpStack::connect(net::NodeId dst, net::Port dst_port,
+                                  TcpOptions options) {
+  // Find an ephemeral port free for this (dst, dst_port) pair.
+  net::Port port = next_ephemeral_;
+  for (int attempts = 0; attempts < 16384; ++attempts) {
+    if (!conns_.contains(ConnKey{dst, port, dst_port})) {
+      break;
+    }
+    port = (port >= 65535) ? net::Port{49152} : static_cast<net::Port>(port + 1);
+  }
+  next_ephemeral_ =
+      (port >= 65535) ? net::Port{49152} : static_cast<net::Port>(port + 1);
+
+  auto conn = Connection::Ptr(
+      new Connection(*this, node_, dst, port, dst_port, options));
+  conns_.emplace(ConnKey{dst, port, dst_port}, conn);
+  conn->start_active_open();
+  return conn;
+}
+
+void TcpStack::on_packet(net::Packet packet) {
+  const ConnKey key{packet.src, packet.tcp.dst_port, packet.tcp.src_port};
+  if (const auto it = conns_.find(key); it != conns_.end()) {
+    // Hold a local ref: handle_packet may trigger reap of this connection.
+    const Connection::Ptr conn = it->second;
+    conn->handle_packet(packet);
+    return;
+  }
+  if (packet.tcp.has(net::kFlagSyn) && !packet.tcp.has(net::kFlagAck)) {
+    if (const auto lit = listeners_.find(packet.tcp.dst_port);
+        lit != listeners_.end()) {
+      auto conn = Connection::Ptr(
+          new Connection(*this, node_, packet.src, packet.tcp.dst_port,
+                         packet.tcp.src_port, lit->second.options));
+      conns_.emplace(key, conn);
+      conn->start_passive_open();
+      conn->handle_packet(packet);
+      return;
+    }
+  }
+  // No connection, no listener: drop silently (RSTs for stray segments are
+  // immaterial to the studied dynamics).
+  LSL_TRACE("tcp node %u: dropping stray segment on port %u", node_,
+            packet.tcp.dst_port);
+}
+
+void TcpStack::deliver_accept(const ConnKey& key) {
+  const auto it = conns_.find(key);
+  if (it == conns_.end()) {
+    return;
+  }
+  if (const auto lit = listeners_.find(key.local_port);
+      lit != listeners_.end() && lit->second.on_accept) {
+    lit->second.on_accept(it->second);
+  }
+}
+
+void TcpStack::reap(const ConnKey& key) {
+  // Defer the erase: reap is called from inside the connection's own
+  // processing, and erasing could destroy it mid-method.
+  simulator().schedule_after(SimTime::zero(), [this, key] {
+    conns_.erase(key);
+  });
+}
+
+void TcpStack::emit(net::Packet packet) { topology_.send(std::move(packet)); }
+
+}  // namespace lsl::tcp

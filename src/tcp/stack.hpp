@@ -1,0 +1,74 @@
+// Per-node TCP stack: demultiplexes packets to connections, handles passive
+// opens via listeners, allocates ephemeral ports, and reaps dead connections.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "tcp/connection.hpp"
+#include "tcp/options.hpp"
+
+namespace lsl::tcp {
+
+struct ConnKey {
+  net::NodeId remote = net::kInvalidNode;
+  net::Port local_port = 0;
+  net::Port remote_port = 0;
+
+  friend auto operator<=>(const ConnKey&, const ConnKey&) = default;
+};
+
+class TcpStack {
+ public:
+  using AcceptFn = std::function<void(Connection::Ptr)>;
+
+  /// Attaches to `node` in `topology` as its protocol stack.
+  TcpStack(net::Topology& topology, net::NodeId node);
+
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
+
+  /// Accept connections on `port`; `on_accept` fires once each passive
+  /// connection reaches ESTABLISHED. `options` applies to accepted sockets.
+  void listen(net::Port port, AcceptFn on_accept,
+              TcpOptions options = TcpOptions{});
+
+  void stop_listening(net::Port port);
+
+  /// Active open to (dst, dst_port). The returned socket is connecting;
+  /// install callbacks immediately (on_connected fires later).
+  Connection::Ptr connect(net::NodeId dst, net::Port dst_port,
+                          TcpOptions options = TcpOptions{});
+
+  [[nodiscard]] net::NodeId node_id() const { return node_; }
+  [[nodiscard]] net::Topology& topology() { return topology_; }
+  [[nodiscard]] sim::Simulator& simulator() { return topology_.simulator(); }
+  [[nodiscard]] std::size_t open_connections() const { return conns_.size(); }
+
+ private:
+  friend class Connection;
+
+  void on_packet(net::Packet packet);
+  /// Deferred erase; safe to call from within the connection's own
+  /// packet/timer processing.
+  void reap(const ConnKey& key);
+  void emit(net::Packet packet);
+  void deliver_accept(const ConnKey& key);
+
+  struct Listener {
+    AcceptFn on_accept;
+    TcpOptions options;
+  };
+
+  net::Topology& topology_;
+  net::NodeId node_;
+  std::map<ConnKey, Connection::Ptr> conns_;
+  std::map<net::Port, Listener> listeners_;
+  net::Port next_ephemeral_ = 49152;
+};
+
+}  // namespace lsl::tcp

@@ -1,0 +1,163 @@
+// Synthetic Grid testbeds.
+//
+// The paper's large-scale evaluation ran on PlanetLab (142 virtualized
+// hosts at ~70 university sites, 64 KB TCP buffers, administrative rate
+// limits, heavy background load) and on a constrained variant with depots
+// at Abilene POPs. Neither environment is reproducible directly, so this
+// module generates statistically similar stand-ins:
+//   * sites placed on a unit square; RTT = base + distance (continental ms),
+//   * per-site access bandwidth (lognormal), per-host virtualization
+//     throughput caps, a rate-limited subset whose cap kicks in only past a
+//     traffic threshold (the "administrative limitation that changes its
+//     behavior after a certain amount of traffic" the paper calls out),
+//   * persistent per-path quality factors and loss rates,
+//   * per-trial load/cross-traffic realization noise.
+//
+// The same object serves three consumers: the NWS monitor (probe-level
+// ground truth), the scheduler (via the monitor's matrix), and the
+// flow-level transfer model (per-trial realizations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/tcp_model.hpp"
+#include "nws/monitor.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace lsl::testbed {
+
+struct HostProfile {
+  std::string name;
+  std::string site;
+  double x = 0.0;  ///< position on the unit square
+  double y = 0.0;
+  Bandwidth access = Bandwidth::mbps(100);  ///< site access link
+  Bandwidth host_cap = Bandwidth::mbps(60); ///< virtualization throughput cap
+  std::uint64_t tcp_buffer = 64 * kKiB;
+  bool rate_limited = false;
+  bool core = false;  ///< backbone depot (unloaded, large buffers)
+};
+
+struct GridNoise {
+  /// Per-trial lognormal sigma on host capacity (background load swings).
+  double load_sigma = 0.55;
+  /// Per-trial lognormal sigma on path bandwidth (cross traffic).
+  double path_sigma = 0.30;
+  /// Relaying through user space on a busy virtualized host costs this
+  /// efficiency factor on the depot's capacity.
+  double relay_efficiency = 0.62;
+  /// Edge-equivalence margin the section 4.2 experiments schedule with.
+  /// Calibrated so the scheduler relays ~26% of pairs as the paper reports
+  /// (under our synthetic noise, the paper's nominal 10% over-schedules).
+  double sweep_epsilon = 0.25;
+  /// Administrative rate limits engage beyond this many bytes.
+  std::uint64_t rate_limit_threshold = 16 * kMiB;
+  Bandwidth rate_limit = Bandwidth::mbps(10);
+};
+
+struct PlanetLabConfig {
+  std::size_t sites = 70;
+  std::size_t min_hosts_per_site = 1;
+  std::size_t max_hosts_per_site = 3;  ///< paper: one to three machines/site
+  double rate_limited_fraction = 0.15;
+  std::uint64_t host_tcp_buffer = 64 * kKiB;  ///< paper: unmodifiable 64 KB
+  /// 2004-era PlanetLab access links and virtualized host throughput were
+  /// modest; most pairs are capacity-bound (where relaying cannot help),
+  /// only long-RTT well-connected pairs are window-bound (where it can).
+  double access_bw_median_mbps = 12.0;
+  double access_bw_sigma = 1.2;
+  double host_cap_median_mbps = 14.0;
+  double host_cap_sigma = 1.0;
+  SimTime rtt_base = SimTime::milliseconds(6);
+  double rtt_scale_ms = 95.0;  ///< unit-square diagonal ~ continental RTT
+  double loss_median = 4e-5;
+  double loss_sigma = 1.2;
+  GridNoise noise;
+};
+
+struct AbileneCoreConfig {
+  std::size_t universities = 10;  ///< paper: 10 U.S. universities
+  std::uint64_t university_tcp_buffer = 64 * kKiB;
+  std::uint64_t core_tcp_buffer = 8 * kMiB;  ///< Internet2 observatory hosts
+  double university_access_mbps = 90.0;
+  /// Endpoints are still PlanetLab machines: virtualization caps what any
+  /// path through them can carry, relayed or not.
+  double university_cap_median_mbps = 18.0;
+  double university_cap_sigma = 0.9;
+  double core_capacity_mbps = 900.0;
+  SimTime rtt_base = SimTime::milliseconds(4);
+  double rtt_scale_ms = 110.0;
+  double loss_median = 2e-5;
+  double loss_sigma = 1.0;
+  GridNoise noise;
+};
+
+class SyntheticGrid {
+ public:
+  SyntheticGrid(std::vector<HostProfile> hosts, GridNoise noise,
+                std::uint64_t seed);
+
+  /// The paper's PlanetLab-like pool (~142 hosts over ~70 sites).
+  [[nodiscard]] static SyntheticGrid planetlab(const PlanetLabConfig& config,
+                                               std::uint64_t seed);
+
+  /// 10 universities homed onto the 11 Abilene POPs, with depot-grade hosts
+  /// at every POP (paper section 4.2, second experiment).
+  [[nodiscard]] static SyntheticGrid abilene_core(
+      const AbileneCoreConfig& config, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const { return hosts_.size(); }
+  [[nodiscard]] const HostProfile& host(std::size_t i) const;
+  [[nodiscard]] std::vector<std::string> sites() const;
+  /// Indices of core (backbone depot) hosts.
+  [[nodiscard]] std::vector<std::size_t> core_hosts() const;
+
+  // ---- persistent ground truth -------------------------------------------
+  [[nodiscard]] SimTime rtt(std::size_t a, std::size_t b) const;
+  [[nodiscard]] double loss(std::size_t a, std::size_t b) const;
+  /// Long-run wide-area path bandwidth (no per-trial noise, no host load).
+  [[nodiscard]] Bandwidth base_path_bw(std::size_t a, std::size_t b) const;
+  /// What a measurement probe between the two hosts observes on average:
+  /// path bandwidth clipped by host caps and the probes' window ceiling.
+  [[nodiscard]] Bandwidth probe_bw(std::size_t a, std::size_t b) const;
+  /// Adapter feeding the NWS monitor.
+  [[nodiscard]] nws::TruthFn truth() const;
+
+  // ---- per-trial realizations ----------------------------------------------
+  /// Parameters of one direct TCP transfer of `bytes` from a to b right now
+  /// (samples load and cross-traffic noise from `trial`).
+  [[nodiscard]] flow::ConnectionParams direct_params(std::size_t a,
+                                                     std::size_t b,
+                                                     std::uint64_t bytes,
+                                                     Rng& trial) const;
+
+  /// Hop parameters of one relayed transfer along `path` (node sequence
+  /// source..sink).
+  [[nodiscard]] std::vector<flow::ConnectionParams> relay_params(
+      const std::vector<std::size_t>& path, std::uint64_t bytes,
+      Rng& trial) const;
+
+  [[nodiscard]] const GridNoise& noise() const { return noise_; }
+
+ private:
+  /// Stable pseudo-random factor for an unordered host-site pair.
+  [[nodiscard]] double pair_unit(std::size_t a, std::size_t b,
+                                 std::uint64_t salt) const;
+  [[nodiscard]] Bandwidth loaded_cap(const HostProfile& host,
+                                     Rng& trial) const;
+
+  std::vector<HostProfile> hosts_;
+  GridNoise noise_;
+  std::uint64_t seed_;
+  // Latency / loss generation parameters (set by the named constructors).
+  SimTime rtt_base_ = SimTime::milliseconds(6);
+  double rtt_scale_ms_ = 110.0;
+  double loss_median_ = 4e-5;
+  double loss_sigma_ = 1.2;
+};
+
+}  // namespace lsl::testbed

@@ -1,0 +1,67 @@
+#include "testbed/materialize.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace lsl::testbed {
+
+Materialized materialize_hosts(const SyntheticGrid& grid,
+                               const std::vector<std::size_t>& hosts,
+                               std::uint64_t seed) {
+  LSL_ASSERT_MSG(hosts.size() >= 2, "need at least two hosts");
+  Materialized out;
+  out.harness = std::make_unique<exp::SimHarness>(seed);
+  auto& h = *out.harness;
+
+  for (const std::size_t host : hosts) {
+    out.nodes.push_back(
+        h.add_host(grid.host(host).name, grid.host(host).site));
+  }
+
+  // Full mesh: one duplex link per unordered pair carrying that pair's
+  // end-to-end characteristics (bandwidth additionally clipped by the two
+  // hosts' capacity caps, standing in for the virtualized host path).
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = i + 1; j < hosts.size(); ++j) {
+      const std::size_t a = hosts[i];
+      const std::size_t b = hosts[j];
+      net::LinkConfig link;
+      const double mbps = std::min(
+          {grid.base_path_bw(a, b).megabits_per_second(),
+           grid.host(a).host_cap.megabits_per_second(),
+           grid.host(b).host_cap.megabits_per_second()});
+      link.rate = Bandwidth::mbps(std::max(mbps, 0.1));
+      link.propagation_delay = grid.rtt(a, b) / 2;
+      link.loss_rate = grid.loss(a, b);
+      link.queue_capacity_bytes = mib(1);
+      h.add_link(out.nodes[i], out.nodes[j], link);
+    }
+  }
+
+  h.deploy([&](net::NodeId node) {
+    session::DepotConfig cfg;
+    // node ids are assigned in order, so node indexes `hosts` directly.
+    const auto& profile = grid.host(hosts[node]);
+    cfg.tcp = tcp::TcpOptions{}.with_buffers(profile.tcp_buffer);
+    cfg.user_buffer_bytes = 16 * kMiB;
+    return cfg;
+  });
+
+  // Pin every ordered pair onto its direct link: shortest-delay routing
+  // must not silently reroute "direct" traffic through a third host.
+  auto& topo = h.topology();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i == j) {
+        continue;
+      }
+      net::Link* link = topo.link_between(out.nodes[i], out.nodes[j]);
+      LSL_ASSERT(link != nullptr);
+      topo.node(out.nodes[i]).set_route(out.nodes[j], link);
+    }
+  }
+  return out;
+}
+
+}  // namespace lsl::testbed

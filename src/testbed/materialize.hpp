@@ -1,0 +1,34 @@
+// Materialize a subset of a SyntheticGrid as a packet-level topology.
+//
+// The section 4.2 sweeps run on the flow-level model for speed; this
+// adapter rebuilds any handful of grid hosts as a real packet topology --
+// full mesh of per-pair links carrying each pair's RTT, base bandwidth
+// (clipped by both hosts' capacity caps) and loss, with each host's TCP
+// buffer size honored by its depot -- so tests can execute the same
+// scheduled-vs-direct comparison both ways and pin the model to the
+// simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exp/harness.hpp"
+#include "testbed/grid.hpp"
+
+namespace lsl::testbed {
+
+struct Materialized {
+  std::unique_ptr<exp::SimHarness> harness;
+  /// grid host index -> harness node id (parallel to the input list).
+  std::vector<net::NodeId> nodes;
+};
+
+/// Build a packet topology for `hosts` (grid indices). Every pair gets a
+/// pinned direct link; depot processes run everywhere with 16 MB user
+/// buffers and each host's own TCP buffer size.
+[[nodiscard]] Materialized materialize_hosts(
+    const SyntheticGrid& grid, const std::vector<std::size_t>& hosts,
+    std::uint64_t seed);
+
+}  // namespace lsl::testbed

@@ -1,0 +1,140 @@
+#include "testbed/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nws/monitor.hpp"
+#include "util/assert.hpp"
+
+namespace lsl::testbed {
+
+std::vector<double> SweepResult::all_speedups() const {
+  std::vector<double> out;
+  for (const auto& [size, xs] : speedups_by_size) {
+    out.insert(out.end(), xs.begin(), xs.end());
+  }
+  return out;
+}
+
+SweepResult run_speedup_sweep(const SyntheticGrid& grid,
+                              const SweepConfig& config, std::uint64_t seed) {
+  Rng rng(seed);
+  SweepResult result;
+
+  // 1. Measure the pool and build the scheduler's matrix.
+  nws::PerformanceMonitor monitor(grid.sites(), nws::NoiseModel{},
+                                  rng.fork(1).next_u64());
+  for (std::size_t epoch = 0; epoch < config.monitor_epochs; ++epoch) {
+    monitor.observe_epoch(grid.truth());
+  }
+  sched::CostMatrix matrix = monitor.build_matrix();
+  if (config.matrix_drift_sigma > 0.0) {
+    // Scheduling from stale information: the world moved since the matrix
+    // was built. Persistent per-pair drift, symmetric.
+    Rng drift_rng = rng.fork(2);
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+      for (std::size_t j = i + 1; j < matrix.size(); ++j) {
+        const double factor =
+            drift_rng.lognormal(0.0, config.matrix_drift_sigma);
+        if (matrix.cost(i, j) != sched::kInfiniteCost) {
+          matrix.set_cost(i, j, matrix.cost(i, j) * factor);
+          matrix.set_cost(j, i, matrix.cost(j, i) * factor);
+        }
+      }
+    }
+  }
+
+  sched::SchedulerOptions sched_options;
+  sched_options.epsilon = config.epsilon;
+  if (config.use_host_costs) {
+    sched_options.host_costs.resize(grid.size());
+    for (std::size_t h = 0; h < grid.size(); ++h) {
+      sched_options.host_costs[h] =
+          1.0 / grid.host(h).host_cap.megabits_per_second();
+    }
+  }
+  const sched::Scheduler scheduler(std::move(matrix), sched_options);
+
+  // 2. Find the pairs where the scheduler picked a depot path.
+  std::vector<std::size_t> endpoints = config.endpoints;
+  if (endpoints.empty()) {
+    endpoints.resize(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      endpoints[i] = i;
+    }
+  }
+  struct Case {
+    std::size_t src;
+    std::size_t dst;
+    std::vector<std::size_t> path;
+  };
+  std::vector<Case> cases;
+  std::size_t eligible_pairs = 0;
+  for (const std::size_t src : endpoints) {
+    for (const std::size_t dst : endpoints) {
+      if (src == dst || grid.host(src).site == grid.host(dst).site) {
+        continue;
+      }
+      ++eligible_pairs;
+      const auto decision = scheduler.route(src, dst);
+      if (decision.uses_depots()) {
+        cases.push_back(Case{src, dst, decision.path});
+      }
+    }
+  }
+  result.fraction_scheduled =
+      eligible_pairs > 0
+          ? static_cast<double>(cases.size()) /
+                static_cast<double>(eligible_pairs)
+          : 0.0;
+  rng.shuffle(cases);
+  if (config.max_cases > 0 && cases.size() > config.max_cases) {
+    cases.resize(config.max_cases);
+  }
+  result.scheduled_cases = cases.size();
+
+  double hop_sum = 0.0;
+  for (const auto& c : cases) {
+    hop_sum += static_cast<double>(c.path.size() - 2);
+  }
+  result.mean_path_hops =
+      cases.empty() ? 0.0 : hop_sum / static_cast<double>(cases.size());
+
+  // 3. Transfer sizes.
+  std::vector<std::uint64_t> sizes = config.sizes;
+  if (sizes.empty()) {
+    for (int n = 0; n < config.max_size_exp; ++n) {
+      sizes.push_back(mib(1) << n);
+    }
+  }
+
+  // 4. Measure: per case and size, average bandwidth over iterations for
+  // both modes, then Eq. 1.
+  for (const auto& c : cases) {
+    Rng case_rng = rng.fork(Rng::hash(grid.host(c.src).name) ^
+                            Rng::hash(grid.host(c.dst).name));
+    for (const std::uint64_t size : sizes) {
+      double direct_bw_sum = 0.0;
+      double sched_bw_sum = 0.0;
+      for (std::size_t it = 0; it < config.iterations; ++it) {
+        // Direct measurement.
+        const auto direct = grid.direct_params(c.src, c.dst, size, case_rng);
+        const SimTime t_direct = flow::transfer_time(direct, size);
+        direct_bw_sum += static_cast<double>(size) * 8.0 /
+                         t_direct.to_seconds();
+        // Scheduled (LSL) measurement.
+        const auto hops = grid.relay_params(c.path, size, case_rng);
+        flow::RelayPathParams path_params;
+        path_params.hops = hops;
+        const SimTime t_sched = flow::relay_transfer_time(path_params, size);
+        sched_bw_sum += static_cast<double>(size) * 8.0 /
+                        t_sched.to_seconds();
+        result.total_measurements += 2;
+      }
+      result.speedups_by_size[size].push_back(sched_bw_sum / direct_bw_sum);
+    }
+  }
+  return result;
+}
+
+}  // namespace lsl::testbed

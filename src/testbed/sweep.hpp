@@ -1,0 +1,59 @@
+// The paper's large-scale evaluation loop (section 4.2): measure the pool
+// with the NWS monitor, schedule with the epsilon-damped minimax scheduler,
+// and for every (source, destination) pair where the scheduler chose a
+// depot path, sample both scheduled and direct transfers of 2^n MB across
+// several iterations. Speedup per case follows Eq. 1:
+//     speedup = average scheduled bandwidth / average direct bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "flow/path_model.hpp"
+#include "sched/scheduler.hpp"
+#include "testbed/grid.hpp"
+
+namespace lsl::testbed {
+
+struct SweepConfig {
+  /// Transfer sizes: 2^n MB for n in [0, max_size_exp).
+  int max_size_exp = 7;
+  /// Explicit size list (bytes); when non-empty, overrides max_size_exp.
+  std::vector<std::uint64_t> sizes;
+  /// Measurements of each (pair, size, mode).
+  std::size_t iterations = 5;
+  /// Cap on scheduled cases measured (0 = unlimited).
+  std::size_t max_cases = 400;
+  /// NWS measurement epochs before scheduling.
+  std::size_t monitor_epochs = 20;
+  /// Scheduler edge-equivalence margin.
+  double epsilon = 0.10;
+  /// Persistent per-pair drift applied to the matrix after measurement;
+  /// emulates scheduling from stale information (0 = fresh).
+  double matrix_drift_sigma = 0.0;
+  /// Restrict sources/destinations to these hosts (empty = all).
+  std::vector<std::size_t> endpoints;
+  /// Host-throughput scheduler extension (paper future work).
+  bool use_host_costs = false;
+};
+
+struct SweepResult {
+  /// Per transfer size: the per-case speedups (one entry per scheduled
+  /// (src, dst) pair).
+  std::map<std::uint64_t, std::vector<double>> speedups_by_size;
+  /// Fraction of eligible ordered pairs the scheduler routed via depots.
+  double fraction_scheduled = 0.0;
+  std::size_t scheduled_cases = 0;
+  std::size_t total_measurements = 0;
+  /// Mean depot-path hop count among scheduled cases.
+  double mean_path_hops = 0.0;
+
+  [[nodiscard]] std::vector<double> all_speedups() const;
+};
+
+[[nodiscard]] SweepResult run_speedup_sweep(const SyntheticGrid& grid,
+                                            const SweepConfig& config,
+                                            std::uint64_t seed);
+
+}  // namespace lsl::testbed

@@ -1,0 +1,35 @@
+// Lightweight always-on assertion macros for simulation invariants.
+//
+// Simulation code is only trustworthy if its invariants are checked in every
+// build type, so these do not compile away in release builds. They are used
+// for *internal* invariants; user-facing argument validation throws
+// std::invalid_argument instead.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lsl::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "LSL_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace lsl::detail
+
+#define LSL_ASSERT(expr)                                             \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::lsl::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                \
+  } while (false)
+
+#define LSL_ASSERT_MSG(expr, msg)                                 \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::lsl::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+    }                                                             \
+  } while (false)

@@ -1,0 +1,67 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lsl {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void init_log_from_env() {
+  const char* v = std::getenv("LSL_LOG");
+  if (v == nullptr) {
+    return;
+  }
+  if (std::strcmp(v, "trace") == 0) {
+    g_level = LogLevel::kTrace;
+  } else if (std::strcmp(v, "debug") == 0) {
+    g_level = LogLevel::kDebug;
+  } else if (std::strcmp(v, "info") == 0) {
+    g_level = LogLevel::kInfo;
+  } else if (std::strcmp(v, "warn") == 0) {
+    g_level = LogLevel::kWarn;
+  } else if (std::strcmp(v, "error") == 0) {
+    g_level = LogLevel::kError;
+  } else if (std::strcmp(v, "off") == 0) {
+    g_level = LogLevel::kOff;
+  }
+}
+
+void log_emit(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) {
+    return;
+  }
+  std::fprintf(stderr, "[%s] ", log_level_name(level));
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace lsl

@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded by design (discrete-event), so the logger
+// keeps no locks. Level is a process-global that benches set from the
+// environment variable LSL_LOG (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace lsl {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Current global threshold; messages below it are suppressed.
+[[nodiscard]] LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Initialize the level from the LSL_LOG environment variable (default warn).
+void init_log_from_env();
+
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
+/// printf-style emission; prepends level tag. Not for hot paths when
+/// suppressed -- guard with lsl::log_enabled() or the LSL_LOG_* macros.
+void log_emit(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+[[nodiscard]] inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+}  // namespace lsl
+
+#define LSL_LOG_AT(lvl, ...)          \
+  do {                                \
+    if (::lsl::log_enabled(lvl)) {    \
+      ::lsl::log_emit(lvl, __VA_ARGS__); \
+    }                                 \
+  } while (false)
+
+#define LSL_TRACE(...) LSL_LOG_AT(::lsl::LogLevel::kTrace, __VA_ARGS__)
+#define LSL_DEBUG(...) LSL_LOG_AT(::lsl::LogLevel::kDebug, __VA_ARGS__)
+#define LSL_INFO(...) LSL_LOG_AT(::lsl::LogLevel::kInfo, __VA_ARGS__)
+#define LSL_WARN(...) LSL_LOG_AT(::lsl::LogLevel::kWarn, __VA_ARGS__)
+#define LSL_ERROR(...) LSL_LOG_AT(::lsl::LogLevel::kError, __VA_ARGS__)

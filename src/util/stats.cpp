@@ -1,0 +1,94 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace lsl {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const { return min_; }
+
+double OnlineStats::max() const { return max_; }
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  LSL_ASSERT_MSG(!sorted.empty(), "percentile of empty sample");
+  LSL_ASSERT(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double percentile(std::span<const double> xs, double q) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return percentile_sorted(copy, q);
+}
+
+double mean_of(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double median_of(std::span<const double> xs) { return percentile(xs, 0.5); }
+
+BoxStats BoxStats::of(std::span<const double> xs) {
+  LSL_ASSERT_MSG(!xs.empty(), "box stats of empty sample");
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  BoxStats b;
+  b.count = copy.size();
+  b.min = copy.front();
+  b.q25 = percentile_sorted(copy, 0.25);
+  b.median = percentile_sorted(copy, 0.5);
+  b.q75 = percentile_sorted(copy, 0.75);
+  b.max = copy.back();
+  return b;
+}
+
+double percentile_rank_below(std::span<const double> xs, double threshold) {
+  LSL_ASSERT_MSG(!xs.empty(), "percentile rank of empty sample");
+  std::size_t below = 0;
+  for (const double x : xs) {
+    if (x < threshold) {
+      ++below;
+    }
+  }
+  return 100.0 * static_cast<double>(below) / static_cast<double>(xs.size());
+}
+
+}  // namespace lsl

@@ -1,0 +1,61 @@
+// Descriptive statistics used by the experiment harness: online accumulation,
+// percentiles, and the five-number box summaries the paper's Figures 10 and 11
+// report.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lsl {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< Sample variance (n-1).
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile with linear interpolation between order statistics,
+/// q in [0, 1]. Input need not be sorted; a sorted copy is made.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Percentile over data the caller has already sorted ascending.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double q);
+
+[[nodiscard]] double mean_of(std::span<const double> xs);
+[[nodiscard]] double median_of(std::span<const double> xs);
+
+/// Five-number summary for box-and-whisker figures (paper Fig 11).
+struct BoxStats {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] static BoxStats of(std::span<const double> xs);
+};
+
+/// Fraction of values strictly below `threshold`, as a percentile rank in
+/// [0, 100]. The paper's crossover table reports the percentile at which
+/// speedup becomes greater than 1.
+[[nodiscard]] double percentile_rank_below(std::span<const double> xs,
+                                           double threshold);
+
+}  // namespace lsl

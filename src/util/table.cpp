@@ -1,0 +1,104 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace lsl {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LSL_ASSERT_MSG(cells.size() == header_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) {
+        os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::string rule;
+  for (const std::size_t w : widths) {
+    rule += "  " + std::string(w, '-');
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        os << ',';
+      }
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+FigureData::FigureData(std::string title, std::string x_label,
+                       std::vector<std::string> series_labels)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      series_labels_(std::move(series_labels)) {}
+
+void FigureData::add_point(double x, std::vector<double> ys) {
+  LSL_ASSERT_MSG(ys.size() == series_labels_.size(),
+                 "point arity must match series count");
+  points_.emplace_back(x, std::move(ys));
+}
+
+void FigureData::print(std::ostream& os) const {
+  os << "# " << title_ << '\n';
+  os << x_label_;
+  for (const auto& s : series_labels_) {
+    os << ',' << s;
+  }
+  os << '\n';
+  for (const auto& [x, ys] : points_) {
+    os << Table::num(x, 6);
+    for (const double y : ys) {
+      os << ',' << Table::num(y, 6);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace lsl

@@ -1,0 +1,27 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lsl {
+
+SimTime SimTime::from_seconds(double s) {
+  return SimTime{static_cast<std::int64_t>(std::llround(s * 1e9))};
+}
+
+std::string SimTime::str() const {
+  char buf[64];
+  const double abs_ns = std::abs(static_cast<double>(ns_));
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_seconds());
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fms", to_milliseconds());
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns_) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+}  // namespace lsl

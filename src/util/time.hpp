@@ -1,0 +1,102 @@
+// Simulation time: a strong integer-nanosecond type.
+//
+// All simulator state advances on an int64 nanosecond clock so that runs are
+// bit-for-bit deterministic across platforms (no floating-point event times).
+// Conversions to/from floating-point seconds exist only at the edges
+// (configuration and reporting).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace lsl {
+
+/// A point in simulated time or a duration, in integer nanoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] static constexpr SimTime nanoseconds(std::int64_t v) {
+    return SimTime{v};
+  }
+  [[nodiscard]] static constexpr SimTime microseconds(std::int64_t v) {
+    return SimTime{v * 1'000};
+  }
+  [[nodiscard]] static constexpr SimTime milliseconds(std::int64_t v) {
+    return SimTime{v * 1'000'000};
+  }
+  [[nodiscard]] static constexpr SimTime seconds(std::int64_t v) {
+    return SimTime{v * 1'000'000'000};
+  }
+  /// Conversion from floating-point seconds; rounds to the nearest tick.
+  [[nodiscard]] static SimTime from_seconds(double s);
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+  [[nodiscard]] constexpr double to_milliseconds() const {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+
+  /// Human-readable rendering, e.g. "12.345ms" or "3.2s".
+  [[nodiscard]] std::string str() const;
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime rhs) {
+    ns_ += rhs.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) {
+    ns_ -= rhs.ns_;
+    return *this;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.ns_ + b.ns_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.ns_ - b.ns_};
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime{a.ns_ * k};
+  }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) {
+    return SimTime{a.ns_ * k};
+  }
+  friend constexpr std::int64_t operator/(SimTime a, SimTime b) {
+    return a.ns_ / b.ns_;
+  }
+  friend constexpr SimTime operator/(SimTime a, std::int64_t k) {
+    return SimTime{a.ns_ / k};
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+namespace time_literals {
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return SimTime::nanoseconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime::microseconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime::milliseconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return SimTime::seconds(static_cast<std::int64_t>(v));
+}
+}  // namespace time_literals
+
+}  // namespace lsl

@@ -1,0 +1,55 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace lsl {
+
+SimTime Bandwidth::transmit_time(std::uint64_t bytes) const {
+  LSL_ASSERT_MSG(bps_ > 0.0, "transmit over zero-rate link");
+  const double seconds = static_cast<double>(bytes) * 8.0 / bps_;
+  return SimTime::from_seconds(seconds);
+}
+
+std::string Bandwidth::str() const {
+  char buf[64];
+  if (bps_ >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fGbit/s", bps_ * 1e-9);
+  } else if (bps_ >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fMbit/s", bps_ * 1e-6);
+  } else if (bps_ >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2fkbit/s", bps_ * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fbit/s", bps_);
+  }
+  return buf;
+}
+
+Bandwidth throughput_of(std::uint64_t bytes, SimTime elapsed) {
+  if (elapsed <= SimTime::zero()) {
+    return Bandwidth{0.0};
+  }
+  return Bandwidth{static_cast<double>(bytes) * 8.0 / elapsed.to_seconds()};
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kGiB && bytes % kGiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lluGB",
+                  static_cast<unsigned long long>(bytes / kGiB));
+  } else if (bytes >= kMiB && bytes % kMiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lluMB",
+                  static_cast<unsigned long long>(bytes / kMiB));
+  } else if (bytes >= kKiB && bytes % kKiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lluKB",
+                  static_cast<unsigned long long>(bytes / kKiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace lsl

@@ -1,0 +1,80 @@
+// Bandwidth and data-size units.
+//
+// Bandwidth is carried as a strong type wrapping bits/second (double: rates
+// are configuration values and report values, never event-ordering state).
+// Data sizes are plain std::uint64_t bytes with named constructors.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace lsl {
+
+/// Link or application data rate in bits per second.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  constexpr explicit Bandwidth(double bits_per_second)
+      : bps_(bits_per_second) {}
+
+  [[nodiscard]] static constexpr Bandwidth bps(double v) {
+    return Bandwidth{v};
+  }
+  [[nodiscard]] static constexpr Bandwidth kbps(double v) {
+    return Bandwidth{v * 1e3};
+  }
+  [[nodiscard]] static constexpr Bandwidth mbps(double v) {
+    return Bandwidth{v * 1e6};
+  }
+  [[nodiscard]] static constexpr Bandwidth gbps(double v) {
+    return Bandwidth{v * 1e9};
+  }
+
+  [[nodiscard]] constexpr double bits_per_second() const { return bps_; }
+  [[nodiscard]] constexpr double megabits_per_second() const {
+    return bps_ * 1e-6;
+  }
+  [[nodiscard]] constexpr double bytes_per_second() const {
+    return bps_ / 8.0;
+  }
+
+  /// Time to serialize `bytes` onto a link at this rate.
+  [[nodiscard]] SimTime transmit_time(std::uint64_t bytes) const;
+
+  [[nodiscard]] std::string str() const;
+
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+
+  friend constexpr Bandwidth operator*(Bandwidth b, double k) {
+    return Bandwidth{b.bps_ * k};
+  }
+  friend constexpr Bandwidth operator*(double k, Bandwidth b) {
+    return Bandwidth{b.bps_ * k};
+  }
+  friend constexpr Bandwidth operator/(Bandwidth b, double k) {
+    return Bandwidth{b.bps_ / k};
+  }
+
+ private:
+  double bps_ = 0.0;
+};
+
+/// Named byte-size constructors (binary units: the paper's "MB" sizes are
+/// power-of-two megabytes: 2^n MB transfers).
+constexpr std::uint64_t kKiB = 1024ULL;
+constexpr std::uint64_t kMiB = 1024ULL * 1024ULL;
+constexpr std::uint64_t kGiB = 1024ULL * 1024ULL * 1024ULL;
+
+[[nodiscard]] constexpr std::uint64_t kib(std::uint64_t n) { return n * kKiB; }
+[[nodiscard]] constexpr std::uint64_t mib(std::uint64_t n) { return n * kMiB; }
+
+/// Observed throughput for `bytes` transferred in `elapsed`.
+[[nodiscard]] Bandwidth throughput_of(std::uint64_t bytes, SimTime elapsed);
+
+/// Render a byte count like "64MB" / "512KB".
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace lsl

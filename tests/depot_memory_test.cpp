@@ -1,0 +1,100 @@
+// Depot-wide relay memory pool: concurrent sessions share a bounded budget,
+// and admission fails when the pool cannot meet the minimum grant.
+#include <gtest/gtest.h>
+
+#include "exp/harness.hpp"
+
+namespace lsl::session {
+namespace {
+
+using namespace lsl::time_literals;
+using exp::SimHarness;
+
+struct MemNet {
+  SimHarness h{71};
+  net::NodeId a, d, b;
+
+  explicit MemNet(std::uint64_t pool, std::uint64_t per_session) {
+    a = h.add_host("a");
+    d = h.add_host("d");
+    b = h.add_host("b");
+    net::LinkConfig fast;
+    fast.rate = Bandwidth::mbps(400);
+    fast.propagation_delay = 2_ms;
+    net::LinkConfig slow = fast;
+    slow.rate = Bandwidth::mbps(20);  // downstream bottleneck keeps
+                                      // sessions alive long enough to pile up
+    h.add_link(a, d, fast);
+    h.add_link(d, b, slow);
+    h.deploy([&](net::NodeId id) {
+      DepotConfig cfg;
+      cfg.tcp = tcp::TcpOptions{}.with_buffers(kib(256));
+      cfg.user_buffer_bytes = per_session;
+      if (id == d) {
+        cfg.total_user_memory_bytes = pool;
+      }
+      return cfg;
+    });
+  }
+
+  SimHarness::Handle launch_one() {
+    TransferSpec spec;
+    spec.dst = b;
+    spec.via = {d};
+    spec.payload_bytes = mib(2);
+    spec.tcp = tcp::TcpOptions{}.with_buffers(kib(256));
+    return h.launch(a, spec);
+  }
+};
+
+TEST(DepotMemoryTest, UnlimitedPoolAcceptsEverything) {
+  MemNet net(/*pool=*/0, /*per_session=*/mib(1));
+  for (int i = 0; i < 6; ++i) {
+    net.launch_one();
+  }
+  EXPECT_EQ(net.h.wait_all(600_s), 0u);
+  EXPECT_EQ(net.h.depot(net.d).stats().sessions_refused, 0u);
+  EXPECT_EQ(net.h.depot(net.d).stats().sessions_relayed, 6u);
+}
+
+TEST(DepotMemoryTest, PoolExhaustionRefusesLateSessions) {
+  // Pool of 2 MB, 1 MB per session: the first two concurrent relays claim
+  // everything; the rest are refused while those run.
+  MemNet net(/*pool=*/mib(2), /*per_session=*/mib(1));
+  for (int i = 0; i < 6; ++i) {
+    net.launch_one();
+  }
+  net.h.wait_all(600_s);
+  const auto& stats = net.h.depot(net.d).stats();
+  EXPECT_GT(stats.sessions_refused, 0u);
+  EXPECT_GE(stats.sessions_relayed, 2u);
+}
+
+TEST(DepotMemoryTest, MemoryReleasedAfterSessionEnds) {
+  MemNet net(/*pool=*/mib(1), /*per_session=*/mib(1));
+  const auto first = net.launch_one();
+  (void)net.h.wait(first, 600_s);
+  net.h.simulator().run(net.h.simulator().now() + 5_s);
+  // Pool free again: the next session must be admitted.
+  const auto second = net.launch_one();
+  const auto r = net.h.wait(second, 600_s);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(net.h.depot(net.d).stats().sessions_refused, 0u);
+}
+
+TEST(DepotMemoryTest, PartialGrantStillRelaysCorrectly) {
+  // 1.5 MB pool, 1 MB per session: the second concurrent session gets a
+  // reduced (0.5 MB) grant but must still deliver exactly.
+  MemNet net(/*pool=*/mib(1) + kib(512), /*per_session=*/mib(1));
+  const auto h1 = net.launch_one();
+  const auto h2 = net.launch_one();
+  net.h.wait_all(600_s);
+  EXPECT_TRUE(net.h.outcome(h1).completed);
+  EXPECT_TRUE(net.h.outcome(h2).completed);
+  EXPECT_EQ(net.h.outcome(h1).bytes, mib(2));
+  EXPECT_EQ(net.h.outcome(h2).bytes, mib(2));
+  EXPECT_EQ(net.h.depot(net.d).stats().sessions_refused, 0u);
+}
+
+}  // namespace
+}  // namespace lsl::session

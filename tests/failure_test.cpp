@@ -1,0 +1,298 @@
+// Failure injection: the protocol stack and the session layer must survive
+// link brownouts, blackouts, peer aborts, and depot refusals without
+// wedging, leaking connections, or mis-accounting bytes.
+#include <gtest/gtest.h>
+
+#include "exp/harness.hpp"
+#include "fixtures.hpp"
+#include "lsl/endpoint.hpp"
+#include <cstring>
+#include <memory>
+
+namespace lsl {
+namespace {
+
+using namespace lsl::time_literals;
+using testing::TwoNodeNet;
+
+net::LinkConfig wan_link(double mbit, SimTime one_way) {
+  net::LinkConfig cfg;
+  cfg.rate = Bandwidth::mbps(mbit);
+  cfg.propagation_delay = one_way;
+  cfg.queue_capacity_bytes = mib(4);
+  return cfg;
+}
+
+TEST(FailureTest, TransferSurvivesLinkBrownout) {
+  // Mid-transfer, the link degrades to 30% loss for two seconds, then
+  // recovers. The transfer must complete exactly.
+  TwoNodeNet net(wan_link(50, 10_ms));
+  constexpr net::Port kPort = 5001;
+  std::uint64_t received = 0;
+  bool done = false;
+  net.stack_b->listen(kPort, [&](tcp::Connection::Ptr conn) {
+    conn->on_readable = [&, c = conn.get()] {
+      received += c->read(c->readable_bytes()).n;
+    };
+    conn->on_eof = [&, c = conn.get()] {
+      received += c->read(c->readable_bytes()).n;
+      done = true;
+      c->close();
+    };
+  });
+  auto client = net.stack_a->connect(net.b, kPort,
+                                     tcp::TcpOptions{}.with_buffers(mib(1)));
+  auto queued = std::make_shared<std::uint64_t>(0);
+  const auto pump = [c = client.get(), queued] {
+    while (*queued < mib(4)) {
+      const std::uint64_t n = c->write_synthetic(mib(4) - *queued);
+      *queued += n;
+      if (n == 0) {
+        return;
+      }
+    }
+    c->close();
+  };
+  client->on_connected = pump;
+  client->on_writable = pump;
+  // Brownout window: both directions of the a<->b pair are links 0 and 1.
+  net.sim.schedule_at(1_s, [&] {
+    net.topo->link(0).set_loss_rate(0.30);
+    net.topo->link(1).set_loss_rate(0.30);
+  });
+  net.sim.schedule_at(3_s, [&] {
+    net.topo->link(0).set_loss_rate(0.0);
+    net.topo->link(1).set_loss_rate(0.0);
+  });
+  net.sim.run(600_s);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(received, mib(4));
+}
+
+TEST(FailureTest, TransferSurvivesTotalBlackout) {
+  // A complete outage (100% loss) long enough to trigger repeated RTO
+  // backoff; connectivity returns and the transfer finishes.
+  TwoNodeNet net(wan_link(50, 10_ms));
+  constexpr net::Port kPort = 5001;
+  std::uint64_t received = 0;
+  bool done = false;
+  net.stack_b->listen(kPort, [&](tcp::Connection::Ptr conn) {
+    conn->on_readable = [&, c = conn.get()] {
+      received += c->read(c->readable_bytes()).n;
+    };
+    conn->on_eof = [&, c = conn.get()] {
+      received += c->read(c->readable_bytes()).n;
+      done = true;
+      c->close();
+    };
+  });
+  auto client = net.stack_a->connect(net.b, kPort,
+                                     tcp::TcpOptions{}.with_buffers(mib(1)));
+  client->on_connected = [c = client.get()] {
+    c->write_synthetic(mib(1));
+    c->close();
+  };
+  net.sim.schedule_at(60_ms, [&] {
+    net.topo->link(0).set_loss_rate(1.0);
+    net.topo->link(1).set_loss_rate(1.0);
+  });
+  net.sim.schedule_at(20_s, [&] {
+    net.topo->link(0).set_loss_rate(0.0);
+    net.topo->link(1).set_loss_rate(0.0);
+  });
+  net.sim.run(600_s);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(received, mib(1));
+  EXPECT_GT(client->stats().timeouts, 1u);
+}
+
+TEST(FailureTest, ReceiverAbortMidTransferClosesSender) {
+  TwoNodeNet net(wan_link(100, 5_ms));
+  constexpr net::Port kPort = 5002;
+  tcp::Connection::Ptr server;
+  auto consumed = std::make_shared<std::uint64_t>(0);
+  net.stack_b->listen(kPort, [&, consumed](tcp::Connection::Ptr conn) {
+    server = conn;
+    conn->on_readable = [consumed, c = conn.get()] {
+      *consumed += c->read(c->readable_bytes()).n;
+      if (*consumed > 100'000) {
+        c->abort();  // pull the plug mid-stream
+      }
+    };
+  });
+  bool sender_closed = false;
+  auto client = net.stack_a->connect(net.b, kPort,
+                                     tcp::TcpOptions{}.with_buffers(mib(1)));
+  client->on_connected = [c = client.get()] { c->write_synthetic(mib(2)); };
+  client->on_closed = [&] { sender_closed = true; };
+  net.sim.run(60_s);
+  EXPECT_TRUE(sender_closed);
+  EXPECT_EQ(client->state(), tcp::TcpState::kDead);
+  EXPECT_EQ(net.stack_a->open_connections(), 0u);
+}
+
+TEST(FailureTest, RelaySessionDiesCleanlyWhenDepotRefuses) {
+  exp::SimHarness h(31);
+  const auto a = h.add_host("a");
+  const auto d = h.add_host("d");
+  const auto b = h.add_host("b");
+  h.add_link(a, d, wan_link(100, 5_ms));
+  h.add_link(d, b, wan_link(100, 5_ms));
+  session::DepotConfig cfg;
+  cfg.tcp = tcp::TcpOptions{}.with_buffers(kib(256));
+  cfg.max_sessions = 0;  // depot d refuses everything
+  h.deploy([&](net::NodeId id) {
+    auto c = cfg;
+    c.max_sessions = (id == d) ? 0 : 64;
+    return c;
+  });
+  session::TransferSpec spec;
+  spec.dst = b;
+  spec.via = {d};
+  spec.payload_bytes = mib(1);
+  spec.tcp = tcp::TcpOptions{}.with_buffers(kib(256));
+  const auto r = h.run_transfer(a, spec, 30_s);
+  EXPECT_FALSE(r.completed);
+  EXPECT_GT(h.depot(d).stats().sessions_refused, 0u);
+  // Nothing leaks: the refused upstream connection is gone on both ends.
+  h.simulator().run(h.simulator().now() + 5_s);
+  EXPECT_EQ(h.depot(d).active_sessions(), 0u);
+}
+
+TEST(FailureTest, GarbageHeaderAbortsSession) {
+  // A client that speaks gibberish at the LSL port gets reset, and the
+  // depot carries no residue.
+  exp::SimHarness h(32);
+  const auto a = h.add_host("a");
+  const auto d = h.add_host("d");
+  h.add_link(a, d, wan_link(100, 5_ms));
+  session::DepotConfig cfg;
+  cfg.tcp = tcp::TcpOptions{}.with_buffers(kib(256));
+  h.deploy(cfg);
+
+  bool closed = false;
+  auto conn = h.stack(a).connect(d, session::kLslPort,
+                                 tcp::TcpOptions{}.with_buffers(kib(256)));
+  conn->on_connected = [c = conn.get()] {
+    const char junk[] = "GET / HTTP/1.0\r\n\r\n";
+    std::vector<std::byte> bytes(sizeof junk - 1);
+    std::memcpy(bytes.data(), junk, bytes.size());
+    c->write_bytes(bytes);
+  };
+  conn->on_closed = [&] { closed = true; };
+  h.simulator().run(h.simulator().now() + 30_s);
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(h.depot(d).active_sessions(), 0u);
+}
+
+TEST(FailureTest, BrownoutOnRelayPathStillDeliversExactly) {
+  exp::SimHarness h(33);
+  const auto a = h.add_host("a");
+  const auto d = h.add_host("d");
+  const auto b = h.add_host("b");
+  h.add_link(a, d, wan_link(50, 10_ms));
+  h.add_link(d, b, wan_link(50, 10_ms));
+  session::DepotConfig cfg;
+  cfg.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  cfg.user_buffer_bytes = mib(2);
+  h.deploy(cfg);
+  session::TransferSpec spec;
+  spec.dst = b;
+  spec.via = {d};
+  spec.payload_bytes = mib(4);
+  spec.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  const auto handle = h.launch(a, spec);
+  // Degrade the depot->b leg (links 2,3) mid-flight.
+  h.simulator().schedule_at(1_s, [&] {
+    h.topology().link(2).set_loss_rate(0.25);
+    h.topology().link(3).set_loss_rate(0.25);
+  });
+  h.simulator().schedule_at(4_s, [&] {
+    h.topology().link(2).set_loss_rate(0.0);
+    h.topology().link(3).set_loss_rate(0.0);
+  });
+  const auto r = h.wait(handle, 600_s);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.bytes, mib(4));
+}
+
+
+TEST(FailureTest, DepotShutdownMidRelayResetsSessionsCleanly) {
+  exp::SimHarness h(34);
+  const auto a = h.add_host("a");
+  const auto d = h.add_host("d");
+  const auto b = h.add_host("b");
+  h.add_link(a, d, wan_link(50, 10_ms));
+  h.add_link(d, b, wan_link(50, 10_ms));
+  session::DepotConfig cfg;
+  cfg.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  h.deploy(cfg);
+  session::TransferSpec spec;
+  spec.dst = b;
+  spec.via = {d};
+  spec.payload_bytes = mib(8);
+  spec.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  const auto handle = h.launch(a, spec);
+  // Kill the depot mid-transfer.
+  h.simulator().schedule_at(500_ms, [&] { h.depot(d).shutdown(); });
+  const auto r = h.wait(handle, 60_s);
+  EXPECT_FALSE(r.completed);
+  h.simulator().run(h.simulator().now() + 10_s);
+  EXPECT_EQ(h.depot(d).active_sessions(), 0u);
+  // Every stack quiesces: the RSTs tore everything down.
+  for (const auto node : {a, d, b}) {
+    EXPECT_EQ(h.stack(node).open_connections(), 0u) << "node " << node;
+  }
+}
+
+TEST(FailureTest, DepotRestartAcceptsNewSessions) {
+  exp::SimHarness h(35);
+  const auto a = h.add_host("a");
+  const auto d = h.add_host("d");
+  const auto b = h.add_host("b");
+  h.add_link(a, d, wan_link(100, 5_ms));
+  h.add_link(d, b, wan_link(100, 5_ms));
+  session::DepotConfig cfg;
+  cfg.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  h.deploy(cfg);
+  h.depot(d).shutdown();
+  h.simulator().run(h.simulator().now() + 1_s);
+  EXPECT_FALSE(h.depot(d).running());
+  h.depot(d).restart();
+  session::TransferSpec spec;
+  spec.dst = b;
+  spec.via = {d};
+  spec.payload_bytes = mib(1);
+  spec.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  const auto r = h.run_transfer(a, spec);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.bytes, mib(1));
+}
+
+TEST(FailureTest, ShutdownDropsAsyncStore) {
+  exp::SimHarness h(36);
+  const auto a = h.add_host("a");
+  const auto d = h.add_host("d");
+  const auto b = h.add_host("b");
+  h.add_link(a, d, wan_link(100, 5_ms));
+  h.add_link(d, b, wan_link(100, 5_ms));
+  session::DepotConfig cfg;
+  cfg.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  h.deploy(cfg);
+  session::TransferSpec spec;
+  spec.dst = b;
+  spec.via = {d};
+  spec.async_session = true;
+  spec.payload_bytes = kib(512);
+  spec.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  auto source = session::LslSource::start(h.stack(a), spec, h.rng());
+  const auto id = source->session_id();
+  h.simulator().run(h.simulator().now() + 30_s);
+  ASSERT_TRUE(h.depot(d).stored_bytes(id).has_value());
+  h.depot(d).shutdown();
+  EXPECT_FALSE(h.depot(d).stored_bytes(id).has_value());
+  EXPECT_EQ(h.depot(d).store_bytes_used(), 0u);
+}
+
+}  // namespace
+}  // namespace lsl

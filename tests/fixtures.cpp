@@ -1,0 +1,67 @@
+#include "fixtures.hpp"
+
+#include <functional>
+
+namespace lsl::testing {
+
+TransferResult run_bulk_transfer(sim::Simulator& sim, tcp::TcpStack& src,
+                                 tcp::TcpStack& dst, std::uint64_t bytes,
+                                 const tcp::TcpOptions& opts,
+                                 SimTime deadline) {
+  constexpr net::Port kPort = 5001;
+  TransferResult result;
+
+  // Receiver: drain everything as it arrives; record completion at EOF.
+  std::uint64_t received = 0;
+  tcp::Connection::Ptr server_conn;
+  dst.listen(kPort, [&](tcp::Connection::Ptr conn) {
+    server_conn = conn;
+    conn->on_readable = [&, c = conn.get()] {
+      received += c->read(c->readable_bytes()).n;
+    };
+    conn->on_eof = [&, c = conn.get()] {
+      received += c->read(c->readable_bytes()).n;
+      result.completed = true;
+      result.elapsed = sim.now();  // adjusted to a duration below
+      c->close();
+    };
+  }, opts);
+
+  // Sender: keep the socket buffer topped up, close when all queued.
+  const SimTime start = sim.now();
+  auto client = src.connect(dst.node_id(), kPort, opts);
+  std::uint64_t queued = 0;
+  const auto pump = [&, c = client.get()] {
+    while (queued < bytes) {
+      const std::uint64_t n = c->write_synthetic(bytes - queued);
+      queued += n;
+      if (n == 0) {
+        break;
+      }
+    }
+    if (queued == bytes) {
+      c->close();
+    }
+  };
+  client->on_connected = pump;
+  client->on_writable = pump;
+
+  // Run until the receiver sees EOF (plus close handshake drains).
+  while (sim.now() < deadline && !result.completed) {
+    if (!sim.step()) {
+      break;
+    }
+  }
+  // Let the teardown finish quietly.
+  sim.run(sim.now() + SimTime::seconds(2));
+
+  result.bytes_delivered = received;
+  result.elapsed =
+      (result.completed ? result.elapsed : sim.now()) - start;
+  result.sender_stats = client->stats();
+  result.goodput = throughput_of(received, result.elapsed);
+  dst.stop_listening(kPort);
+  return result;
+}
+
+}  // namespace lsl::testing

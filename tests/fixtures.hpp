@@ -1,0 +1,52 @@
+// Shared test fixtures: small topologies and a bulk-transfer driver used by
+// the TCP and LSL test suites.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/stack.hpp"
+#include "util/units.hpp"
+
+namespace lsl::testing {
+
+/// Two hosts joined by one duplex link.
+struct TwoNodeNet {
+  sim::Simulator sim;
+  std::unique_ptr<net::Topology> topo;
+  net::NodeId a = 0;
+  net::NodeId b = 0;
+  std::unique_ptr<tcp::TcpStack> stack_a;
+  std::unique_ptr<tcp::TcpStack> stack_b;
+
+  explicit TwoNodeNet(const net::LinkConfig& link, std::uint64_t seed = 42) {
+    topo = std::make_unique<net::Topology>(sim, seed);
+    a = topo->add_node("a", "site-a");
+    b = topo->add_node("b", "site-b");
+    topo->add_duplex_link(a, b, link);
+    topo->compute_routes();
+    stack_a = std::make_unique<tcp::TcpStack>(*topo, a);
+    stack_b = std::make_unique<tcp::TcpStack>(*topo, b);
+  }
+};
+
+/// Result of driving a one-directional bulk transfer to completion.
+struct TransferResult {
+  bool completed = false;
+  std::uint64_t bytes_delivered = 0;
+  SimTime elapsed = SimTime::zero();
+  Bandwidth goodput;
+  tcp::ConnectionStats sender_stats;
+};
+
+/// Sends `bytes` from stack_src to a sink listening on stack_dst and runs the
+/// simulation until the receiver sees EOF (or `deadline` passes).
+TransferResult run_bulk_transfer(sim::Simulator& sim, tcp::TcpStack& src,
+                                 tcp::TcpStack& dst, std::uint64_t bytes,
+                                 const tcp::TcpOptions& opts,
+                                 SimTime deadline = SimTime::seconds(600));
+
+}  // namespace lsl::testing

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "fixtures.hpp"
+#include "flow/path_model.hpp"
+#include "flow/tcp_model.hpp"
+
+namespace lsl::flow {
+namespace {
+
+using namespace lsl::time_literals;
+
+TEST(TcpModelTest, SteadyRateWindowLimited) {
+  ConnectionParams p;
+  p.rtt = 80_ms;
+  p.bottleneck = Bandwidth::gbps(1);
+  p.window_bytes = 64 * kKiB;
+  EXPECT_NEAR(steady_rate(p).megabits_per_second(), 6.55, 0.05);
+}
+
+TEST(TcpModelTest, SteadyRateBottleneckLimited) {
+  ConnectionParams p;
+  p.rtt = 10_ms;
+  p.bottleneck = Bandwidth::mbps(50);
+  p.window_bytes = mib(8);
+  EXPECT_DOUBLE_EQ(steady_rate(p).megabits_per_second(), 50.0);
+}
+
+TEST(TcpModelTest, SteadyRateLossLimited) {
+  ConnectionParams p;
+  p.rtt = 70_ms;
+  p.bottleneck = Bandwidth::gbps(1);
+  p.window_bytes = mib(8);
+  p.loss_rate = 2e-4;
+  const double expected =
+      kMathisConstant * 1460 * 8 / (0.07 * std::sqrt(2e-4)) / 1e6;
+  EXPECT_NEAR(steady_rate(p).megabits_per_second(), expected, 0.1);
+}
+
+TEST(TcpModelTest, SteadyRateScalesInverselyWithRtt) {
+  ConnectionParams fast;
+  fast.rtt = 35_ms;
+  fast.window_bytes = 64 * kKiB;
+  fast.bottleneck = Bandwidth::gbps(1);
+  ConnectionParams slow = fast;
+  slow.rtt = 70_ms;
+  EXPECT_NEAR(steady_rate(fast).bits_per_second() /
+                  steady_rate(slow).bits_per_second(),
+              2.0, 1e-9);
+}
+
+TEST(TcpModelTest, TransferTimeMonotoneInSize) {
+  ConnectionParams p;
+  p.rtt = 50_ms;
+  p.window_bytes = mib(1);
+  SimTime prev = SimTime::zero();
+  for (const std::uint64_t size : {kib(64), mib(1), mib(4), mib(16)}) {
+    const SimTime t = transfer_time(p, size);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(TcpModelTest, TransferTimeMonotoneInRtt) {
+  ConnectionParams a;
+  a.rtt = 20_ms;
+  a.window_bytes = 64 * kKiB;
+  ConnectionParams b = a;
+  b.rtt = 80_ms;
+  EXPECT_LT(transfer_time(a, mib(8)), transfer_time(b, mib(8)));
+}
+
+TEST(TcpModelTest, SmallTransferDominatedByRtt) {
+  ConnectionParams p;
+  p.rtt = 100_ms;
+  p.bottleneck = Bandwidth::gbps(1);
+  p.window_bytes = mib(8);
+  // 1 KB: handshake + under one window -- a couple of RTTs.
+  const SimTime t = transfer_time(p, 1024);
+  EXPECT_GE(t, 100_ms);
+  EXPECT_LE(t, 400_ms);
+}
+
+TEST(TcpModelTest, ZeroBytesCostsOnlyHandshake) {
+  ConnectionParams p;
+  p.rtt = 50_ms;
+  EXPECT_EQ(transfer_time(p, 0), 50_ms);
+}
+
+TEST(RelayModelTest, SteadyRateIsMinOverHops) {
+  ConnectionParams fast;
+  fast.rtt = 10_ms;
+  fast.bottleneck = Bandwidth::mbps(100);
+  fast.window_bytes = mib(8);
+  ConnectionParams slow = fast;
+  slow.bottleneck = Bandwidth::mbps(20);
+  const std::vector<ConnectionParams> hops{fast, slow, fast};
+  EXPECT_DOUBLE_EQ(relay_steady_rate(hops).megabits_per_second(), 20.0);
+}
+
+TEST(RelayModelTest, SingleHopEqualsDirectModel) {
+  ConnectionParams p;
+  p.rtt = 40_ms;
+  p.window_bytes = mib(1);
+  const std::vector<ConnectionParams> hops{p};
+  RelayPathParams path;
+  path.hops = hops;
+  EXPECT_EQ(relay_transfer_time(path, mib(4)), transfer_time(p, mib(4)));
+}
+
+TEST(RelayModelTest, SetupCostGrowsWithHopCount) {
+  ConnectionParams hop;
+  hop.rtt = 30_ms;
+  hop.window_bytes = mib(1);
+  hop.bottleneck = Bandwidth::mbps(100);
+  const std::vector<ConnectionParams> two{hop, hop};
+  const std::vector<ConnectionParams> four{hop, hop, hop, hop};
+  RelayPathParams p2{two, 32 * kMiB};
+  RelayPathParams p4{four, 32 * kMiB};
+  // Tiny transfer: the serial setup dominates, so more hops is slower.
+  EXPECT_LT(relay_transfer_time(p2, kib(4)), relay_transfer_time(p4, kib(4)));
+}
+
+TEST(RelayModelTest, SplitBeatsDirectWhenWindowLimited) {
+  // The logistical effect in the model: 64 KB windows over 80 ms direct vs
+  // two 40 ms hops. Large transfer so steady state dominates.
+  ConnectionParams direct;
+  direct.rtt = 80_ms;
+  direct.window_bytes = 64 * kKiB;
+  direct.bottleneck = Bandwidth::gbps(1);
+  ConnectionParams half = direct;
+  half.rtt = 40_ms;
+  const std::vector<ConnectionParams> hops{half, half};
+  RelayPathParams path{hops, 32 * kMiB};
+  const SimTime t_direct = transfer_time(direct, mib(64));
+  const SimTime t_relay = relay_transfer_time(path, mib(64));
+  const double speedup = t_direct.to_seconds() / t_relay.to_seconds();
+  EXPECT_NEAR(speedup, 2.0, 0.1);
+}
+
+TEST(RelayModelTest, SplitLosesOnSmallTransfersWhenPathDoglegs) {
+  // A realistic depot detour: two 60 ms hops replacing an 80 ms direct
+  // path. For a tiny transfer the serial session setup dominates and the
+  // relay loses; ramp-rate gains cannot amortize.
+  ConnectionParams direct;
+  direct.rtt = 80_ms;
+  direct.window_bytes = mib(8);
+  direct.bottleneck = Bandwidth::mbps(100);
+  ConnectionParams leg = direct;
+  leg.rtt = 60_ms;
+  const std::vector<ConnectionParams> hops{leg, leg};
+  RelayPathParams path{hops, 32 * kMiB};
+  EXPECT_GT(relay_transfer_time(path, kib(16)),
+            transfer_time(direct, kib(16)));
+}
+
+TEST(RelayModelTest, PerfectlyHalvedPathHelpsEvenSmallTransfers) {
+  // When hop RTTs exactly halve the direct RTT the faster ramp compensates
+  // for the serial setup -- consistent with the paper's Figs 2/3 where LSL
+  // wins from 1 MB up.
+  ConnectionParams direct;
+  direct.rtt = 80_ms;
+  direct.window_bytes = 64 * kKiB;
+  direct.bottleneck = Bandwidth::gbps(1);
+  ConnectionParams half = direct;
+  half.rtt = 40_ms;
+  const std::vector<ConnectionParams> hops{half, half};
+  RelayPathParams path{hops, 32 * kMiB};
+  EXPECT_LT(relay_transfer_time(path, mib(1)), transfer_time(direct, mib(1)));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-validation against the packet-level simulator.
+
+struct ValidationCase {
+  const char* label;
+  double mbit;
+  SimTime one_way;
+  double loss;
+  std::uint64_t buffer;
+  std::uint64_t bytes;
+  double tolerance;  ///< allowed |log-ratio| between model and simulator
+};
+
+class FlowVsPacketTest : public ::testing::TestWithParam<ValidationCase> {};
+
+TEST_P(FlowVsPacketTest, TransferTimeMatchesSimulatorWithinTolerance) {
+  const auto& c = GetParam();
+
+  net::LinkConfig link;
+  link.rate = Bandwidth::mbps(c.mbit);
+  link.propagation_delay = c.one_way;
+  link.queue_capacity_bytes = mib(4);
+  link.loss_rate = c.loss;
+  testing::TwoNodeNet net(link, /*seed=*/1234);
+  const auto sim_result = testing::run_bulk_transfer(
+      net.sim, *net.stack_a, *net.stack_b, c.bytes,
+      tcp::TcpOptions{}.with_buffers(c.buffer), SimTime::seconds(3600));
+  ASSERT_TRUE(sim_result.completed) << c.label;
+
+  ConnectionParams params;
+  params.rtt = c.one_way * 2;
+  // Payload efficiency: 40 header bytes per 1460-byte segment.
+  params.bottleneck = Bandwidth::mbps(c.mbit * 1460.0 / 1500.0);
+  params.window_bytes = c.buffer;
+  params.loss_rate = c.loss;
+  const SimTime model_time = transfer_time(params, c.bytes);
+
+  const double ratio =
+      model_time.to_seconds() / sim_result.elapsed.to_seconds();
+  EXPECT_GT(ratio, 1.0 / c.tolerance)
+      << c.label << ": model " << model_time.str() << " vs sim "
+      << sim_result.elapsed.str();
+  EXPECT_LT(ratio, c.tolerance)
+      << c.label << ": model " << model_time.str() << " vs sim "
+      << sim_result.elapsed.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, FlowVsPacketTest,
+    ::testing::Values(
+        ValidationCase{"window_limited_64k_70ms", 1000, 35_ms, 0.0,
+                       64 * kKiB, mib(8), 1.3},
+        ValidationCase{"window_limited_64k_30ms", 1000, 15_ms, 0.0,
+                       64 * kKiB, mib(8), 1.3},
+        ValidationCase{"bottleneck_limited_clean", 100, 2_ms, 0.0, mib(1),
+                       mib(16), 1.3},
+        ValidationCase{"loss_2e4_rtt70", 400, 35_ms, 2e-4, mib(8), mib(32),
+                       1.8},
+        ValidationCase{"loss_2e4_rtt46", 400, 23_ms, 2e-4, mib(8), mib(32),
+                       1.8},
+        ValidationCase{"loss_1e3_rtt46", 400, 23_ms, 1e-3, mib(8), mib(16),
+                       1.8},
+        ValidationCase{"small_transfer_rtt_bound", 100, 40_ms, 0.0, mib(1),
+                       kib(256), 1.6}),
+    [](const ::testing::TestParamInfo<ValidationCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace lsl::flow

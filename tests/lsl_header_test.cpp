@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "lsl/header.hpp"
+#include "util/rng.hpp"
+
+namespace lsl::session {
+namespace {
+
+SessionHeader sample_header() {
+  Rng rng(77);
+  SessionHeader h;
+  h.session_id = SessionId::random(rng);
+  h.src = 3;
+  h.src_port = 40000;
+  h.dst = 9;
+  h.dst_port = kLslPort;
+  h.payload_bytes = 64ULL * 1024 * 1024;
+  return h;
+}
+
+TEST(SessionIdTest, RandomIdsDiffer) {
+  Rng rng(1);
+  const auto a = SessionId::random(rng);
+  const auto b = SessionId::random(rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(SessionIdTest, StringIs32HexChars) {
+  Rng rng(2);
+  const auto id = SessionId::random(rng);
+  EXPECT_EQ(id.str().size(), 32u);
+}
+
+TEST(SessionIdTest, HashConsistent) {
+  Rng rng(3);
+  const auto id = SessionId::random(rng);
+  SessionId copy = id;
+  EXPECT_EQ(SessionIdHash{}(id), SessionIdHash{}(copy));
+}
+
+TEST(HeaderCodecTest, FixedHeaderRoundTrip) {
+  const auto h = sample_header();
+  const auto bytes = encode(h);
+  EXPECT_EQ(bytes.size(), kFixedHeaderBytes);
+  const auto back = decode(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, h);
+}
+
+TEST(HeaderCodecTest, LooseSourceRouteRoundTrip) {
+  auto h = sample_header();
+  h.loose_route = {4, 5, 6};
+  const auto bytes = encode(h);
+  EXPECT_EQ(bytes.size(), kFixedHeaderBytes + 4 + 12);
+  const auto back = decode(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->loose_route, h.loose_route);
+  EXPECT_EQ(*back, h);
+}
+
+TEST(HeaderCodecTest, MulticastTreeRoundTrip) {
+  auto h = sample_header();
+  MulticastTree tree;
+  tree.entries = {{10, 0}, {11, 0}, {12, 0}, {13, 1}, {14, 1}};
+  h.multicast = tree;
+  const auto back = decode(encode(h));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back->multicast.has_value());
+  EXPECT_EQ(back->multicast->entries.size(), 5u);
+  EXPECT_EQ(*back, h);
+}
+
+TEST(HeaderCodecTest, AsyncFlagRoundTrip) {
+  auto h = sample_header();
+  h.async_session = true;
+  const auto back = decode(encode(h));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->async_session);
+}
+
+TEST(HeaderCodecTest, AllOptionsTogether) {
+  auto h = sample_header();
+  h.loose_route = {1, 2};
+  h.async_session = true;
+  MulticastTree tree;
+  tree.entries = {{7, 0}, {8, 0}};
+  h.multicast = tree;
+  h.type = SessionType::kData;
+  const auto bytes = encode(h);
+  EXPECT_EQ(bytes.size(), h.encoded_size());
+  const auto back = decode(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, h);
+}
+
+TEST(HeaderCodecTest, FetchTypeRoundTrip) {
+  auto h = sample_header();
+  h.type = SessionType::kFetch;
+  const auto back = decode(encode(h));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, SessionType::kFetch);
+}
+
+TEST(HeaderCodecTest, PeekLengthNeedsPreamble) {
+  const auto bytes = encode(sample_header());
+  EXPECT_FALSE(peek_header_length({bytes.data(), 7}).has_value());
+  const auto len = peek_header_length({bytes.data(), 8});
+  ASSERT_TRUE(len.has_value());
+  EXPECT_EQ(*len, bytes.size());
+}
+
+TEST(HeaderCodecTest, BadMagicRejected) {
+  auto bytes = encode(sample_header());
+  bytes[0] = std::byte{'X'};
+  EXPECT_FALSE(peek_header_length(bytes).has_value());
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(HeaderCodecTest, TruncatedHeaderRejected) {
+  const auto bytes = encode(sample_header());
+  EXPECT_FALSE(decode({bytes.data(), bytes.size() - 1}).has_value());
+}
+
+TEST(HeaderCodecTest, CorruptOptionLengthRejected) {
+  auto h = sample_header();
+  h.loose_route = {4};
+  auto bytes = encode(h);
+  // Option length field says 8 bytes but only 4 remain.
+  bytes[kFixedHeaderBytes + 2] = std::byte{0};
+  bytes[kFixedHeaderBytes + 3] = std::byte{8};
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(HeaderCodecTest, UnknownOptionSkipped) {
+  auto h = sample_header();
+  auto bytes = encode(h);
+  // Append an unknown TLV (type 99, length 4) and patch header_length.
+  const std::size_t new_len = bytes.size() + 8;
+  bytes[6] = std::byte{static_cast<unsigned char>(new_len >> 8)};
+  bytes[7] = std::byte{static_cast<unsigned char>(new_len & 0xFF)};
+  bytes.push_back(std::byte{0});
+  bytes.push_back(std::byte{99});
+  bytes.push_back(std::byte{0});
+  bytes.push_back(std::byte{4});
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(std::byte{0xAB});
+  }
+  const auto back = decode(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->dst, h.dst);
+}
+
+TEST(MulticastTreeTest, ChildrenOf) {
+  MulticastTree tree;
+  tree.entries = {{10, 0}, {11, 0}, {12, 0}, {13, 1}, {14, 1}};
+  EXPECT_EQ(tree.children_of(0), (std::vector<net::NodeId>{11, 12}));
+  EXPECT_EQ(tree.children_of(1), (std::vector<net::NodeId>{13, 14}));
+  EXPECT_TRUE(tree.children_of(2).empty());
+}
+
+TEST(MulticastTreeTest, Find) {
+  MulticastTree tree;
+  tree.entries = {{10, 0}, {11, 0}};
+  EXPECT_EQ(tree.find(11).value(), 1u);
+  EXPECT_FALSE(tree.find(99).has_value());
+}
+
+}  // namespace
+}  // namespace lsl::session

@@ -1,0 +1,144 @@
+// Striped LSL sessions: PSockets-style parallelism composed with
+// logistical forwarding (paper section 5: "our approach can only benefit
+// from this work").
+#include <gtest/gtest.h>
+
+#include "exp/harness.hpp"
+#include "lsl/header.hpp"
+
+namespace lsl::session {
+namespace {
+
+using namespace lsl::time_literals;
+using exp::SimHarness;
+
+TEST(StripeHeaderTest, RoundTrip) {
+  Rng rng(5);
+  SessionHeader h;
+  h.session_id = SessionId::random(rng);
+  h.src = 1;
+  h.dst = 2;
+  h.dst_port = kLslPort;
+  h.payload_bytes = mib(4);
+  h.stripe = StripeInfo{2, 4};
+  const auto back = decode(encode(h));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back->stripe.has_value());
+  EXPECT_EQ(back->stripe->index, 2);
+  EXPECT_EQ(back->stripe->count, 4);
+  EXPECT_EQ(*back, h);
+}
+
+TEST(StripeHeaderTest, RejectsInvalidStripe) {
+  Rng rng(5);
+  SessionHeader h;
+  h.session_id = SessionId::random(rng);
+  h.stripe = StripeInfo{3, 3};  // index >= count
+  const auto bytes = encode(h);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+struct StripeNet {
+  SimHarness h{61};
+  net::NodeId a, d, b;
+
+  explicit StripeNet(double loss = 0.0) {
+    a = h.add_host("a", "site-a");
+    d = h.add_host("d", "core");
+    b = h.add_host("b", "site-b");
+    net::LinkConfig link;
+    link.rate = Bandwidth::mbps(400);
+    link.propagation_delay = 20_ms;
+    link.queue_capacity_bytes = mib(8);
+    link.loss_rate = loss;
+    h.add_link(a, d, link);
+    h.add_link(d, b, link);
+    link.propagation_delay = 40_ms;
+    h.add_link(a, b, link);
+    DepotConfig cfg;
+    cfg.tcp = tcp::TcpOptions{}.with_buffers(mib(8));
+    h.deploy(cfg);
+    auto& topo = h.topology();
+    topo.node(a).set_route(b, topo.link_between(a, b));
+    topo.node(b).set_route(a, topo.link_between(b, a));
+  }
+};
+
+TEST(StripedSessionTest, DirectStripesDeliverExactlyOnce) {
+  StripeNet net;
+  TransferSpec spec;
+  spec.dst = net.b;
+  spec.payload_bytes = mib(4) + 999;  // not divisible by stripe count
+  spec.streams = 4;
+  spec.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  const auto r = net.h.run_transfer(net.a, spec);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bytes, mib(4) + 999);
+  // One logical session despite four connections.
+  EXPECT_EQ(net.h.depot(net.b).stats().sessions_delivered, 1u);
+}
+
+TEST(StripedSessionTest, RelayedStripesDeliverExactlyOnce) {
+  StripeNet net;
+  TransferSpec spec;
+  spec.dst = net.b;
+  spec.via = {net.d};
+  spec.payload_bytes = mib(4);
+  spec.streams = 3;
+  spec.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  const auto r = net.h.run_transfer(net.a, spec);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bytes, mib(4));
+  EXPECT_EQ(net.h.depot(net.d).stats().sessions_relayed, 3u);  // per stripe
+  EXPECT_EQ(net.h.depot(net.b).stats().sessions_delivered, 1u);
+}
+
+TEST(StripedSessionTest, SingleStreamHasNoStripeOption) {
+  StripeNet net;
+  SessionRecord delivered;
+  net.h.depot(net.b).on_session_complete =
+      [&](const SessionRecord& rec) { delivered = rec; };
+  TransferSpec spec;
+  spec.dst = net.b;
+  spec.payload_bytes = kib(64);
+  spec.streams = 1;
+  spec.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  (void)net.h.run_transfer(net.a, spec);
+  EXPECT_FALSE(delivered.header.stripe.has_value());
+}
+
+TEST(StripedSessionTest, StripingBeatsSingleStreamOnLossyPath) {
+  // Loss-limited regime: N stripes multiply the aggregate equilibrium
+  // window, just like PSockets.
+  const auto measure = [](std::uint16_t streams) {
+    StripeNet net(1e-3);
+    TransferSpec spec;
+    spec.dst = net.b;
+    spec.payload_bytes = mib(16);
+    spec.streams = streams;
+    spec.tcp = tcp::TcpOptions{}.with_buffers(mib(8));
+    const auto r = net.h.run_transfer(net.a, spec);
+    EXPECT_TRUE(r.completed);
+    return r.goodput.bits_per_second();
+  };
+  const double one = measure(1);
+  const double four = measure(4);
+  EXPECT_GT(four, 1.4 * one);
+}
+
+TEST(StripedSessionTest, StripingComposesWithRelaying) {
+  // Stripes through the depot: both mechanisms at once, exact delivery.
+  StripeNet net(5e-4);
+  TransferSpec spec;
+  spec.dst = net.b;
+  spec.via = {net.d};
+  spec.payload_bytes = mib(8);
+  spec.streams = 4;
+  spec.tcp = tcp::TcpOptions{}.with_buffers(mib(4));
+  const auto r = net.h.run_transfer(net.a, spec);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bytes, mib(8));
+}
+
+}  // namespace
+}  // namespace lsl::session

@@ -1,0 +1,92 @@
+// Nagle's algorithm: small writes coalesce while data is in flight.
+#include <gtest/gtest.h>
+
+#include "exp/packet_log.hpp"
+#include "fixtures.hpp"
+
+namespace lsl::tcp {
+namespace {
+
+using namespace lsl::time_literals;
+using testing::TwoNodeNet;
+
+net::LinkConfig wan() {
+  net::LinkConfig cfg;
+  cfg.rate = Bandwidth::mbps(100);
+  cfg.propagation_delay = 20_ms;  // 40 ms RTT: writes outpace ACKs
+  return cfg;
+}
+
+/// Issue `count` writes of `bytes` spaced 1 ms apart; returns the number of
+/// data segments that crossed the wire.
+std::size_t run_chatty_sender(bool nagle, int count, std::uint64_t bytes) {
+  TwoNodeNet net(wan());
+  exp::PacketLog log;
+  log.attach(net.topo->link(0), net.sim);
+
+  constexpr net::Port kPort = 5001;
+  net.stack_b->listen(kPort, [](Connection::Ptr conn) {
+    conn->on_readable = [c = conn.get()] { c->read(c->readable_bytes()); };
+  });
+  auto opts = TcpOptions{};
+  opts.nagle = nagle;
+  auto client = net.stack_a->connect(net.b, kPort, opts);
+  client->on_connected = [&, c = client.get()] {
+    for (int i = 0; i < count; ++i) {
+      net.sim.schedule_after(SimTime::milliseconds(i), [c, bytes] {
+        c->write_synthetic(bytes);
+      });
+    }
+  };
+  net.sim.run(10_s);
+  std::size_t data_segments = 0;
+  for (const auto& entry : log.entries()) {
+    if (entry.payload > 0) {
+      ++data_segments;
+    }
+  }
+  return data_segments;
+}
+
+TEST(NagleTest, CoalescesSmallWrites) {
+  // 20 writes of 100 bytes over a 40 ms RTT. Without Nagle every write
+  // ships immediately (one runt each); with Nagle only the first runt goes
+  // out per RTT and the rest coalesce behind it.
+  const auto without = run_chatty_sender(false, 20, 100);
+  const auto with = run_chatty_sender(true, 20, 100);
+  EXPECT_GE(without, 18u);
+  EXPECT_LE(with, 4u);
+}
+
+TEST(NagleTest, FullSegmentsUnaffected) {
+  // MSS-sized writes never wait: Nagle only holds runts.
+  const auto without = run_chatty_sender(false, 8, 1460);
+  const auto with = run_chatty_sender(true, 8, 1460);
+  EXPECT_EQ(with, without);
+}
+
+TEST(NagleTest, AllBytesStillDelivered) {
+  TwoNodeNet net(wan());
+  constexpr net::Port kPort = 5002;
+  std::uint64_t received = 0;
+  net.stack_b->listen(kPort, [&](Connection::Ptr conn) {
+    conn->on_readable = [&, c = conn.get()] {
+      received += c->read(c->readable_bytes()).n;
+    };
+  });
+  auto opts = TcpOptions{};
+  opts.nagle = true;
+  auto client = net.stack_a->connect(net.b, kPort, opts);
+  client->on_connected = [&, c = client.get()] {
+    for (int i = 0; i < 50; ++i) {
+      net.sim.schedule_after(SimTime::milliseconds(i), [c] {
+        c->write_synthetic(123);
+      });
+    }
+  };
+  net.sim.run(30_s);
+  EXPECT_EQ(received, 50u * 123u);
+}
+
+}  // namespace
+}  // namespace lsl::tcp

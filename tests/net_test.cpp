@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace lsl::net {
+namespace {
+
+using namespace lsl::time_literals;
+
+Packet make_packet(NodeId src, NodeId dst, std::uint32_t payload,
+                   std::uint64_t uid = 0) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.payload_bytes = payload;
+  p.uid = uid;
+  return p;
+}
+
+TEST(PacketTest, WireBytesIncludesOverhead) {
+  EXPECT_EQ(make_packet(0, 1, 1460).wire_bytes(), 1500u);
+  EXPECT_EQ(make_packet(0, 1, 0).wire_bytes(), kPacketOverheadBytes);
+}
+
+TEST(LinkTest, DeliversAfterSerializationPlusPropagation) {
+  sim::Simulator sim;
+  LinkConfig cfg;
+  cfg.rate = Bandwidth::mbps(100);
+  cfg.propagation_delay = 10_ms;
+  Link link(sim, cfg, Rng(1));
+  SimTime arrival = SimTime::zero();
+  link.set_deliver([&](Packet) { arrival = sim.now(); });
+  link.enqueue(make_packet(0, 1, 1460));
+  sim.run();
+  // 1500B at 100Mbit = 120us serialization + 10ms propagation.
+  EXPECT_EQ(arrival, 10_ms + 120_us);
+}
+
+TEST(LinkTest, SerializesBackToBack) {
+  sim::Simulator sim;
+  LinkConfig cfg;
+  cfg.rate = Bandwidth::mbps(100);
+  cfg.propagation_delay = SimTime::zero();
+  Link link(sim, cfg, Rng(1));
+  std::vector<SimTime> arrivals;
+  link.set_deliver([&](Packet) { arrivals.push_back(sim.now()); });
+  link.enqueue(make_packet(0, 1, 1460));
+  link.enqueue(make_packet(0, 1, 1460));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 120_us);
+  EXPECT_EQ(arrivals[1], 240_us);
+}
+
+TEST(LinkTest, DropTailWhenQueueFull) {
+  sim::Simulator sim;
+  LinkConfig cfg;
+  cfg.rate = Bandwidth::mbps(1);  // slow, so the queue backs up
+  cfg.queue_capacity_bytes = 3000;
+  Link link(sim, cfg, Rng(1));
+  int delivered = 0;
+  link.set_deliver([&](Packet) { ++delivered; });
+  for (int i = 0; i < 5; ++i) {
+    link.enqueue(make_packet(0, 1, 1460));
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 2);  // 2 x 1500B fit in 3000B
+  EXPECT_EQ(link.stats().packets_dropped_queue, 3u);
+}
+
+TEST(LinkTest, BernoulliLossDropsRoughlyAtRate) {
+  sim::Simulator sim;
+  LinkConfig cfg;
+  cfg.rate = Bandwidth::gbps(10);
+  cfg.propagation_delay = SimTime::zero();
+  cfg.queue_capacity_bytes = 1ULL << 40;
+  cfg.loss_rate = 0.1;
+  Link link(sim, cfg, Rng(99));
+  int delivered = 0;
+  link.set_deliver([&](Packet) { ++delivered; });
+  constexpr int kPackets = 5000;
+  for (int i = 0; i < kPackets; ++i) {
+    link.enqueue(make_packet(0, 1, 100));
+  }
+  sim.run();
+  const double loss =
+      1.0 - static_cast<double>(delivered) / static_cast<double>(kPackets);
+  EXPECT_NEAR(loss, 0.1, 0.02);
+  EXPECT_EQ(link.stats().packets_dropped_loss,
+            static_cast<std::uint64_t>(kPackets - delivered));
+}
+
+TEST(LinkTest, StatsCountBytes) {
+  sim::Simulator sim;
+  LinkConfig cfg;
+  Link link(sim, cfg, Rng(1));
+  link.set_deliver([](Packet) {});
+  link.enqueue(make_packet(0, 1, 960));
+  sim.run();
+  EXPECT_EQ(link.stats().packets_sent, 1u);
+  EXPECT_EQ(link.stats().bytes_sent, 1000u);
+}
+
+TEST(TopologyTest, DirectDelivery) {
+  sim::Simulator sim;
+  Topology topo(sim, 7);
+  const NodeId a = topo.add_node("a");
+  const NodeId b = topo.add_node("b");
+  topo.add_duplex_link(a, b, LinkConfig{});
+  topo.compute_routes();
+  int delivered = 0;
+  topo.node(b).set_local_deliver([&](Packet) { ++delivered; });
+  topo.send(make_packet(a, b, 100));
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(TopologyTest, MultiHopForwarding) {
+  sim::Simulator sim;
+  Topology topo(sim, 7);
+  const NodeId a = topo.add_node("a");
+  const NodeId r = topo.add_node("router");
+  const NodeId b = topo.add_node("b");
+  LinkConfig cfg;
+  cfg.propagation_delay = 5_ms;
+  topo.add_duplex_link(a, r, cfg);
+  topo.add_duplex_link(r, b, cfg);
+  topo.compute_routes();
+  SimTime arrival = SimTime::zero();
+  topo.node(b).set_local_deliver([&](Packet) { arrival = sim.now(); });
+  topo.send(make_packet(a, b, 0));
+  sim.run();
+  EXPECT_GT(arrival, 10_ms);  // two propagation hops
+  EXPECT_EQ(topo.node(r).packets_forwarded(), 1u);
+}
+
+TEST(TopologyTest, ShortestDelayPathChosen) {
+  sim::Simulator sim;
+  Topology topo(sim, 7);
+  const NodeId a = topo.add_node("a");
+  const NodeId slow = topo.add_node("slow");
+  const NodeId fast = topo.add_node("fast");
+  const NodeId b = topo.add_node("b");
+  LinkConfig slow_cfg;
+  slow_cfg.propagation_delay = 50_ms;
+  LinkConfig fast_cfg;
+  fast_cfg.propagation_delay = 5_ms;
+  topo.add_duplex_link(a, slow, slow_cfg);
+  topo.add_duplex_link(slow, b, slow_cfg);
+  topo.add_duplex_link(a, fast, fast_cfg);
+  topo.add_duplex_link(fast, b, fast_cfg);
+  topo.compute_routes();
+  topo.node(b).set_local_deliver([](Packet) {});
+  topo.send(make_packet(a, b, 0));
+  sim.run();
+  EXPECT_EQ(topo.node(fast).packets_forwarded(), 1u);
+  EXPECT_EQ(topo.node(slow).packets_forwarded(), 0u);
+}
+
+TEST(TopologyTest, ExplicitRouteOverride) {
+  sim::Simulator sim;
+  Topology topo(sim, 7);
+  const NodeId a = topo.add_node("a");
+  const NodeId r1 = topo.add_node("r1");
+  const NodeId r2 = topo.add_node("r2");
+  const NodeId b = topo.add_node("b");
+  LinkConfig cfg;
+  topo.add_duplex_link(a, r1, cfg);
+  topo.add_duplex_link(r1, b, cfg);
+  topo.add_duplex_link(a, r2, cfg);
+  topo.add_duplex_link(r2, b, cfg);
+  topo.compute_routes();
+  // Pin a->b through r2 regardless of what Dijkstra chose.
+  topo.node(a).set_route(b, topo.link_between(a, r2));
+  topo.node(b).set_local_deliver([](Packet) {});
+  topo.send(make_packet(a, b, 0));
+  sim.run();
+  EXPECT_EQ(topo.node(r2).packets_forwarded(), 1u);
+}
+
+TEST(TopologyTest, FindByName) {
+  sim::Simulator sim;
+  Topology topo(sim, 7);
+  topo.add_node("ash.ucsb.edu", "ucsb.edu");
+  const NodeId b = topo.add_node("bell.uiuc.edu", "uiuc.edu");
+  EXPECT_EQ(topo.find("bell.uiuc.edu"), b);
+  EXPECT_EQ(topo.node(b).site(), "uiuc.edu");
+}
+
+TEST(TopologyTest, LinkBetweenReturnsNullWhenNotAdjacent) {
+  sim::Simulator sim;
+  Topology topo(sim, 7);
+  const NodeId a = topo.add_node("a");
+  const NodeId b = topo.add_node("b");
+  const NodeId c = topo.add_node("c");
+  topo.add_duplex_link(a, b, LinkConfig{});
+  EXPECT_NE(topo.link_between(a, b), nullptr);
+  EXPECT_EQ(topo.link_between(a, c), nullptr);
+}
+
+}  // namespace
+}  // namespace lsl::net

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nws/forecasters.hpp"
+#include "nws/monitor.hpp"
+#include "util/rng.hpp"
+
+namespace lsl::nws {
+namespace {
+
+TEST(ForecasterTest, LastValueTracksInput) {
+  LastValueForecaster f;
+  EXPECT_FALSE(f.ready());
+  f.observe(10.0);
+  f.observe(20.0);
+  EXPECT_TRUE(f.ready());
+  EXPECT_DOUBLE_EQ(f.predict(), 20.0);
+}
+
+TEST(ForecasterTest, RunningMeanConverges) {
+  RunningMeanForecaster f;
+  f.observe(10.0);
+  f.observe(20.0);
+  f.observe(30.0);
+  EXPECT_DOUBLE_EQ(f.predict(), 20.0);
+}
+
+TEST(ForecasterTest, SlidingMeanForgetsOldData) {
+  SlidingMeanForecaster f(2);
+  f.observe(100.0);
+  f.observe(10.0);
+  f.observe(20.0);
+  EXPECT_DOUBLE_EQ(f.predict(), 15.0);
+}
+
+TEST(ForecasterTest, SlidingMedianRobustToOutliers) {
+  SlidingMedianForecaster f(5);
+  for (const double v : {50.0, 51.0, 49.0, 50.0, 1.0}) {
+    f.observe(v);  // one bogus probe
+  }
+  EXPECT_DOUBLE_EQ(f.predict(), 50.0);
+}
+
+TEST(ForecasterTest, SlidingMedianEvenWindow) {
+  SlidingMedianForecaster f(4);
+  for (const double v : {10.0, 20.0, 30.0, 40.0}) {
+    f.observe(v);
+  }
+  EXPECT_DOUBLE_EQ(f.predict(), 25.0);
+}
+
+TEST(ForecasterTest, EwmaSmoothing) {
+  EwmaForecaster f(0.5);
+  f.observe(10.0);
+  EXPECT_DOUBLE_EQ(f.predict(), 10.0);
+  f.observe(20.0);
+  EXPECT_DOUBLE_EQ(f.predict(), 15.0);
+}
+
+TEST(ForecasterTest, AdaptivePrefersMedianOnSpikySeries) {
+  AdaptiveForecaster f;
+  Rng rng(42);
+  // Stable series with rare deep outliers: the sliding median should win.
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.chance(0.1) ? 5.0 : 50.0 + rng.uniform(-1.0, 1.0);
+    f.observe(v);
+  }
+  EXPECT_NEAR(f.predict(), 50.0, 3.0);
+}
+
+TEST(ForecasterTest, AdaptiveTracksConstantSeriesExactly) {
+  AdaptiveForecaster f;
+  for (int i = 0; i < 20; ++i) {
+    f.observe(33.0);
+  }
+  EXPECT_DOUBLE_EQ(f.predict(), 33.0);
+}
+
+TEST(ForecasterTest, AdaptiveReportsBestMember) {
+  AdaptiveForecaster f;
+  for (int i = 0; i < 50; ++i) {
+    f.observe(10.0);
+  }
+  EXPECT_FALSE(f.best_member().empty());
+}
+
+TEST(NoiseModelTest, SamplesCenteredOnTruth) {
+  NoiseModel noise;
+  noise.outlier_probability = 0.0;
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kSamples = 5000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += noise.sample(100.0, rng);
+  }
+  // Lognormal mean is exp(sigma^2/2) above the median.
+  const double expected = 100.0 * std::exp(0.15 * 0.15 / 2.0);
+  EXPECT_NEAR(sum / kSamples, expected, 2.0);
+}
+
+TEST(NoiseModelTest, OutliersPullLow) {
+  NoiseModel noise;
+  noise.lognormal_sigma = 0.01;
+  noise.outlier_probability = 1.0;
+  noise.outlier_factor = 0.25;
+  Rng rng(6);
+  EXPECT_NEAR(noise.sample(100.0, rng), 25.0, 2.0);
+}
+
+TEST(MonitorTest, SiteAggregationSharesForecasts) {
+  // Two hosts at site A, one at site B: A-hosts must get identical
+  // forecasts toward B (they share the wide-area measurement).
+  PerformanceMonitor monitor({"a.edu", "a.edu", "b.edu"}, NoiseModel{}, 9);
+  const auto truth = [](std::size_t, std::size_t) {
+    return Bandwidth::mbps(40);
+  };
+  for (int i = 0; i < 10; ++i) {
+    monitor.observe_epoch(truth);
+  }
+  const auto f0 = monitor.forecast(0, 2);
+  const auto f1 = monitor.forecast(1, 2);
+  EXPECT_DOUBLE_EQ(f0.megabits_per_second(), f1.megabits_per_second());
+  EXPECT_NEAR(f0.megabits_per_second(), 40.0, 8.0);
+}
+
+TEST(MonitorTest, IntraSiteIsFast) {
+  PerformanceMonitor monitor({"a.edu", "a.edu"}, NoiseModel{}, 9);
+  EXPECT_GE(monitor.forecast(0, 1).megabits_per_second(), 500.0);
+}
+
+TEST(MonitorTest, NoForecastBeforeMeasurement) {
+  PerformanceMonitor monitor({"a.edu", "b.edu"}, NoiseModel{}, 9);
+  EXPECT_DOUBLE_EQ(monitor.forecast(0, 1).bits_per_second(), 0.0);
+}
+
+TEST(MonitorTest, MatrixHasFiniteCostsAfterEpochs) {
+  PerformanceMonitor monitor({"a.edu", "b.edu", "c.edu"}, NoiseModel{}, 10);
+  const auto truth = [](std::size_t a, std::size_t b) {
+    return Bandwidth::mbps(10.0 + static_cast<double>(a + b));
+  };
+  for (int i = 0; i < 5; ++i) {
+    monitor.observe_epoch(truth);
+  }
+  const auto matrix = monitor.build_matrix();
+  ASSERT_EQ(matrix.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) {
+        EXPECT_LT(matrix.cost(i, j), sched::kInfiniteCost);
+      }
+    }
+  }
+  EXPECT_EQ(matrix.site(0), "a.edu");
+}
+
+TEST(MonitorTest, MatrixRoughlyOrderPreserving) {
+  // The paper only needs an order-preserving metric: a clearly faster pair
+  // must get a clearly cheaper edge.
+  PerformanceMonitor monitor({"a.edu", "b.edu", "c.edu"}, NoiseModel{}, 11);
+  const auto truth = [](std::size_t a, std::size_t b) {
+    const bool fast = (a == 0 && b == 1) || (a == 1 && b == 0);
+    return Bandwidth::mbps(fast ? 90.0 : 9.0);
+  };
+  for (int i = 0; i < 20; ++i) {
+    monitor.observe_epoch(truth);
+  }
+  const auto matrix = monitor.build_matrix();
+  EXPECT_LT(matrix.cost(0, 1), matrix.cost(0, 2));
+  EXPECT_LT(matrix.cost(0, 1), matrix.cost(2, 1));
+}
+
+TEST(MonitorTest, DeterministicForSeed) {
+  const auto run = [] {
+    PerformanceMonitor m({"a.edu", "b.edu"}, NoiseModel{}, 77);
+    for (int i = 0; i < 8; ++i) {
+      m.observe_epoch(
+          [](std::size_t, std::size_t) { return Bandwidth::mbps(30); });
+    }
+    return m.forecast(0, 1).megabits_per_second();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace lsl::nws

@@ -1,0 +1,240 @@
+// Cross-cutting randomized property tests:
+//   * epsilon tree shaping on site-structured graphs (Figs 6-8 generalized),
+//   * multicast staging over random trees delivers to every leaf exactly,
+//   * the session-header decoder never accepts corrupted input silently
+//     wrong (round-trip equality) and never crashes on mutated bytes.
+#include <cmath>
+#include <map>
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exp/harness.hpp"
+#include "lsl/header.hpp"
+#include "sched/minimax.hpp"
+#include "util/rng.hpp"
+
+namespace lsl {
+namespace {
+
+using namespace lsl::time_literals;
+
+// ---------------------------------------------------------------------------
+// Tree shaping on site-structured graphs.
+
+class TreeShapingTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeShapingTest, DampedTreeNeverUsesMoreRelayEdges) {
+  // Hosts grouped into sites; inter-site base costs with small per-host
+  // jitter (the paper's world). For every root: the eps-damped tree must
+  // use at most as many relay hops as the strict tree, and its path costs
+  // may exceed the strict optimum by at most the compounded margin.
+  Rng rng(GetParam());
+  const std::size_t sites = 3 + rng.pick_index(4);
+  std::vector<std::size_t> site_of;
+  for (std::size_t s = 0; s < sites; ++s) {
+    const std::size_t hosts = 1 + rng.pick_index(3);
+    for (std::size_t k = 0; k < hosts; ++k) {
+      site_of.push_back(s);
+    }
+  }
+  const std::size_t n = site_of.size();
+  std::vector<double> site_cost(sites * sites, 0.0);
+  for (std::size_t i = 0; i < sites; ++i) {
+    for (std::size_t j = i + 1; j < sites; ++j) {
+      const double c = rng.uniform(2.0, 10.0);
+      site_cost[i * sites + j] = c;
+      site_cost[j * sites + i] = c;
+    }
+  }
+  sched::CostMatrix matrix(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        continue;
+      }
+      const double base = site_of[i] == site_of[j]
+                              ? 0.3
+                              : site_cost[site_of[i] * sites + site_of[j]];
+      matrix.set_cost(i, j, base * rng.uniform(1.0, 1.03));
+    }
+  }
+
+  constexpr double kEps = 0.1;
+  for (std::size_t root = 0; root < n; ++root) {
+    const auto strict = sched::build_mmp_tree(matrix, root, {.epsilon = 0.0});
+    const auto damped =
+        sched::build_mmp_tree(matrix, root, {.epsilon = kEps});
+    std::size_t strict_hops = 0;
+    std::size_t damped_hops = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == root) {
+        continue;
+      }
+      const auto sp = strict.path_to(v);
+      const auto dp = damped.path_to(v);
+      ASSERT_FALSE(sp.empty());
+      ASSERT_FALSE(dp.empty());
+      strict_hops += sp.size() - 2;
+      damped_hops += dp.size() - 2;
+      // Damped path is never better than the optimum, and within the
+      // compounded equivalence margin of it.
+      const double opt = strict.cost[v];
+      const double got = sched::minimax_path_cost(matrix, dp);
+      EXPECT_GE(got + 1e-12, opt);
+      EXPECT_LE(got, opt * std::pow(1.0 + kEps, static_cast<double>(n)));
+    }
+    EXPECT_LE(damped_hops, strict_hops);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeShapingTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Random multicast staging trees.
+
+class MulticastFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MulticastFuzzTest, EveryLeafReceivesThePayloadExactlyOnce) {
+  Rng rng(GetParam());
+  exp::SimHarness h(GetParam() ^ 0xACE);
+
+  // Random tree over 4-9 depot hosts plus a source.
+  const std::size_t nodes = 4 + rng.pick_index(6);
+  const auto source = h.add_host("source");
+  std::vector<net::NodeId> members;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    members.push_back(h.add_host("m" + std::to_string(i)));
+  }
+  // Tree structure: node i's parent is a random earlier node.
+  session::MulticastTree tree;
+  tree.entries.push_back({members[0], 0});
+  for (std::size_t i = 1; i < nodes; ++i) {
+    tree.entries.push_back(
+        {members[i], static_cast<std::uint16_t>(rng.pick_index(i))});
+  }
+  // Physical topology: star around the root member (ample capacity) plus
+  // the source attached to the root.
+  net::LinkConfig link;
+  link.rate = Bandwidth::mbps(200);
+  link.propagation_delay = 3_ms;
+  h.add_link(source, members[0], link);
+  for (std::size_t i = 1; i < nodes; ++i) {
+    h.add_link(members[0], members[i], link);
+  }
+  session::DepotConfig cfg;
+  cfg.tcp = tcp::TcpOptions{}.with_buffers(kib(512));
+  cfg.user_buffer_bytes = mib(1);
+  h.deploy(cfg);
+
+  // Leaves: tree members with no children.
+  std::set<net::NodeId> leaves;
+  for (std::size_t i = 0; i < tree.entries.size(); ++i) {
+    if (tree.children_of(i).empty()) {
+      leaves.insert(tree.entries[i].node);
+    }
+  }
+  ASSERT_FALSE(leaves.empty());
+
+  std::map<net::NodeId, std::uint64_t> delivered;
+  for (const auto leaf : leaves) {
+    h.depot(leaf).on_session_complete =
+        [&, leaf](const session::SessionRecord& rec) {
+          delivered[leaf] += rec.bytes;
+        };
+  }
+
+  const std::uint64_t payload = kib(256) + rng.pick_index(kib(256));
+  session::TransferSpec spec;
+  spec.dst = members[0];
+  spec.multicast = tree;
+  spec.payload_bytes = payload;
+  spec.tcp = tcp::TcpOptions{}.with_buffers(kib(512));
+  session::LslSource::start(h.stack(source), spec, h.rng());
+  h.simulator().run(h.simulator().now() + 300_s);
+
+  ASSERT_EQ(delivered.size(), leaves.size());
+  for (const auto& [leaf, bytes] : delivered) {
+    EXPECT_EQ(bytes, payload) << "leaf " << leaf;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MulticastFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Header decoder robustness.
+
+class HeaderFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeaderFuzzTest, MutatedHeadersNeverCrashAndRoundTripsAreExact) {
+  Rng rng(GetParam());
+  // Build a random valid header.
+  session::SessionHeader h;
+  h.session_id = session::SessionId::random(rng);
+  h.src = static_cast<net::NodeId>(rng.next_below(1000));
+  h.dst = static_cast<net::NodeId>(rng.next_below(1000));
+  h.src_port = static_cast<net::Port>(rng.next_below(65536));
+  h.dst_port = session::kLslPort;
+  h.payload_bytes = rng.next_below(1ULL << 40);
+  const std::size_t hops = rng.pick_index(5);
+  for (std::size_t i = 0; i < hops; ++i) {
+    h.loose_route.push_back(static_cast<net::NodeId>(rng.next_below(1000)));
+  }
+  h.async_session = rng.chance(0.5);
+  if (rng.chance(0.4)) {
+    const auto count = static_cast<std::uint16_t>(2 + rng.pick_index(6));
+    h.stripe = session::StripeInfo{
+        static_cast<std::uint16_t>(rng.pick_index(count)), count};
+  }
+  if (rng.chance(0.3)) {
+    session::MulticastTree tree;
+    const std::size_t members = 2 + rng.pick_index(6);
+    tree.entries.push_back({static_cast<net::NodeId>(rng.next_below(100)), 0});
+    for (std::size_t i = 1; i < members; ++i) {
+      tree.entries.push_back(
+          {static_cast<net::NodeId>(rng.next_below(100)),
+           static_cast<std::uint16_t>(rng.pick_index(i))});
+    }
+    h.multicast = tree;
+  }
+
+  // Exact round trip.
+  const auto bytes = session::encode(h);
+  const auto back = session::decode(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, h);
+
+  // Random mutations: decode must never crash; whatever it accepts must be
+  // internally consistent enough to re-encode.
+  for (int trial = 0; trial < 200; ++trial) {
+    auto mutated = bytes;
+    const std::size_t flips = 1 + rng.pick_index(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.pick_index(mutated.size());
+      mutated[pos] = std::byte{static_cast<unsigned char>(rng.next_below(256))};
+    }
+    const auto result = session::decode(mutated);
+    if (result.has_value()) {
+      const auto re = session::encode(*result);
+      EXPECT_EQ(session::decode(re).has_value(), true);
+    }
+  }
+
+  // Truncations at every length: never crash, never accept a prefix
+  // shorter than the fixed header.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const auto result =
+        session::decode({bytes.data(), len});
+    if (len < session::kFixedHeaderBytes) {
+      EXPECT_FALSE(result.has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeaderFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace lsl

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hpp"
+
+namespace lsl::exp {
+namespace {
+
+constexpr const char* kValid = R"(
+# a minimal triangle
+host a site-a
+host d core
+host b site-b
+link a d rate=100 delay=10 queue=4096 loss=1e-4
+link d b rate=100 delay=10 queue=4096 loss=1e-4
+link a b rate=100 delay=25 queue=4096 loss=1e-4
+depot buffers=1024 user=2048 max_sessions=8
+pin a b
+transfer a b size=2 buffers=1024
+transfer a b size=2 buffers=1024 via=d
+)";
+
+TEST(ScenarioParserTest, ParsesValidScenario) {
+  const auto result = parse_scenario(kValid);
+  ASSERT_TRUE(result.ok()) << result.error;
+  const auto& s = *result.scenario;
+  EXPECT_EQ(s.hosts.size(), 3u);
+  EXPECT_EQ(s.links.size(), 3u);
+  EXPECT_EQ(s.pins.size(), 1u);
+  EXPECT_EQ(s.transfers.size(), 2u);
+  EXPECT_EQ(s.hosts[1].site, "core");
+  EXPECT_DOUBLE_EQ(s.links[0].config.rate.megabits_per_second(), 100.0);
+  EXPECT_EQ(s.links[0].config.propagation_delay, SimTime::milliseconds(10));
+  EXPECT_EQ(s.links[0].config.queue_capacity_bytes, 4096u * 1024u);
+  EXPECT_DOUBLE_EQ(s.links[0].config.loss_rate, 1e-4);
+  EXPECT_EQ(s.depot.tcp.recv_buffer_bytes, 1024u * 1024u);
+  EXPECT_EQ(s.depot.user_buffer_bytes, 2048u * 1024u);
+  EXPECT_EQ(s.depot.max_sessions, 8u);
+  EXPECT_EQ(s.transfers[0].bytes, 2 * kMiB);
+  EXPECT_TRUE(s.transfers[0].via.empty());
+  EXPECT_EQ(s.transfers[1].via, (std::vector<std::string>{"d"}));
+}
+
+TEST(ScenarioParserTest, SiteDefaultsToHostName) {
+  const auto result = parse_scenario(
+      "host x\nhost y\nlink x y rate=10\ntransfer x y size=1\n");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.scenario->hosts[0].site, "x");
+}
+
+TEST(ScenarioParserTest, CommentsAndBlankLinesIgnored)
+{
+  const auto result = parse_scenario(
+      "# header\n\nhost x # trailing\nhost y\nlink x y rate=10 # fast\n"
+      "transfer x y size=1\n");
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+TEST(ScenarioParserTest, RejectsUnknownDirective) {
+  const auto result = parse_scenario("host a\nhost b\nfrobnicate a b\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("line 3"), std::string::npos);
+  EXPECT_NE(result.error.find("frobnicate"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, RejectsUnknownHostInLink) {
+  const auto result = parse_scenario("host a\nhost b\nlink a zz rate=10\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("zz"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, RejectsDuplicateHost) {
+  const auto result = parse_scenario("host a\nhost a\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("duplicate"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, RejectsBadAttribute) {
+  const auto result =
+      parse_scenario("host a\nhost b\nlink a b rate=fast\n");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(ScenarioParserTest, RejectsUnknownLinkAttribute) {
+  const auto result =
+      parse_scenario("host a\nhost b\nlink a b color=blue\n");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(ScenarioParserTest, RejectsTransferWithoutSize) {
+  const auto result = parse_scenario(
+      "host a\nhost b\nlink a b rate=10\ntransfer a b\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("size"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, RejectsUnknownViaHost) {
+  const auto result = parse_scenario(
+      "host a\nhost b\nlink a b rate=10\ntransfer a b size=1 via=ghost\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("ghost"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, RejectsEmptyTopology) {
+  EXPECT_FALSE(parse_scenario("").ok());
+  EXPECT_FALSE(parse_scenario("host a\nhost b\n").ok());
+}
+
+TEST(ScenarioRunnerTest, RunsTransfersInOrder) {
+  const auto parsed = parse_scenario(kValid);
+  ASSERT_TRUE(parsed.ok());
+  const auto outcomes = run_scenario(*parsed.scenario, /*seed=*/3);
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const auto& [transfer, outcome] : outcomes) {
+    EXPECT_TRUE(outcome.completed) << transfer.src << "->" << transfer.dst;
+    EXPECT_EQ(outcome.bytes, 2 * kMiB);
+  }
+  // The relayed transfer (25 ms direct vs 10+10 legs) should not be slower
+  // by much; both completed is the hard requirement here.
+  EXPECT_GT(outcomes[1].outcome.goodput.bits_per_second(), 0.0);
+}
+
+TEST(ScenarioRunnerTest, DeterministicForSeed) {
+  const auto parsed = parse_scenario(kValid);
+  ASSERT_TRUE(parsed.ok());
+  const auto a = run_scenario(*parsed.scenario, 7);
+  const auto b = run_scenario(*parsed.scenario, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].outcome.elapsed, b[i].outcome.elapsed);
+  }
+}
+
+}  // namespace
+}  // namespace lsl::exp

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace lsl::sim {
+namespace {
+
+using namespace lsl::time_literals;
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30_ms, [&] { order.push_back(3); });
+  sim.schedule_at(10_ms, [&] { order.push_back(1); });
+  sim.schedule_at(20_ms, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30_ms);
+}
+
+TEST(SimulatorTest, TieBreaksByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5_ms, [&] { order.push_back(1); });
+  sim.schedule_at(5_ms, [&] { order.push_back(2); });
+  sim.schedule_at(5_ms, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime fired = SimTime::zero();
+  sim.schedule_at(10_ms, [&] {
+    sim.schedule_after(5_ms, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 15_ms);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) {
+      sim.schedule_after(1_ms, chain);
+    }
+  };
+  sim.schedule_after(1_ms, chain);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.now(), 100_ms);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(10_ms, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10_ms, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(SimulatorTest, CancelInvalidIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventId{}));
+  EXPECT_FALSE(sim.cancel(EventId{9999}));
+}
+
+TEST(SimulatorTest, RunWithLimitStopsAtLimit) {
+  Simulator sim;
+  bool late_ran = false;
+  sim.schedule_at(10_ms, [] {});
+  sim.schedule_at(100_ms, [&] { late_ran = true; });
+  const auto executed = sim.run(50_ms);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(sim.now(), 50_ms);
+  // Resuming runs the remaining event.
+  sim.run();
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1_ms, [&] { ++count; });
+  sim.schedule_at(2_ms, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, RequestStopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1_ms, [&] {
+    ++count;
+    sim.request_stop();
+  });
+  sim.schedule_at(2_ms, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SimulatorTest, PendingEventsAccountsForCancellation) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1_ms, [] {});
+  sim.schedule_at(2_ms, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime::milliseconds(i + 1), [] {});
+  }
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 10u);
+}
+
+TEST(TimerTest, FiresAtDeadline) {
+  Simulator sim;
+  SimTime fired = SimTime::zero();
+  Timer t(sim, [&] { fired = sim.now(); });
+  t.arm(25_ms);
+  EXPECT_TRUE(t.armed());
+  sim.run();
+  EXPECT_EQ(fired, 25_ms);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(TimerTest, RearmReplacesDeadline) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(sim, [&] { ++fires; });
+  t.arm(10_ms);
+  t.arm(20_ms);
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(sim.now(), 20_ms);
+}
+
+TEST(TimerTest, CancelStopsFire) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(sim, [&] { ++fires; });
+  t.arm(10_ms);
+  t.cancel();
+  sim.run();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(TimerTest, ArmIfIdleKeepsEarlierDeadline) {
+  Simulator sim;
+  SimTime fired = SimTime::zero();
+  Timer t(sim, [&] { fired = sim.now(); });
+  t.arm(10_ms);
+  t.arm_if_idle(50_ms);  // ignored: already armed
+  sim.run();
+  EXPECT_EQ(fired, 10_ms);
+}
+
+TEST(TimerTest, CanRearmFromCallback) {
+  Simulator sim;
+  int fires = 0;
+  Timer* tp = nullptr;
+  Timer t(sim, [&] {
+    if (++fires < 3) {
+      tp->arm(5_ms);
+    }
+  });
+  tp = &t;
+  t.arm(5_ms);
+  sim.run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(sim.now(), 15_ms);
+}
+
+TEST(TimerTest, DestructionCancelsPendingEvent) {
+  Simulator sim;
+  int fires = 0;
+  {
+    Timer t(sim, [&] { ++fires; });
+    t.arm(10_ms);
+  }
+  sim.run();
+  EXPECT_EQ(fires, 0);
+}
+
+}  // namespace
+}  // namespace lsl::sim

@@ -1,0 +1,155 @@
+// System-level stress: random topologies, many concurrent sessions with
+// mixed modes (direct, relayed, striped, async) over lossy jittery links.
+// The invariant under all of it: every completed transfer delivered exactly
+// its byte count, and the system quiesces with no leaked connections.
+#include <gtest/gtest.h>
+
+#include "exp/harness.hpp"
+#include "lsl/endpoint.hpp"
+#include "util/rng.hpp"
+
+namespace lsl {
+namespace {
+
+using namespace lsl::time_literals;
+using exp::SimHarness;
+
+class StressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressTest, MixedWorkloadDeliversExactlyAndQuiesces) {
+  Rng rng(GetParam());
+  SimHarness h(GetParam() ^ 0x57E55);
+
+  // Random connected topology: ring + random chords.
+  const std::size_t hosts = 6 + rng.pick_index(5);
+  for (std::size_t i = 0; i < hosts; ++i) {
+    h.add_host("h" + std::to_string(i),
+               "site" + std::to_string(i % ((hosts / 2) + 1)));
+  }
+  const auto random_link = [&] {
+    net::LinkConfig link;
+    link.rate = Bandwidth::mbps(rng.uniform(30, 300));
+    link.propagation_delay =
+        SimTime::from_seconds(rng.uniform(0.002, 0.030));
+    link.queue_capacity_bytes = kib(256) << rng.pick_index(4);
+    link.loss_rate = rng.chance(0.5) ? rng.uniform(0.0, 2e-3) : 0.0;
+    if (rng.chance(0.3)) {
+      link.jitter = SimTime::from_seconds(rng.uniform(0.0, 0.002));
+    }
+    return link;
+  };
+  for (std::size_t i = 0; i < hosts; ++i) {
+    h.add_link(static_cast<net::NodeId>(i),
+               static_cast<net::NodeId>((i + 1) % hosts), random_link());
+  }
+  const std::size_t chords = 1 + rng.pick_index(hosts / 2);
+  for (std::size_t c = 0; c < chords; ++c) {
+    const auto a = static_cast<net::NodeId>(rng.pick_index(hosts));
+    const auto b = static_cast<net::NodeId>(rng.pick_index(hosts));
+    if (a != b && h.topology().link_between(a, b) == nullptr) {
+      h.add_link(a, b, random_link());
+    }
+  }
+  session::DepotConfig cfg;
+  cfg.tcp = tcp::TcpOptions{}.with_buffers(kib(256) << rng.pick_index(3));
+  cfg.user_buffer_bytes = mib(1) << rng.pick_index(2);
+  h.deploy(cfg);
+
+  // Launch a mixed batch of sessions.
+  struct Expected {
+    SimHarness::Handle handle;
+    std::uint64_t bytes;
+  };
+  std::vector<Expected> batch;
+  const std::size_t sessions = 8 + rng.pick_index(8);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    const auto src = static_cast<net::NodeId>(rng.pick_index(hosts));
+    auto dst = static_cast<net::NodeId>(rng.pick_index(hosts));
+    if (dst == src) {
+      dst = static_cast<net::NodeId>((dst + 1) % hosts);
+    }
+    session::TransferSpec spec;
+    spec.dst = dst;
+    spec.payload_bytes = kib(64) + rng.pick_index(mib(2));
+    spec.tcp = tcp::TcpOptions{}.with_buffers(kib(128) << rng.pick_index(3));
+    // Random relays through other hosts.
+    const std::size_t relays = rng.pick_index(3);
+    for (std::size_t v = 0; v < relays; ++v) {
+      auto hop = static_cast<net::NodeId>(rng.pick_index(hosts));
+      if (hop != src && hop != dst) {
+        spec.via.push_back(hop);
+      }
+    }
+    if (rng.chance(0.25) && spec.via.empty()) {
+      spec.streams = static_cast<std::uint16_t>(2 + rng.pick_index(3));
+    }
+    batch.push_back(Expected{h.launch(src, spec), spec.payload_bytes});
+  }
+
+  const auto unfinished = h.wait_all(3600_s);
+  EXPECT_EQ(unfinished, 0u);
+  for (const auto& expected : batch) {
+    const auto outcome = h.outcome(expected.handle);
+    EXPECT_TRUE(outcome.completed);
+    EXPECT_EQ(outcome.bytes, expected.bytes);
+  }
+
+  // Quiescence: after teardown drains, no connections remain anywhere.
+  h.simulator().run(h.simulator().now() + 10_s);
+  for (std::size_t i = 0; i < hosts; ++i) {
+    EXPECT_EQ(h.stack(static_cast<net::NodeId>(i)).open_connections(), 0u)
+        << "host " << i;
+    EXPECT_EQ(h.depot(static_cast<net::NodeId>(i)).active_sessions(), 0u)
+        << "host " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(ConcurrentFetchTest, TwoReceiversFetchTheSameStoredSession) {
+  SimHarness h(81);
+  const auto a = h.add_host("a");
+  const auto d = h.add_host("d");
+  const auto r1 = h.add_host("r1");
+  const auto r2 = h.add_host("r2");
+  net::LinkConfig link;
+  link.rate = Bandwidth::mbps(100);
+  link.propagation_delay = 4_ms;
+  h.add_link(a, d, link);
+  h.add_link(d, r1, link);
+  h.add_link(d, r2, link);
+  session::DepotConfig cfg;
+  cfg.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  h.deploy(cfg);
+
+  session::TransferSpec spec;
+  spec.dst = r1;
+  spec.via = {d};
+  spec.async_session = true;
+  spec.payload_bytes = mib(2);
+  spec.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  auto source = session::LslSource::start(h.stack(a), spec, h.rng());
+  const auto id = source->session_id();
+  h.simulator().run(h.simulator().now() + 30_s);
+  ASSERT_TRUE(h.depot(d).stored_bytes(id).has_value());
+
+  // Both receivers fetch concurrently; the store is non-destructive.
+  int fetched = 0;
+  auto f1 = session::AsyncFetcher::start(h.stack(r1), d, id,
+                                         tcp::TcpOptions{}.with_buffers(mib(1)));
+  auto f2 = session::AsyncFetcher::start(h.stack(r2), d, id,
+                                         tcp::TcpOptions{}.with_buffers(mib(1)));
+  for (auto* f : {f1.get(), f2.get()}) {
+    f->on_complete = [&](const session::AsyncFetcher::Result& result) {
+      EXPECT_EQ(result.bytes, mib(2));
+      ++fetched;
+    };
+  }
+  h.simulator().run(h.simulator().now() + 60_s);
+  EXPECT_EQ(fetched, 2);
+  EXPECT_TRUE(h.depot(d).stored_bytes(id).has_value());
+}
+
+}  // namespace
+}  // namespace lsl

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "tcp/stack.hpp"
+
+namespace lsl::tcp {
+namespace {
+
+using namespace lsl::time_literals;
+using testing::TwoNodeNet;
+
+net::LinkConfig lan() {
+  net::LinkConfig cfg;
+  cfg.rate = Bandwidth::mbps(1000);
+  cfg.propagation_delay = 1_ms;
+  return cfg;
+}
+
+TEST(TcpStackTest, EphemeralPortsAreDistinct) {
+  TwoNodeNet net(lan());
+  net.stack_b->listen(80, [](Connection::Ptr) {});
+  auto c1 = net.stack_a->connect(net.b, 80);
+  auto c2 = net.stack_a->connect(net.b, 80);
+  auto c3 = net.stack_a->connect(net.b, 80);
+  EXPECT_NE(c1->local_port(), c2->local_port());
+  EXPECT_NE(c2->local_port(), c3->local_port());
+  net.sim.run(2_s);
+  EXPECT_EQ(c1->state(), TcpState::kEstablished);
+  EXPECT_EQ(c3->state(), TcpState::kEstablished);
+}
+
+TEST(TcpStackTest, MultipleListenersIndependent) {
+  TwoNodeNet net(lan());
+  int hits_80 = 0;
+  int hits_443 = 0;
+  net.stack_b->listen(80, [&](Connection::Ptr) { ++hits_80; });
+  net.stack_b->listen(443, [&](Connection::Ptr) { ++hits_443; });
+  net.stack_a->connect(net.b, 80);
+  net.stack_a->connect(net.b, 443);
+  net.stack_a->connect(net.b, 443);
+  net.sim.run(2_s);
+  EXPECT_EQ(hits_80, 1);
+  EXPECT_EQ(hits_443, 2);
+}
+
+TEST(TcpStackTest, SynToClosedPortIsDropped) {
+  TwoNodeNet net(lan());
+  auto c = net.stack_a->connect(net.b, 9999);  // nobody listening
+  net.sim.run(3_s);
+  // The SYN is silently dropped; the client keeps retrying (SYN_SENT).
+  EXPECT_EQ(c->state(), TcpState::kSynSent);
+  EXPECT_GT(c->stats().timeouts, 0u);
+}
+
+TEST(TcpStackTest, StopListeningRefusesNewConnections) {
+  TwoNodeNet net(lan());
+  int accepted = 0;
+  net.stack_b->listen(80, [&](Connection::Ptr) { ++accepted; });
+  net.stack_a->connect(net.b, 80);
+  net.sim.run(1_s);
+  net.stack_b->stop_listening(80);
+  net.stack_a->connect(net.b, 80);
+  net.sim.run(1_s);
+  EXPECT_EQ(accepted, 1);
+}
+
+TEST(TcpStackTest, AcceptedConnectionSeesCorrectPeer) {
+  TwoNodeNet net(lan());
+  Connection::Ptr server;
+  net.stack_b->listen(80, [&](Connection::Ptr conn) { server = conn; });
+  auto client = net.stack_a->connect(net.b, 80);
+  net.sim.run(1_s);
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->remote_node(), net.a);
+  EXPECT_EQ(server->local_port(), 80);
+  EXPECT_EQ(server->remote_port(), client->local_port());
+}
+
+TEST(TcpStackTest, ListenerOptionsApplyToAcceptedSockets) {
+  TwoNodeNet net(lan());
+  Connection::Ptr server;
+  net.stack_b->listen(80, [&](Connection::Ptr conn) { server = conn; },
+                      TcpOptions{}.with_buffers(mib(2)));
+  net.stack_a->connect(net.b, 80);
+  net.sim.run(1_s);
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->options().recv_buffer_bytes, mib(2));
+}
+
+TEST(TcpStackTest, BidirectionalTransferOnOneConnection) {
+  TwoNodeNet net(lan());
+  std::uint64_t server_got = 0;
+  std::uint64_t client_got = 0;
+  // Payloads fit within the default 64 KB socket buffers so neither side
+  // needs a writable-pump; the point is both directions of one connection.
+  net.stack_b->listen(80, [&](Connection::Ptr conn) {
+    conn->write_synthetic(60'000);
+    conn->on_readable = [&, c = conn.get()] {
+      server_got += c->read(c->readable_bytes()).n;
+    };
+  });
+  auto client = net.stack_a->connect(net.b, 80);
+  client->on_connected = [c = client.get()] { c->write_synthetic(30'000); };
+  client->on_readable = [&, c = client.get()] {
+    client_got += c->read(c->readable_bytes()).n;
+  };
+  net.sim.run(10_s);
+  EXPECT_EQ(server_got, 30'000u);
+  EXPECT_EQ(client_got, 60'000u);
+}
+
+TEST(TcpStackTest, ManySequentialConnectionsAreReaped) {
+  TwoNodeNet net(lan());
+  int completed = 0;
+  net.stack_b->listen(80, [&](Connection::Ptr conn) {
+    conn->on_readable = [c = conn.get()] { c->read(c->readable_bytes()); };
+    conn->on_eof = [&, c = conn.get()] {
+      ++completed;
+      c->close();
+    };
+  });
+  for (int i = 0; i < 20; ++i) {
+    auto c = net.stack_a->connect(net.b, 80);
+    c->on_connected = [cp = c.get()] {
+      cp->write_synthetic(10'000);
+      cp->close();
+    };
+    net.sim.run(net.sim.now() + 5_s);
+  }
+  EXPECT_EQ(completed, 20);
+  // TIME_WAIT linger is short; everything should be reaped by now.
+  EXPECT_EQ(net.stack_a->open_connections(), 0u);
+  EXPECT_EQ(net.stack_b->open_connections(), 0u);
+}
+
+TEST(TcpStackTest, ConcurrentConnectionsDoNotInterfere) {
+  TwoNodeNet net(lan());
+  constexpr int kConns = 10;
+  std::uint64_t per_conn[kConns] = {};
+  int done = 0;
+  int next_index = 0;
+  net.stack_b->listen(80, [&](Connection::Ptr conn) {
+    const int index = next_index++;
+    conn->on_readable = [&, index, c = conn.get()] {
+      per_conn[index] += c->read(c->readable_bytes()).n;
+    };
+    conn->on_eof = [&, index, c = conn.get()] {
+      per_conn[index] += c->read(c->readable_bytes()).n;
+      ++done;
+      c->close();
+    };
+  });
+  for (int i = 0; i < kConns; ++i) {
+    auto c = net.stack_a->connect(net.b, 80);
+    const std::uint64_t bytes = 10'000 + 1'000 * static_cast<std::uint64_t>(i);
+    c->on_connected = [cp = c.get(), bytes] {
+      cp->write_synthetic(bytes);
+      cp->close();
+    };
+  }
+  net.sim.run(30_s);
+  EXPECT_EQ(done, kConns);
+  // Sizes are distinct per connection; totals must match exactly.
+  std::uint64_t total = 0;
+  for (const auto n : per_conn) {
+    total += n;
+  }
+  EXPECT_EQ(total, 10u * 10'000 + 1'000 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9));
+}
+
+}  // namespace
+}  // namespace lsl::tcp

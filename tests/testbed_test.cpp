@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testbed/abilene_paths.hpp"
+#include "testbed/grid.hpp"
+#include "testbed/sweep.hpp"
+#include "util/stats.hpp"
+
+namespace lsl::testbed {
+namespace {
+
+using namespace lsl::time_literals;
+
+TEST(SyntheticGridTest, PlanetlabPoolShape) {
+  const auto grid = SyntheticGrid::planetlab(PlanetLabConfig{}, 42);
+  // ~70 sites with 1-3 hosts each: the paper's pool had 142 machines.
+  EXPECT_GE(grid.size(), 70u);
+  EXPECT_LE(grid.size(), 210u);
+  std::set<std::string> sites;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    sites.insert(grid.host(i).site);
+  }
+  EXPECT_EQ(sites.size(), 70u);
+  EXPECT_TRUE(grid.core_hosts().empty());
+}
+
+TEST(SyntheticGridTest, DeterministicForSeed) {
+  const auto a = SyntheticGrid::planetlab(PlanetLabConfig{}, 7);
+  const auto b = SyntheticGrid::planetlab(PlanetLabConfig{}, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.host(i).name, b.host(i).name);
+    EXPECT_DOUBLE_EQ(a.host(i).access.bits_per_second(),
+                     b.host(i).access.bits_per_second());
+  }
+  EXPECT_EQ(a.rtt(0, a.size() - 1), b.rtt(0, b.size() - 1));
+}
+
+TEST(SyntheticGridTest, RttSymmetricAndBounded) {
+  const auto grid = SyntheticGrid::planetlab(PlanetLabConfig{}, 3);
+  for (std::size_t i = 0; i < grid.size(); i += 7) {
+    for (std::size_t j = 0; j < grid.size(); j += 11) {
+      if (i == j) {
+        continue;
+      }
+      EXPECT_EQ(grid.rtt(i, j), grid.rtt(j, i));
+      EXPECT_GE(grid.rtt(i, j), 1_ms);
+      EXPECT_LE(grid.rtt(i, j), 250_ms);
+    }
+  }
+}
+
+TEST(SyntheticGridTest, SameSiteIsLanLike) {
+  const auto grid = SyntheticGrid::planetlab(PlanetLabConfig{}, 11);
+  // Find a site with two hosts.
+  for (std::size_t i = 0; i + 1 < grid.size(); ++i) {
+    if (grid.host(i).site == grid.host(i + 1).site) {
+      EXPECT_EQ(grid.rtt(i, i + 1), 1_ms);
+      EXPECT_GE(grid.base_path_bw(i, i + 1).megabits_per_second(), 500.0);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no two-host site in this seed";
+}
+
+TEST(SyntheticGridTest, ProbeBwRespectsCapsAndWindow) {
+  const auto grid = SyntheticGrid::planetlab(PlanetLabConfig{}, 13);
+  for (std::size_t i = 0; i < grid.size(); i += 5) {
+    for (std::size_t j = 1; j < grid.size(); j += 9) {
+      if (i == j || grid.host(i).site == grid.host(j).site) {
+        continue;
+      }
+      const double probe = grid.probe_bw(i, j).megabits_per_second();
+      EXPECT_LE(probe,
+                grid.host(i).host_cap.megabits_per_second() + 1e-9);
+      EXPECT_LE(probe,
+                grid.host(j).host_cap.megabits_per_second() + 1e-9);
+      const double window_ceiling =
+          static_cast<double>(
+              std::min(grid.host(i).tcp_buffer, grid.host(j).tcp_buffer)) *
+          8.0 / grid.rtt(i, j).to_seconds() / 1e6;
+      EXPECT_LE(probe, window_ceiling + 1e-9);
+    }
+  }
+}
+
+TEST(SyntheticGridTest, AbileneCoreShape) {
+  const auto grid = SyntheticGrid::abilene_core(AbileneCoreConfig{}, 5);
+  EXPECT_EQ(grid.size(), 21u);  // 10 universities + 11 POPs
+  EXPECT_EQ(grid.core_hosts().size(), 11u);
+  for (const std::size_t core : grid.core_hosts()) {
+    EXPECT_TRUE(grid.host(core).core);
+    EXPECT_EQ(grid.host(core).tcp_buffer, 8 * kMiB);
+  }
+  EXPECT_EQ(grid.host(0).tcp_buffer, 64 * kKiB);
+}
+
+TEST(SyntheticGridTest, DirectParamsRateLimitKicksInPastThreshold) {
+  PlanetLabConfig config;
+  config.rate_limited_fraction = 1.0;  // everyone limited
+  const auto grid = SyntheticGrid::planetlab(config, 17);
+  Rng trial(1);
+  const auto small = grid.direct_params(0, grid.size() - 1, mib(1), trial);
+  Rng trial2(1);
+  const auto big = grid.direct_params(0, grid.size() - 1, mib(64), trial2);
+  EXPECT_LE(big.bottleneck.megabits_per_second(),
+            config.noise.rate_limit.megabits_per_second() + 1e-9);
+  EXPECT_GE(small.bottleneck.megabits_per_second(),
+            big.bottleneck.megabits_per_second());
+}
+
+TEST(SyntheticGridTest, RelayParamsMatchPathStructure) {
+  const auto grid = SyntheticGrid::planetlab(PlanetLabConfig{}, 23);
+  Rng trial(9);
+  const std::vector<std::size_t> path{0, 5, 10};
+  const auto hops = grid.relay_params(path, mib(4), trial);
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_EQ(hops[0].rtt, grid.rtt(0, 5));
+  EXPECT_EQ(hops[1].rtt, grid.rtt(5, 10));
+}
+
+TEST(SweepTest, ProducesPlausibleSpeedupDistribution) {
+  const auto grid = SyntheticGrid::planetlab(PlanetLabConfig{}, 99);
+  SweepConfig config;
+  config.max_size_exp = 3;  // 1, 2, 4 MB: keep the unit test quick
+  config.iterations = 3;
+  config.max_cases = 60;
+  const auto result = run_speedup_sweep(grid, config, 4242);
+
+  EXPECT_GT(result.fraction_scheduled, 0.02);
+  EXPECT_LT(result.fraction_scheduled, 0.9);
+  EXPECT_GT(result.scheduled_cases, 10u);
+  EXPECT_EQ(result.speedups_by_size.size(), 3u);
+
+  const auto all = result.all_speedups();
+  ASSERT_FALSE(all.empty());
+  // The paper's central finding: gains on average, losses in a sizable
+  // minority of cases.
+  int wins = 0;
+  int losses = 0;
+  for (const double s : all) {
+    EXPECT_GT(s, 0.01);
+    EXPECT_LT(s, 50.0);
+    (s > 1.0 ? wins : losses) += 1;
+  }
+  EXPECT_GT(wins, 0);
+  EXPECT_GT(losses, 0);
+}
+
+TEST(SweepTest, DeterministicForSeed) {
+  const auto grid = SyntheticGrid::planetlab(PlanetLabConfig{}, 55);
+  SweepConfig config;
+  config.max_size_exp = 2;
+  config.iterations = 2;
+  config.max_cases = 20;
+  const auto a = run_speedup_sweep(grid, config, 77);
+  const auto b = run_speedup_sweep(grid, config, 77);
+  ASSERT_EQ(a.all_speedups().size(), b.all_speedups().size());
+  EXPECT_EQ(a.all_speedups(), b.all_speedups());
+}
+
+TEST(SweepTest, ExplicitSizesRespected) {
+  const auto grid = SyntheticGrid::abilene_core(AbileneCoreConfig{}, 9);
+  SweepConfig config;
+  config.sizes = {mib(16), mib(128)};
+  config.iterations = 2;
+  config.max_cases = 20;
+  // Endpoints: the universities only (hosts 0..9).
+  for (std::size_t u = 0; u < 10; ++u) {
+    config.endpoints.push_back(u);
+  }
+  const auto result = run_speedup_sweep(grid, config, 31);
+  EXPECT_EQ(result.speedups_by_size.size(), 2u);
+  EXPECT_TRUE(result.speedups_by_size.contains(mib(16)));
+  EXPECT_TRUE(result.speedups_by_size.contains(mib(128)));
+}
+
+TEST(PathScenarioTest, RttsMatchPaperTable) {
+  const auto uiuc = ucsb_uiuc_via_denver();
+  EXPECT_EQ((uiuc.src_depot_delay * 2).to_milliseconds(), 46.0);
+  EXPECT_EQ((uiuc.depot_dst_delay * 2).to_milliseconds(), 45.0);
+  EXPECT_EQ((uiuc.direct_delay * 2).to_milliseconds(), 70.0);
+  const auto uf = ucsb_uf_via_houston();
+  EXPECT_EQ((uf.src_depot_delay * 2).to_milliseconds(), 68.0);
+  EXPECT_EQ((uf.depot_dst_delay * 2).to_milliseconds(), 34.0);
+  EXPECT_EQ((uf.direct_delay * 2).to_milliseconds(), 87.0);
+}
+
+TEST(PathTestbedTest, DirectAndRelayedTransfersComplete) {
+  PathTestbed bed(ucsb_uf_via_houston(), 8);
+  const auto direct = bed.run(/*via_depot=*/false, mib(2));
+  EXPECT_TRUE(direct.completed);
+  EXPECT_EQ(direct.bytes, mib(2));
+  const auto relayed = bed.run(/*via_depot=*/true, mib(2));
+  EXPECT_TRUE(relayed.completed);
+  EXPECT_EQ(relayed.bytes, mib(2));
+  EXPECT_EQ(bed.harness().depot(bed.depot()).stats().sessions_relayed, 1u);
+}
+
+TEST(PathTestbedTest, LslOutperformsDirectAtSteadyState) {
+  // The headline claim on the UIUC path configuration, packet level.
+  // Individual runs are noisy (stochastic loss placement), so compare the
+  // averages of several seeds, exactly as the paper averages 10 runs.
+  OnlineStats direct_bw;
+  OnlineStats lsl_bw;
+  for (std::uint64_t seed = 12; seed < 17; ++seed) {
+    PathTestbed direct_bed(ucsb_uiuc_via_denver(), seed);
+    const auto direct = direct_bed.run(false, mib(32));
+    ASSERT_TRUE(direct.completed);
+    direct_bw.add(direct.goodput.megabits_per_second());
+    PathTestbed lsl_bed(ucsb_uiuc_via_denver(), seed);
+    const auto lsl = lsl_bed.run(true, mib(32));
+    ASSERT_TRUE(lsl.completed);
+    lsl_bw.add(lsl.goodput.megabits_per_second());
+  }
+  EXPECT_GT(lsl_bw.mean(), direct_bw.mean());
+}
+
+}  // namespace
+}  // namespace lsl::testbed
