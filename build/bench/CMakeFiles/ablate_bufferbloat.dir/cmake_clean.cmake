@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_bufferbloat.dir/ablate_bufferbloat.cpp.o"
+  "CMakeFiles/ablate_bufferbloat.dir/ablate_bufferbloat.cpp.o.d"
+  "ablate_bufferbloat"
+  "ablate_bufferbloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_bufferbloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

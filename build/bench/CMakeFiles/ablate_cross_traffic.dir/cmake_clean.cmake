@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_cross_traffic.dir/ablate_cross_traffic.cpp.o"
+  "CMakeFiles/ablate_cross_traffic.dir/ablate_cross_traffic.cpp.o.d"
+  "ablate_cross_traffic"
+  "ablate_cross_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cross_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablate_delack.cpp" "bench/CMakeFiles/ablate_delack.dir/ablate_delack.cpp.o" "gcc" "bench/CMakeFiles/ablate_delack.dir/ablate_delack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/lsl_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/lsl_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/lsl_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/nws/CMakeFiles/lsl_nws.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lsl_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/lsl_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsl/CMakeFiles/lsl_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/lsl_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lsl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_delack.dir/ablate_delack.cpp.o"
+  "CMakeFiles/ablate_delack.dir/ablate_delack.cpp.o.d"
+  "ablate_delack"
+  "ablate_delack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_delack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_depot_buffer.dir/ablate_depot_buffer.cpp.o"
+  "CMakeFiles/ablate_depot_buffer.dir/ablate_depot_buffer.cpp.o.d"
+  "ablate_depot_buffer"
+  "ablate_depot_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_depot_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

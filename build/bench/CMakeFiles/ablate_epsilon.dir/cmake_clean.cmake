@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_epsilon.dir/ablate_epsilon.cpp.o"
+  "CMakeFiles/ablate_epsilon.dir/ablate_epsilon.cpp.o.d"
+  "ablate_epsilon"
+  "ablate_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

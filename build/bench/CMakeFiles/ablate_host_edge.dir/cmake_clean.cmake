@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_host_edge.dir/ablate_host_edge.cpp.o"
+  "CMakeFiles/ablate_host_edge.dir/ablate_host_edge.cpp.o.d"
+  "ablate_host_edge"
+  "ablate_host_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_host_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

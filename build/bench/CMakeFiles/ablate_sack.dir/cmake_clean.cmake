@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_sack.dir/ablate_sack.cpp.o"
+  "CMakeFiles/ablate_sack.dir/ablate_sack.cpp.o.d"
+  "ablate_sack"
+  "ablate_sack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_sack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_staleness.dir/ablate_staleness.cpp.o"
+  "CMakeFiles/ablate_staleness.dir/ablate_staleness.cpp.o.d"
+  "ablate_staleness"
+  "ablate_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

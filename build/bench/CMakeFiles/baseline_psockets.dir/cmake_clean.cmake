@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_psockets.dir/baseline_psockets.cpp.o"
+  "CMakeFiles/baseline_psockets.dir/baseline_psockets.cpp.o.d"
+  "baseline_psockets"
+  "baseline_psockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_psockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

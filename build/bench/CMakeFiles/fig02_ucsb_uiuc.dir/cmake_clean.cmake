@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_ucsb_uiuc.dir/fig02_ucsb_uiuc.cpp.o"
+  "CMakeFiles/fig02_ucsb_uiuc.dir/fig02_ucsb_uiuc.cpp.o.d"
+  "fig02_ucsb_uiuc"
+  "fig02_ucsb_uiuc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_ucsb_uiuc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

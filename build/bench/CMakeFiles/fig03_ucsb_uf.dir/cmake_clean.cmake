@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_ucsb_uf.dir/fig03_ucsb_uf.cpp.o"
+  "CMakeFiles/fig03_ucsb_uf.dir/fig03_ucsb_uf.cpp.o.d"
+  "fig03_ucsb_uf"
+  "fig03_ucsb_uf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ucsb_uf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

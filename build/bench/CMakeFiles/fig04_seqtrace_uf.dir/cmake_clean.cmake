@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_seqtrace_uf.dir/fig04_seqtrace_uf.cpp.o"
+  "CMakeFiles/fig04_seqtrace_uf.dir/fig04_seqtrace_uf.cpp.o.d"
+  "fig04_seqtrace_uf"
+  "fig04_seqtrace_uf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_seqtrace_uf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

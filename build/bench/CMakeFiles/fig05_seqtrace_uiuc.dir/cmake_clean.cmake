@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_seqtrace_uiuc.dir/fig05_seqtrace_uiuc.cpp.o"
+  "CMakeFiles/fig05_seqtrace_uiuc.dir/fig05_seqtrace_uiuc.cpp.o.d"
+  "fig05_seqtrace_uiuc"
+  "fig05_seqtrace_uiuc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_seqtrace_uiuc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

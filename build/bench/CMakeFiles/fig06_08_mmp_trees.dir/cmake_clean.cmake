@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_08_mmp_trees.dir/fig06_08_mmp_trees.cpp.o"
+  "CMakeFiles/fig06_08_mmp_trees.dir/fig06_08_mmp_trees.cpp.o.d"
+  "fig06_08_mmp_trees"
+  "fig06_08_mmp_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_08_mmp_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

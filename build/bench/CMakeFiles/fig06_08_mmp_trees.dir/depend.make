@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_08_mmp_trees.
+# This may be replaced when dependencies are built.

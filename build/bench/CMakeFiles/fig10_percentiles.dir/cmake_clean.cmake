@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_percentiles.dir/fig10_percentiles.cpp.o"
+  "CMakeFiles/fig10_percentiles.dir/fig10_percentiles.cpp.o.d"
+  "fig10_percentiles"
+  "fig10_percentiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_percentiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

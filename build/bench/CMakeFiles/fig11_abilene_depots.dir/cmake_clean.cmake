@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_abilene_depots.dir/fig11_abilene_depots.cpp.o"
+  "CMakeFiles/fig11_abilene_depots.dir/fig11_abilene_depots.cpp.o.d"
+  "fig11_abilene_depots"
+  "fig11_abilene_depots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_abilene_depots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_bench_common.dir/path_figure.cpp.o"
+  "CMakeFiles/lsl_bench_common.dir/path_figure.cpp.o.d"
+  "CMakeFiles/lsl_bench_common.dir/seqtrace_figure.cpp.o"
+  "CMakeFiles/lsl_bench_common.dir/seqtrace_figure.cpp.o.d"
+  "liblsl_bench_common.a"
+  "liblsl_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_crossover.dir/table_crossover.cpp.o"
+  "CMakeFiles/table_crossover.dir/table_crossover.cpp.o.d"
+  "table_crossover"
+  "table_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_staging.dir/grid_staging.cpp.o"
+  "CMakeFiles/grid_staging.dir/grid_staging.cpp.o.d"
+  "grid_staging"
+  "grid_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_scheduler.dir/overlay_scheduler.cpp.o"
+  "CMakeFiles/overlay_scheduler.dir/overlay_scheduler.cpp.o.d"
+  "overlay_scheduler"
+  "overlay_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

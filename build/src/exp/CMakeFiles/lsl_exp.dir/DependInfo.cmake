@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/harness.cpp" "src/exp/CMakeFiles/lsl_exp.dir/harness.cpp.o" "gcc" "src/exp/CMakeFiles/lsl_exp.dir/harness.cpp.o.d"
+  "/root/repo/src/exp/packet_log.cpp" "src/exp/CMakeFiles/lsl_exp.dir/packet_log.cpp.o" "gcc" "src/exp/CMakeFiles/lsl_exp.dir/packet_log.cpp.o.d"
+  "/root/repo/src/exp/raw_tcp.cpp" "src/exp/CMakeFiles/lsl_exp.dir/raw_tcp.cpp.o" "gcc" "src/exp/CMakeFiles/lsl_exp.dir/raw_tcp.cpp.o.d"
+  "/root/repo/src/exp/scenario.cpp" "src/exp/CMakeFiles/lsl_exp.dir/scenario.cpp.o" "gcc" "src/exp/CMakeFiles/lsl_exp.dir/scenario.cpp.o.d"
+  "/root/repo/src/exp/trace.cpp" "src/exp/CMakeFiles/lsl_exp.dir/trace.cpp.o" "gcc" "src/exp/CMakeFiles/lsl_exp.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lsl/CMakeFiles/lsl_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/lsl_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lsl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_exp.dir/harness.cpp.o"
+  "CMakeFiles/lsl_exp.dir/harness.cpp.o.d"
+  "CMakeFiles/lsl_exp.dir/packet_log.cpp.o"
+  "CMakeFiles/lsl_exp.dir/packet_log.cpp.o.d"
+  "CMakeFiles/lsl_exp.dir/raw_tcp.cpp.o"
+  "CMakeFiles/lsl_exp.dir/raw_tcp.cpp.o.d"
+  "CMakeFiles/lsl_exp.dir/scenario.cpp.o"
+  "CMakeFiles/lsl_exp.dir/scenario.cpp.o.d"
+  "CMakeFiles/lsl_exp.dir/trace.cpp.o"
+  "CMakeFiles/lsl_exp.dir/trace.cpp.o.d"
+  "liblsl_exp.a"
+  "liblsl_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

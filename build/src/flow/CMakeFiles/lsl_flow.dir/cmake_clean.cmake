@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_flow.dir/path_model.cpp.o"
+  "CMakeFiles/lsl_flow.dir/path_model.cpp.o.d"
+  "CMakeFiles/lsl_flow.dir/tcp_model.cpp.o"
+  "CMakeFiles/lsl_flow.dir/tcp_model.cpp.o.d"
+  "liblsl_flow.a"
+  "liblsl_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

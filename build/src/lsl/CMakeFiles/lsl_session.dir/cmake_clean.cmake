@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_session.dir/depot.cpp.o"
+  "CMakeFiles/lsl_session.dir/depot.cpp.o.d"
+  "CMakeFiles/lsl_session.dir/endpoint.cpp.o"
+  "CMakeFiles/lsl_session.dir/endpoint.cpp.o.d"
+  "CMakeFiles/lsl_session.dir/header.cpp.o"
+  "CMakeFiles/lsl_session.dir/header.cpp.o.d"
+  "liblsl_session.a"
+  "liblsl_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_net.dir/link.cpp.o"
+  "CMakeFiles/lsl_net.dir/link.cpp.o.d"
+  "CMakeFiles/lsl_net.dir/node.cpp.o"
+  "CMakeFiles/lsl_net.dir/node.cpp.o.d"
+  "CMakeFiles/lsl_net.dir/topology.cpp.o"
+  "CMakeFiles/lsl_net.dir/topology.cpp.o.d"
+  "liblsl_net.a"
+  "liblsl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nws/forecasters.cpp" "src/nws/CMakeFiles/lsl_nws.dir/forecasters.cpp.o" "gcc" "src/nws/CMakeFiles/lsl_nws.dir/forecasters.cpp.o.d"
+  "/root/repo/src/nws/monitor.cpp" "src/nws/CMakeFiles/lsl_nws.dir/monitor.cpp.o" "gcc" "src/nws/CMakeFiles/lsl_nws.dir/monitor.cpp.o.d"
+  "/root/repo/src/nws/rescheduler.cpp" "src/nws/CMakeFiles/lsl_nws.dir/rescheduler.cpp.o" "gcc" "src/nws/CMakeFiles/lsl_nws.dir/rescheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/lsl_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsl/CMakeFiles/lsl_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/lsl_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lsl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

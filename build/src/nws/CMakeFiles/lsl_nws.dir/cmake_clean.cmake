@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_nws.dir/forecasters.cpp.o"
+  "CMakeFiles/lsl_nws.dir/forecasters.cpp.o.d"
+  "CMakeFiles/lsl_nws.dir/monitor.cpp.o"
+  "CMakeFiles/lsl_nws.dir/monitor.cpp.o.d"
+  "CMakeFiles/lsl_nws.dir/rescheduler.cpp.o"
+  "CMakeFiles/lsl_nws.dir/rescheduler.cpp.o.d"
+  "liblsl_nws.a"
+  "liblsl_nws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_nws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_sched.dir/cost_matrix.cpp.o"
+  "CMakeFiles/lsl_sched.dir/cost_matrix.cpp.o.d"
+  "CMakeFiles/lsl_sched.dir/minimax.cpp.o"
+  "CMakeFiles/lsl_sched.dir/minimax.cpp.o.d"
+  "CMakeFiles/lsl_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/lsl_sched.dir/scheduler.cpp.o.d"
+  "liblsl_sched.a"
+  "liblsl_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_sim.dir/simulator.cpp.o"
+  "CMakeFiles/lsl_sim.dir/simulator.cpp.o.d"
+  "liblsl_sim.a"
+  "liblsl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

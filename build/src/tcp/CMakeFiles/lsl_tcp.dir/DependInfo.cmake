@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/connection.cpp" "src/tcp/CMakeFiles/lsl_tcp.dir/connection.cpp.o" "gcc" "src/tcp/CMakeFiles/lsl_tcp.dir/connection.cpp.o.d"
+  "/root/repo/src/tcp/recv_buffer.cpp" "src/tcp/CMakeFiles/lsl_tcp.dir/recv_buffer.cpp.o" "gcc" "src/tcp/CMakeFiles/lsl_tcp.dir/recv_buffer.cpp.o.d"
+  "/root/repo/src/tcp/rtt_estimator.cpp" "src/tcp/CMakeFiles/lsl_tcp.dir/rtt_estimator.cpp.o" "gcc" "src/tcp/CMakeFiles/lsl_tcp.dir/rtt_estimator.cpp.o.d"
+  "/root/repo/src/tcp/sack.cpp" "src/tcp/CMakeFiles/lsl_tcp.dir/sack.cpp.o" "gcc" "src/tcp/CMakeFiles/lsl_tcp.dir/sack.cpp.o.d"
+  "/root/repo/src/tcp/send_buffer.cpp" "src/tcp/CMakeFiles/lsl_tcp.dir/send_buffer.cpp.o" "gcc" "src/tcp/CMakeFiles/lsl_tcp.dir/send_buffer.cpp.o.d"
+  "/root/repo/src/tcp/stack.cpp" "src/tcp/CMakeFiles/lsl_tcp.dir/stack.cpp.o" "gcc" "src/tcp/CMakeFiles/lsl_tcp.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lsl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_tcp.dir/connection.cpp.o"
+  "CMakeFiles/lsl_tcp.dir/connection.cpp.o.d"
+  "CMakeFiles/lsl_tcp.dir/recv_buffer.cpp.o"
+  "CMakeFiles/lsl_tcp.dir/recv_buffer.cpp.o.d"
+  "CMakeFiles/lsl_tcp.dir/rtt_estimator.cpp.o"
+  "CMakeFiles/lsl_tcp.dir/rtt_estimator.cpp.o.d"
+  "CMakeFiles/lsl_tcp.dir/sack.cpp.o"
+  "CMakeFiles/lsl_tcp.dir/sack.cpp.o.d"
+  "CMakeFiles/lsl_tcp.dir/send_buffer.cpp.o"
+  "CMakeFiles/lsl_tcp.dir/send_buffer.cpp.o.d"
+  "CMakeFiles/lsl_tcp.dir/stack.cpp.o"
+  "CMakeFiles/lsl_tcp.dir/stack.cpp.o.d"
+  "liblsl_tcp.a"
+  "liblsl_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

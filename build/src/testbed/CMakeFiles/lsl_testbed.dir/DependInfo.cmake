@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/abilene_paths.cpp" "src/testbed/CMakeFiles/lsl_testbed.dir/abilene_paths.cpp.o" "gcc" "src/testbed/CMakeFiles/lsl_testbed.dir/abilene_paths.cpp.o.d"
+  "/root/repo/src/testbed/cross_traffic.cpp" "src/testbed/CMakeFiles/lsl_testbed.dir/cross_traffic.cpp.o" "gcc" "src/testbed/CMakeFiles/lsl_testbed.dir/cross_traffic.cpp.o.d"
+  "/root/repo/src/testbed/grid.cpp" "src/testbed/CMakeFiles/lsl_testbed.dir/grid.cpp.o" "gcc" "src/testbed/CMakeFiles/lsl_testbed.dir/grid.cpp.o.d"
+  "/root/repo/src/testbed/materialize.cpp" "src/testbed/CMakeFiles/lsl_testbed.dir/materialize.cpp.o" "gcc" "src/testbed/CMakeFiles/lsl_testbed.dir/materialize.cpp.o.d"
+  "/root/repo/src/testbed/sweep.cpp" "src/testbed/CMakeFiles/lsl_testbed.dir/sweep.cpp.o" "gcc" "src/testbed/CMakeFiles/lsl_testbed.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/lsl_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/lsl_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/nws/CMakeFiles/lsl_nws.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lsl_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsl/CMakeFiles/lsl_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/lsl_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lsl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_testbed.dir/abilene_paths.cpp.o"
+  "CMakeFiles/lsl_testbed.dir/abilene_paths.cpp.o.d"
+  "CMakeFiles/lsl_testbed.dir/cross_traffic.cpp.o"
+  "CMakeFiles/lsl_testbed.dir/cross_traffic.cpp.o.d"
+  "CMakeFiles/lsl_testbed.dir/grid.cpp.o"
+  "CMakeFiles/lsl_testbed.dir/grid.cpp.o.d"
+  "CMakeFiles/lsl_testbed.dir/materialize.cpp.o"
+  "CMakeFiles/lsl_testbed.dir/materialize.cpp.o.d"
+  "CMakeFiles/lsl_testbed.dir/sweep.cpp.o"
+  "CMakeFiles/lsl_testbed.dir/sweep.cpp.o.d"
+  "liblsl_testbed.a"
+  "liblsl_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

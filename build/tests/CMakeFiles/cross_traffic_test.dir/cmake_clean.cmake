@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_traffic_test.dir/cross_traffic_test.cpp.o"
+  "CMakeFiles/cross_traffic_test.dir/cross_traffic_test.cpp.o.d"
+  "cross_traffic_test"
+  "cross_traffic_test.pdb"
+  "cross_traffic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depot_memory_test.dir/depot_memory_test.cpp.o"
+  "CMakeFiles/depot_memory_test.dir/depot_memory_test.cpp.o.d"
+  "depot_memory_test"
+  "depot_memory_test.pdb"
+  "depot_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depot_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depot_store_test.dir/depot_store_test.cpp.o"
+  "CMakeFiles/depot_store_test.dir/depot_store_test.cpp.o.d"
+  "depot_store_test"
+  "depot_store_test.pdb"
+  "depot_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depot_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

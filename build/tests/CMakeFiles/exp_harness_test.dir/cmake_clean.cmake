@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_harness_test.dir/exp_harness_test.cpp.o"
+  "CMakeFiles/exp_harness_test.dir/exp_harness_test.cpp.o.d"
+  "exp_harness_test"
+  "exp_harness_test.pdb"
+  "exp_harness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_model_test.dir/flow_model_test.cpp.o"
+  "CMakeFiles/flow_model_test.dir/flow_model_test.cpp.o.d"
+  "flow_model_test"
+  "flow_model_test.pdb"
+  "flow_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_depot_test.dir/lsl_depot_test.cpp.o"
+  "CMakeFiles/lsl_depot_test.dir/lsl_depot_test.cpp.o.d"
+  "lsl_depot_test"
+  "lsl_depot_test.pdb"
+  "lsl_depot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_depot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

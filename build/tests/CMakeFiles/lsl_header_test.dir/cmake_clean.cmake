@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_header_test.dir/lsl_header_test.cpp.o"
+  "CMakeFiles/lsl_header_test.dir/lsl_header_test.cpp.o.d"
+  "lsl_header_test"
+  "lsl_header_test.pdb"
+  "lsl_header_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_header_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_stripe_test.dir/lsl_stripe_test.cpp.o"
+  "CMakeFiles/lsl_stripe_test.dir/lsl_stripe_test.cpp.o.d"
+  "lsl_stripe_test"
+  "lsl_stripe_test.pdb"
+  "lsl_stripe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_stripe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

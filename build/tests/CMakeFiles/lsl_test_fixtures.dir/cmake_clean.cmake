@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_test_fixtures.dir/fixtures.cpp.o"
+  "CMakeFiles/lsl_test_fixtures.dir/fixtures.cpp.o.d"
+  "liblsl_test_fixtures.a"
+  "liblsl_test_fixtures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_test_fixtures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

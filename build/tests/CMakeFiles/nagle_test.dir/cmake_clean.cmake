@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nagle_test.dir/nagle_test.cpp.o"
+  "CMakeFiles/nagle_test.dir/nagle_test.cpp.o.d"
+  "nagle_test"
+  "nagle_test.pdb"
+  "nagle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nagle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

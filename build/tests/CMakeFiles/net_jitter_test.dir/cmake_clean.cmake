@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_jitter_test.dir/net_jitter_test.cpp.o"
+  "CMakeFiles/net_jitter_test.dir/net_jitter_test.cpp.o.d"
+  "net_jitter_test"
+  "net_jitter_test.pdb"
+  "net_jitter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_jitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

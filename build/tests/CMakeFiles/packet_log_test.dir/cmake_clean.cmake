@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_log_test.dir/packet_log_test.cpp.o"
+  "CMakeFiles/packet_log_test.dir/packet_log_test.cpp.o.d"
+  "packet_log_test"
+  "packet_log_test.pdb"
+  "packet_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_buffers_test.dir/tcp_buffers_test.cpp.o"
+  "CMakeFiles/tcp_buffers_test.dir/tcp_buffers_test.cpp.o.d"
+  "tcp_buffers_test"
+  "tcp_buffers_test.pdb"
+  "tcp_buffers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_buffers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_options_test.dir/tcp_options_test.cpp.o"
+  "CMakeFiles/tcp_options_test.dir/tcp_options_test.cpp.o.d"
+  "tcp_options_test"
+  "tcp_options_test.pdb"
+  "tcp_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/lslsim.cpp" "tools/CMakeFiles/lslsim.dir/lslsim.cpp.o" "gcc" "tools/CMakeFiles/lslsim.dir/lslsim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/lsl_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsl/CMakeFiles/lsl_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/lsl_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lsl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lslsim.dir/lslsim.cpp.o"
+  "CMakeFiles/lslsim.dir/lslsim.cpp.o.d"
+  "lslsim"
+  "lslsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lslsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
