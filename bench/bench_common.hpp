@@ -4,12 +4,19 @@
 // the data series (CSV-friendly), and a short interpretation line comparing
 // against the paper's qualitative claim. Iteration counts can be scaled
 // down with LSL_BENCH_SCALE (e.g. 0.2 for smoke runs).
+//
+// Each bench also drops a metrics sidecar at exit: a JSON snapshot of the
+// global metrics registry named <artifact>.metrics.json (in the working
+// directory, or under LSL_BENCH_METRICS_DIR; LSL_BENCH_METRICS=off skips
+// it). See docs/observability.md.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace lsl::bench {
@@ -30,12 +37,70 @@ inline std::size_t scaled(std::size_t n, std::size_t min_value = 1) {
   return s < min_value ? min_value : s;
 }
 
+namespace detail {
+
+inline std::string& sidecar_path() {
+  static std::string path;
+  return path;
+}
+
+inline void write_sidecar() {
+  const std::string& path = sidecar_path();
+  if (path.empty()) {
+    return;
+  }
+  if (!obs::Registry::global().write_json(path)) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+  }
+}
+
+/// "Figure 2 -- two depots" -> "figure_2", a filesystem-safe slug from the
+/// artifact text up to its first " --" separator.
+inline std::string artifact_slug(const char* artifact) {
+  std::string slug;
+  for (const char* p = artifact; *p != '\0'; ++p) {
+    if (p[0] == ' ' && p[1] == '-' && p[2] == '-') {
+      break;
+    }
+    const unsigned char c = static_cast<unsigned char>(*p);
+    if (std::isalnum(c)) {
+      slug += static_cast<char>(std::tolower(c));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') {
+    slug.pop_back();
+  }
+  return slug.empty() ? "bench" : slug;
+}
+
+}  // namespace detail
+
 inline void banner(const char* artifact, const char* description) {
   std::printf("==============================================================\n");
   std::printf("%s\n", artifact);
   std::printf("  %s\n", description);
   std::printf("==============================================================\n");
   lsl::init_log_from_env();
+  obs::init_metrics_from_env();
+  if (const char* v = std::getenv("LSL_BENCH_METRICS");
+      v != nullptr && (std::string(v) == "off" || std::string(v) == "0")) {
+    return;
+  }
+  std::string path = detail::artifact_slug(artifact) + ".metrics.json";
+  if (const char* dir = std::getenv("LSL_BENCH_METRICS_DIR")) {
+    path = std::string(dir) + "/" + path;
+  }
+  // Touch the registry before registering the atexit hook: function-local
+  // statics are destroyed in reverse construction order, so this guarantees
+  // it still exists when the hook fires.
+  (void)obs::Registry::global();
+  const bool first = detail::sidecar_path().empty();
+  detail::sidecar_path() = std::move(path);
+  if (first) {
+    std::atexit(&detail::write_sidecar);
+  }
 }
 
 }  // namespace lsl::bench

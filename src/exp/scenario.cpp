@@ -233,8 +233,12 @@ ParseResult parse_scenario(const std::string& text) {
 
 std::vector<ScenarioOutcome> run_scenario(const Scenario& scenario,
                                           std::uint64_t seed,
-                                          SimTime per_transfer_deadline) {
+                                          SimTime per_transfer_deadline,
+                                          sim::KernelProfile* profile_out) {
   SimHarness harness(seed);
+  if (profile_out != nullptr) {
+    harness.simulator().set_profiling(true);
+  }
   std::map<std::string, net::NodeId> ids;
   for (const auto& host : scenario.hosts) {
     ids[host.name] = harness.add_host(host.name, host.site);
@@ -270,6 +274,9 @@ std::vector<ScenarioOutcome> run_scenario(const Scenario& scenario,
                                           harness.simulator().now() +
                                               per_transfer_deadline);
     outcomes.push_back(std::move(record));
+  }
+  if (profile_out != nullptr) {
+    *profile_out = harness.simulator().profile();
   }
   return outcomes;
 }

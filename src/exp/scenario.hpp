@@ -84,8 +84,11 @@ struct ScenarioOutcome {
 };
 
 /// Build the harness, run every transfer in order, return the outcomes.
+/// When `profile_out` is non-null, kernel profiling (wall-clock sampling)
+/// is enabled for the run and the final profile is stored there.
 [[nodiscard]] std::vector<ScenarioOutcome> run_scenario(
     const Scenario& scenario, std::uint64_t seed,
-    SimTime per_transfer_deadline = SimTime::seconds(3600));
+    SimTime per_transfer_deadline = SimTime::seconds(3600),
+    sim::KernelProfile* profile_out = nullptr);
 
 }  // namespace lsl::exp

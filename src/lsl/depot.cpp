@@ -4,10 +4,34 @@
 #include <span>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
 namespace lsl::session {
+
+DepotMetrics* DepotMetrics::get() {
+  if (!obs::metrics_enabled()) {
+    return nullptr;
+  }
+  static DepotMetrics metrics = [] {
+    auto& reg = obs::Registry::global();
+    DepotMetrics m;
+    m.sessions_accepted = &reg.counter("lsl.depot.sessions_accepted");
+    m.sessions_refused = &reg.counter("lsl.depot.sessions_refused");
+    m.sessions_relayed = &reg.counter("lsl.depot.sessions_relayed");
+    m.sessions_delivered = &reg.counter("lsl.depot.sessions_delivered");
+    m.bytes_relayed = &reg.counter("lsl.depot.bytes_relayed");
+    m.bytes_delivered = &reg.counter("lsl.depot.bytes_delivered");
+    m.stall_us = &reg.counter("lsl.depot.stall_us");
+    m.buffer_occupancy = &reg.gauge("lsl.depot.buffer_occupancy");
+    // Session sizes from the paper span 1 MiB .. 1 GiB in doublings.
+    m.relay_session_mib = &reg.histogram(
+        "lsl.depot.relay_session_mib", obs::exponential_buckets(1.0, 2.0, 11));
+    return m;
+  }();
+  return &metrics;
+}
 
 // ---------------------------------------------------------------------------
 // Relay: one accepted session flowing through this depot.
@@ -190,6 +214,9 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
     user_buffer_granted_ = depot_.reserve_user_memory();
     if (user_buffer_granted_ == 0) {
       ++depot_.stats_.sessions_refused;
+      if (depot_.metrics_ != nullptr) {
+        depot_.metrics_->sessions_refused->inc();
+      }
       fail();
       return false;
     }
@@ -274,6 +301,7 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
       buf_high_ += r.n;
       payload_seen_ += r.n;
     }
+    account_buffer();
   }
 
   void push_downstream() {
@@ -287,6 +315,34 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
       }
       buf_base_ += n;
       depot_.stats_.bytes_relayed += n;
+      if (depot_.metrics_ != nullptr) {
+        depot_.metrics_->bytes_relayed->inc(n);
+      }
+    }
+    account_buffer();
+  }
+
+  /// Relay-buffer telemetry: occupancy gauge (high-water tracked inside) and
+  /// stall time -- the span during which the buffer sits full, i.e. the
+  /// downstream leg is the pipeline bottleneck and backpressure has reached
+  /// the upstream socket.
+  void account_buffer() {
+    if (depot_.metrics_ != nullptr) {
+      depot_.metrics_->buffer_occupancy->set(
+          static_cast<double>(user_used()));
+    }
+    const bool full =
+        user_buffer_granted_ > 0 && user_used() >= user_buffer_granted_;
+    const SimTime now = depot_.stack_.simulator().now();
+    if (full && !stalled_) {
+      stalled_ = true;
+      stall_since_ = now;
+    } else if (!full && stalled_) {
+      stalled_ = false;
+      if (depot_.metrics_ != nullptr) {
+        depot_.metrics_->stall_us->inc(
+            static_cast<std::uint64_t>((now - stall_since_).ns() / 1000));
+      }
     }
   }
 
@@ -305,11 +361,15 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
           }
           child.sent += n;
           depot_.stats_.bytes_relayed += n;
+          if (depot_.metrics_ != nullptr) {
+            depot_.metrics_->bytes_relayed->inc(n);
+          }
         }
       }
       min_sent = std::min(min_sent, child.sent);
     }
     buf_base_ = std::max(buf_base_, min_sent);
+    account_buffer();
   }
 
   void drain_locally() {
@@ -321,6 +381,9 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
       payload_seen_ += r.n;
       if (phase_ == Phase::kDelivering) {
         depot_.stats_.bytes_delivered += r.n;
+        if (depot_.metrics_ != nullptr) {
+          depot_.metrics_->bytes_delivered->inc(r.n);
+        }
       }
     }
   }
@@ -356,6 +419,9 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
       }
       fetch_remaining_ -= n;
       depot_.stats_.bytes_relayed += n;
+      if (depot_.metrics_ != nullptr) {
+        depot_.metrics_->bytes_relayed->inc(n);
+      }
     }
     up_->close();
     done();
@@ -396,6 +462,9 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
           down_->close();
           up_->close();  // our send direction was never used; finish both
           ++depot_.stats_.sessions_relayed;
+          if (depot_.metrics_ != nullptr) {
+            depot_.metrics_->sessions_relayed->inc();
+          }
           done();
         }
         break;
@@ -429,6 +498,9 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
           }
           up_->close();
           ++depot_.stats_.sessions_relayed;
+          if (depot_.metrics_ != nullptr) {
+            depot_.metrics_->sessions_relayed->inc();
+          }
           done();
         }
         break;
@@ -460,6 +532,34 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
     if (phase_ == Phase::kDone) {
       return;
     }
+    const SimTime now = depot_.stack_.simulator().now();
+    if (stalled_) {
+      stalled_ = false;
+      if (depot_.metrics_ != nullptr) {
+        depot_.metrics_->stall_us->inc(
+            static_cast<std::uint64_t>((now - stall_since_).ns() / 1000));
+      }
+    }
+    if (depot_.metrics_ != nullptr &&
+        (phase_ == Phase::kRelaying || phase_ == Phase::kMulticast)) {
+      depot_.metrics_->relay_session_mib->observe(
+          static_cast<double>(payload_seen_) / static_cast<double>(kMiB));
+    }
+    if (auto* tr = obs::tracer(); tr != nullptr) {
+      // One complete span per session; overlapping sessions stay legible in
+      // the Chrome trace because 'X' events carry their own duration.
+      const char* name = "lsl.session";
+      switch (phase_) {
+        case Phase::kRelaying: name = "lsl.relay"; break;
+        case Phase::kDelivering: name = "lsl.deliver"; break;
+        case Phase::kStoring: name = "lsl.store"; break;
+        case Phase::kServingFetch: name = "lsl.fetch"; break;
+        case Phase::kMulticast: name = "lsl.multicast"; break;
+        default: break;
+      }
+      tr->complete(accepted_at_, now - accepted_at_, "lsl", name,
+                   SessionIdHash{}(hdr_.session_id));
+    }
     phase_ = Phase::kDone;
     depot_.release_user_memory(user_buffer_granted_);
     user_buffer_granted_ = 0;
@@ -487,6 +587,8 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
   std::uint64_t fetch_remaining_ = 0;
   SimTime accepted_at_;
   std::uint64_t user_buffer_granted_ = 0;
+  bool stalled_ = false;            ///< relay buffer currently full
+  SimTime stall_since_ = SimTime::zero();
   std::vector<Child> children_;
 };
 
@@ -494,7 +596,7 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
 // Depot
 
 Depot::Depot(tcp::TcpStack& stack, DepotConfig config)
-    : stack_(stack), config_(config) {
+    : stack_(stack), config_(config), metrics_(DepotMetrics::get()) {
   stack_.listen(
       kLslPort, [this](tcp::Connection::Ptr conn) { on_accept(std::move(conn)); },
       config_.tcp);
@@ -540,10 +642,16 @@ Depot::~Depot() {
 void Depot::on_accept(tcp::Connection::Ptr conn) {
   if (active_ >= config_.max_sessions) {
     ++stats_.sessions_refused;
+    if (metrics_ != nullptr) {
+      metrics_->sessions_refused->inc();
+    }
     conn->abort();
     return;
   }
   ++stats_.sessions_accepted;
+  if (metrics_ != nullptr) {
+    metrics_->sessions_accepted->inc();
+  }
   ++active_;
   auto relay = std::make_shared<Relay>(*this, std::move(conn));
   relays_.push_back(relay);
@@ -554,15 +662,18 @@ void Depot::relay_done(Relay* relay) {
   LSL_ASSERT(active_ > 0);
   --active_;
   // Deferred removal: we're inside the relay's own callback chain.
-  stack_.simulator().schedule_after(SimTime::zero(), [this, relay] {
-    for (auto it = relays_.begin(); it != relays_.end(); ++it) {
-      if (it->get() == relay) {
-        (*it)->detach_callbacks();
-        relays_.erase(it);
-        break;
-      }
-    }
-  });
+  stack_.simulator().schedule_after(
+      SimTime::zero(),
+      [this, relay] {
+        for (auto it = relays_.begin(); it != relays_.end(); ++it) {
+          if (it->get() == relay) {
+            (*it)->detach_callbacks();
+            relays_.erase(it);
+            break;
+          }
+        }
+      },
+      "lsl.depot");
 }
 
 void Depot::session_delivered(const SessionHeader& header,
@@ -592,6 +703,9 @@ void Depot::session_delivered(const SessionHeader& header,
   }
 
   ++stats_.sessions_delivered;
+  if (metrics_ != nullptr) {
+    metrics_->sessions_delivered->inc();
+  }
   if (on_session_complete) {
     on_session_complete(record);
   }

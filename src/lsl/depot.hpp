@@ -26,10 +26,28 @@
 
 #include "lsl/header.hpp"
 #include "lsl/route_table.hpp"
+#include "obs/metrics.hpp"
 #include "tcp/stack.hpp"
 #include "util/units.hpp"
 
 namespace lsl::session {
+
+/// Process-wide depot instruments in the global metrics registry (aggregated
+/// across depots; per-depot detail stays in DepotStats).
+struct DepotMetrics {
+  obs::Counter* sessions_accepted;  ///< lsl.depot.sessions_accepted
+  obs::Counter* sessions_refused;   ///< lsl.depot.sessions_refused
+  obs::Counter* sessions_relayed;   ///< lsl.depot.sessions_relayed
+  obs::Counter* sessions_delivered; ///< lsl.depot.sessions_delivered
+  obs::Counter* bytes_relayed;      ///< lsl.depot.bytes_relayed
+  obs::Counter* bytes_delivered;    ///< lsl.depot.bytes_delivered
+  obs::Counter* stall_us;           ///< lsl.depot.stall_us (buffer-full time)
+  obs::Gauge* buffer_occupancy;     ///< lsl.depot.buffer_occupancy (bytes)
+  obs::Histogram* relay_session_mib;///< lsl.depot.relay_session_mib
+
+  /// nullptr while obs::metrics_enabled() is false.
+  static DepotMetrics* get();
+};
 
 struct DepotConfig {
   /// User-space relay buffer per session. The paper's depots allocate
@@ -151,6 +169,7 @@ class Depot {
   std::unordered_map<SessionId, PartialStripes, SessionIdHash> stripes_;
   std::uint64_t user_memory_in_use_ = 0;
   bool running_ = true;
+  DepotMetrics* metrics_ = nullptr;  ///< shared instruments (may be null)
 };
 
 }  // namespace lsl::session

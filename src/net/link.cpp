@@ -33,7 +33,7 @@ void Link::start_transmission() {
   LSL_ASSERT(!queue_.empty());
   transmitting_ = true;
   const SimTime tx = config_.rate.transmit_time(queue_.front().wire_bytes());
-  sim_.schedule_after(tx, [this] { finish_transmission(); });
+  sim_.schedule_after(tx, [this] { finish_transmission(); }, "net.link.tx");
 }
 
 void Link::finish_transmission() {
@@ -59,7 +59,8 @@ void Link::finish_transmission() {
     }
     sim_.schedule_after(
         delay,
-        [this, p = std::move(packet)]() mutable { deliver_(std::move(p)); });
+        [this, p = std::move(packet)]() mutable { deliver_(std::move(p)); },
+        "net.link.propagate");
   }
 
   if (!queue_.empty()) {

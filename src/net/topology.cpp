@@ -109,10 +109,12 @@ void Topology::send(Packet packet) {
     // otherwise a self-connection's whole handshake would complete inside
     // the caller's connect() before it can install callbacks.
     Node* node = nodes_[packet.src].get();
-    sim_.schedule_after(SimTime::zero(),
-                        [node, p = std::move(packet)]() mutable {
-                          node->handle_packet(std::move(p));
-                        });
+    sim_.schedule_after(
+        SimTime::zero(),
+        [node, p = std::move(packet)]() mutable {
+          node->handle_packet(std::move(p));
+        },
+        "net.loopback");
     return;
   }
   nodes_[packet.src]->handle_packet(std::move(packet));

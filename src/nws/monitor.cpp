@@ -6,6 +6,23 @@
 
 namespace lsl::nws {
 
+NwsMetrics* NwsMetrics::get() {
+  if (!obs::metrics_enabled()) {
+    return nullptr;
+  }
+  static NwsMetrics metrics = [] {
+    auto& reg = obs::Registry::global();
+    NwsMetrics m;
+    m.epochs = &reg.counter("nws.monitor.epochs");
+    m.observations = &reg.counter("nws.monitor.observations");
+    m.forecast_abs_rel_error =
+        &reg.histogram("nws.monitor.forecast_abs_rel_error",
+                       obs::linear_buckets(0.05, 0.05, 20));
+    return m;
+  }();
+  return &metrics;
+}
+
 double NoiseModel::sample(double truth, Rng& rng) const {
   double value = truth * rng.lognormal(0.0, lognormal_sigma);
   if (rng.chance(outlier_probability)) {
@@ -16,7 +33,10 @@ double NoiseModel::sample(double truth, Rng& rng) const {
 
 PerformanceMonitor::PerformanceMonitor(std::vector<std::string> sites,
                                        NoiseModel noise, std::uint64_t seed)
-    : sites_(std::move(sites)), noise_(noise), rng_(seed) {
+    : sites_(std::move(sites)),
+      noise_(noise),
+      rng_(seed),
+      metrics_(NwsMetrics::get()) {
   LSL_ASSERT(!sites_.empty());
   site_index_of_host_.resize(sites_.size());
   for (std::size_t host = 0; host < sites_.size(); ++host) {
@@ -37,6 +57,9 @@ PerformanceMonitor::PerformanceMonitor(std::vector<std::string> sites,
 
 void PerformanceMonitor::observe_epoch(const TruthFn& truth) {
   ++epochs_;
+  if (metrics_ != nullptr) {
+    metrics_->epochs->inc();
+  }
   const std::size_t s = site_names_.size();
   for (std::size_t a = 0; a < s; ++a) {
     for (std::size_t b = 0; b < s; ++b) {
@@ -50,6 +73,16 @@ void PerformanceMonitor::observe_epoch(const TruthFn& truth) {
       auto& forecaster = pair_forecasts_[{a, b}];
       if (forecaster == nullptr) {
         forecaster = std::make_unique<AdaptiveForecaster>();
+      }
+      if (metrics_ != nullptr) {
+        metrics_->observations->inc();
+        // Forecast error against the reading the forecaster is about to see:
+        // how far off would the scheduler's input have been this epoch?
+        if (forecaster->ready() && measured > 0.0) {
+          const double predicted = forecaster->predict();
+          metrics_->forecast_abs_rel_error->observe(
+              std::abs(measured - predicted) / measured);
+        }
       }
       forecaster->observe(measured);
     }

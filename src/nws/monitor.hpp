@@ -14,11 +14,24 @@
 #include <vector>
 
 #include "nws/forecasters.hpp"
+#include "obs/metrics.hpp"
 #include "sched/cost_matrix.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace lsl::nws {
+
+/// Process-wide monitor instruments in the global metrics registry.
+struct NwsMetrics {
+  obs::Counter* epochs;          ///< nws.monitor.epochs
+  obs::Counter* observations;    ///< nws.monitor.observations
+  /// nws.monitor.forecast_abs_rel_error: |measured - predicted| / measured
+  /// for every measurement taken after the pair's forecaster warmed up.
+  obs::Histogram* forecast_abs_rel_error;
+
+  /// nullptr while obs::metrics_enabled() is false.
+  static NwsMetrics* get();
+};
 
 struct NoiseModel {
   /// Multiplicative lognormal measurement noise (sigma of log).
@@ -68,6 +81,7 @@ class PerformanceMonitor {
   std::vector<std::size_t> site_index_of_host_;
   std::vector<std::size_t> site_representative_;
   std::size_t epochs_ = 0;
+  NwsMetrics* metrics_ = nullptr;  ///< shared instruments (may be null)
 };
 
 }  // namespace lsl::nws

@@ -1,0 +1,92 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace lsl::obs {
+
+namespace {
+TraceRecorder* g_tracer = nullptr;
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity) {
+  LSL_ASSERT_MSG(capacity > 0, "trace ring needs capacity");
+  ring_.resize(capacity);
+}
+
+void TraceRecorder::record(const TraceEvent& event) {
+  ring_[static_cast<std::size_t>(total_ % ring_.size())] = event;
+  ++total_;
+}
+
+std::size_t TraceRecorder::size() const {
+  return total_ < ring_.size() ? static_cast<std::size_t>(total_)
+                               : ring_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = total_ - n;
+  for (std::uint64_t i = first; i < total_; ++i) {
+    out.push_back(ring_[static_cast<std::size_t>(i % ring_.size())]);
+  }
+  return out;
+}
+
+void TraceRecorder::clear() { total_ = 0; }
+
+std::string TraceRecorder::to_json() const {
+  // Chrome's JSON Array Format: [{"name": ..., "cat": ..., "ph": "X",
+  // "ts": <us>, "dur": <us>, "pid": 1, "tid": 1, "args": {...}}, ...]
+  std::string out = "[";
+  char buf[512];
+  bool first = true;
+  for (const TraceEvent& e : snapshot()) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    const double ts_us = static_cast<double>(e.ts.ns()) / 1000.0;
+    std::snprintf(buf, sizeof buf,
+                  "\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", "
+                  "\"ts\": %.3f, \"pid\": 1, \"tid\": 1",
+                  e.name, e.category, static_cast<char>(e.phase), ts_us);
+    out += buf;
+    if (e.phase == TracePhase::kComplete) {
+      std::snprintf(buf, sizeof buf, ", \"dur\": %.3f",
+                    static_cast<double>(e.dur.ns()) / 1000.0);
+      out += buf;
+    }
+    if (e.phase == TracePhase::kCounter) {
+      std::snprintf(buf, sizeof buf, ", \"args\": {\"value\": %.12g}",
+                    e.value);
+      out += buf;
+    } else if (e.id != 0) {
+      std::snprintf(buf, sizeof buf, ", \"args\": {\"id\": %llu}",
+                    static_cast<unsigned long long>(e.id));
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool TraceRecorder::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+TraceRecorder* tracer() { return g_tracer; }
+
+void set_tracer(TraceRecorder* recorder) { g_tracer = recorder; }
+
+}  // namespace lsl::obs

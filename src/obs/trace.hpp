@@ -1,0 +1,99 @@
+// Structured event tracing: a fixed-capacity ring of typed events exported
+// as Chrome trace_event JSON (loadable in chrome://tracing or Perfetto).
+//
+// Events carry static-string names/categories (no allocation on the hot
+// path) plus an optional numeric value ('C' counter samples) and an
+// optional correlation id. When the ring fills, the oldest events are
+// overwritten -- a flight recorder, not an unbounded log.
+//
+// One process-wide recorder can be installed with set_tracer(); built-in
+// instrumentation (Simulator, tcp::Connection, lsl::Depot, exp::SeqTrace)
+// records through it when present and costs one null-pointer check when not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace lsl::obs {
+
+/// Chrome trace_event phases we emit.
+enum class TracePhase : char {
+  kBegin = 'B',     ///< span start (paired with kEnd by name)
+  kEnd = 'E',       ///< span end
+  kInstant = 'i',   ///< point event
+  kCounter = 'C',   ///< sampled value series
+  kComplete = 'X',  ///< span with explicit duration
+};
+
+struct TraceEvent {
+  SimTime ts;                      ///< simulated timestamp
+  SimTime dur = SimTime::zero();   ///< kComplete only
+  const char* name = "";           ///< must outlive the recorder (literal)
+  const char* category = "";      ///< must outlive the recorder (literal)
+  TracePhase phase = TracePhase::kInstant;
+  double value = 0.0;              ///< kCounter sample value
+  std::uint64_t id = 0;            ///< correlation id (0 = none)
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1 << 16);
+
+  void record(const TraceEvent& event);
+
+  void begin(SimTime t, const char* category, const char* name,
+             std::uint64_t id = 0) {
+    record({.ts = t, .name = name, .category = category,
+            .phase = TracePhase::kBegin, .id = id});
+  }
+  void end(SimTime t, const char* category, const char* name,
+           std::uint64_t id = 0) {
+    record({.ts = t, .name = name, .category = category,
+            .phase = TracePhase::kEnd, .id = id});
+  }
+  void instant(SimTime t, const char* category, const char* name,
+               std::uint64_t id = 0) {
+    record({.ts = t, .name = name, .category = category,
+            .phase = TracePhase::kInstant, .id = id});
+  }
+  void counter(SimTime t, const char* category, const char* name,
+               double value) {
+    record({.ts = t, .name = name, .category = category,
+            .phase = TracePhase::kCounter, .value = value});
+  }
+  void complete(SimTime start, SimTime duration, const char* category,
+                const char* name, std::uint64_t id = 0) {
+    record({.ts = start, .dur = duration, .name = name, .category = category,
+            .phase = TracePhase::kComplete, .id = id});
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+  /// Every record() ever made, including overwritten ones.
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  [[nodiscard]] std::uint64_t dropped() const { return total_ - size(); }
+
+  /// Held events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  void clear();
+
+  /// Chrome trace_event "JSON Array Format": a JSON array of event objects
+  /// with ph/ts/name/cat (+ dur/args where applicable). ts is microseconds.
+  [[nodiscard]] std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::uint64_t total_ = 0;  ///< next write slot is total_ % capacity
+};
+
+/// Process-wide recorder; nullptr when tracing is off.
+[[nodiscard]] TraceRecorder* tracer();
+void set_tracer(TraceRecorder* recorder);
+
+}  // namespace lsl::obs

@@ -82,6 +82,10 @@ MmpTree build_mmp_tree(const CostMatrix& matrix, std::size_t start,
       if (relax_cost * (1.0 + options.epsilon) < tree.cost[other]) {
         tree.parent[other] = static_cast<std::int64_t>(new_node);
         tree.cost[other] = relax_cost;
+      } else if (relax_cost < tree.cost[other]) {
+        // Strictly better, but within the epsilon equivalence band: the
+        // damping deliberately keeps the incumbent.
+        ++tree.epsilon_collapses;
       }
     }
     // Select the cheapest node not yet in the tree.

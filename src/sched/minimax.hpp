@@ -23,6 +23,10 @@ struct MmpTree {
   std::vector<std::int64_t> parent;
   /// Minimax cost of the chosen path from start to v.
   std::vector<double> cost;
+  /// Relaxations suppressed by the epsilon damping: the edge was strictly
+  /// better than the incumbent, but not by the required relative margin.
+  /// Non-zero counts mean epsilon is actively filtering measurement noise.
+  std::uint64_t epsilon_collapses = 0;
 
   /// Node sequence start..dst along the tree; empty when unreachable.
   [[nodiscard]] std::vector<std::size_t> path_to(std::size_t dst) const;

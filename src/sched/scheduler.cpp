@@ -1,15 +1,35 @@
 #include "sched/scheduler.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "util/assert.hpp"
 
 namespace lsl::sched {
 
+SchedMetrics* SchedMetrics::get() {
+  if (!obs::metrics_enabled()) {
+    return nullptr;
+  }
+  static SchedMetrics metrics = [] {
+    auto& reg = obs::Registry::global();
+    SchedMetrics m;
+    m.trees_built = &reg.counter("sched.mmp.trees_built");
+    m.epsilon_collapses = &reg.counter("sched.mmp.epsilon_collapses");
+    m.route_decisions = &reg.counter("sched.mmp.route_decisions");
+    m.relays_chosen = &reg.counter("sched.mmp.relays_chosen");
+    m.tree_build_us = &reg.histogram("sched.mmp.tree_build_us",
+                                     obs::exponential_buckets(1.0, 4.0, 10));
+    return m;
+  }();
+  return &metrics;
+}
+
 Scheduler::Scheduler(CostMatrix matrix, SchedulerOptions options)
     : matrix_(std::move(matrix)),
       options_(std::move(options)),
-      trees_(matrix_.size()) {
+      trees_(matrix_.size()),
+      metrics_(SchedMetrics::get()) {
   LSL_ASSERT(options_.host_costs.empty() ||
              options_.host_costs.size() == matrix_.size());
 }
@@ -20,7 +40,15 @@ const MmpTree& Scheduler::tree_from(std::size_t src) const {
     MmpOptions mmp;
     mmp.epsilon = options_.epsilon;
     mmp.node_costs = options_.host_costs;
+    const auto t0 = std::chrono::steady_clock::now();
     trees_[src] = build_mmp_tree(matrix_, src, mmp);
+    if (metrics_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - t0;
+      metrics_->trees_built->inc();
+      metrics_->epsilon_collapses->inc(trees_[src]->epsilon_collapses);
+      metrics_->tree_build_us->observe(
+          std::chrono::duration<double, std::micro>(elapsed).count());
+    }
   }
   return *trees_[src];
 }
@@ -43,6 +71,12 @@ Scheduler::Decision Scheduler::route(std::size_t src, std::size_t dst) const {
   decision.path = tree.path_to(dst);
   if (!decision.path.empty()) {
     decision.scheduled_cost = tree.cost[dst];
+  }
+  if (metrics_ != nullptr) {
+    metrics_->route_decisions->inc();
+    if (decision.uses_depots()) {
+      metrics_->relays_chosen->inc();
+    }
   }
   return decision;
 }

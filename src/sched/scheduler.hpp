@@ -13,10 +13,23 @@
 #include <vector>
 
 #include "lsl/route_table.hpp"
+#include "obs/metrics.hpp"
 #include "sched/cost_matrix.hpp"
 #include "sched/minimax.hpp"
 
 namespace lsl::sched {
+
+/// Process-wide scheduler instruments in the global metrics registry.
+struct SchedMetrics {
+  obs::Counter* trees_built;       ///< sched.mmp.trees_built
+  obs::Counter* epsilon_collapses; ///< sched.mmp.epsilon_collapses
+  obs::Counter* route_decisions;   ///< sched.mmp.route_decisions
+  obs::Counter* relays_chosen;     ///< sched.mmp.relays_chosen
+  obs::Histogram* tree_build_us;   ///< sched.mmp.tree_build_us (wall clock)
+
+  /// nullptr while obs::metrics_enabled() is false.
+  static SchedMetrics* get();
+};
 
 struct SchedulerOptions {
   /// Edge-equivalence margin. The paper computed epsilon as 10% of the edge
@@ -62,6 +75,7 @@ class Scheduler {
   CostMatrix matrix_;
   SchedulerOptions options_;
   mutable std::vector<std::optional<MmpTree>> trees_;
+  SchedMetrics* metrics_ = nullptr;  ///< shared instruments (may be null)
 };
 
 }  // namespace lsl::sched

@@ -1,19 +1,129 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
 
 namespace lsl::sim {
 
-EventId Simulator::schedule_at(SimTime when, Action action) {
+namespace {
+
+std::int64_t sim_log_clock(void* ctx) {
+  return static_cast<const Simulator*>(ctx)->now().ns();
+}
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// KernelProfile
+
+std::string KernelProfile::str() const {
+  char buf[256];
+  std::string out = "kernel profile:\n";
+  std::snprintf(buf, sizeof buf,
+                "  events executed    %llu (scheduled %llu, cancelled %llu)\n",
+                static_cast<unsigned long long>(events_executed),
+                static_cast<unsigned long long>(events_scheduled),
+                static_cast<unsigned long long>(events_cancelled));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  queue high water   %llu\n",
+                static_cast<unsigned long long>(queue_high_water));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  simulated time     %s\n",
+                sim_time.str().c_str());
+  out += buf;
+  if (wall_seconds > 0.0) {
+    std::snprintf(buf, sizeof buf,
+                  "  dispatch wall time %.3fs (%.1fx real time, %.0f ev/s)\n",
+                  wall_seconds, time_ratio(),
+                  static_cast<double>(events_executed) / wall_seconds);
+    out += buf;
+  }
+  if (!category_counts.empty()) {
+    out += "  events by category:\n";
+    for (const auto& [category, count] : category_counts) {
+      std::snprintf(buf, sizeof buf, "    %-24s %llu\n", category.c_str(),
+                    static_cast<unsigned long long>(count));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+void KernelProfile::export_metrics(obs::Registry& registry) const {
+  registry.gauge("sim.kernel.events_executed")
+      .set(static_cast<double>(events_executed));
+  registry.gauge("sim.kernel.events_scheduled")
+      .set(static_cast<double>(events_scheduled));
+  registry.gauge("sim.kernel.events_cancelled")
+      .set(static_cast<double>(events_cancelled));
+  registry.gauge("sim.kernel.queue_high_water")
+      .set(static_cast<double>(queue_high_water));
+  registry.gauge("sim.kernel.sim_seconds").set(sim_time.to_seconds());
+  registry.gauge("sim.kernel.wall_seconds").set(wall_seconds);
+  registry.gauge("sim.kernel.time_ratio").set(time_ratio());
+}
+
+void KernelProfile::merge_from(const KernelProfile& other) {
+  events_scheduled += other.events_scheduled;
+  events_executed += other.events_executed;
+  events_cancelled += other.events_cancelled;
+  queue_high_water = std::max(queue_high_water, other.queue_high_water);
+  sim_time += other.sim_time;
+  wall_seconds += other.wall_seconds;
+  std::map<std::string, std::uint64_t> merged;
+  for (const auto& [category, count] : category_counts) {
+    merged[category] += count;
+  }
+  for (const auto& [category, count] : other.category_counts) {
+    merged[category] += count;
+  }
+  category_counts.assign(merged.begin(), merged.end());
+  std::sort(category_counts.begin(), category_counts.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+
+Simulator::Simulator() {
+  // Log lines carry the simulated timestamp of the most recently created
+  // live simulator (tests that run several sequentially each take over).
+  set_log_clock(&sim_log_clock, this);
+}
+
+Simulator::~Simulator() { clear_log_clock(this); }
+
+EventId Simulator::schedule_at(SimTime when, Action action,
+                               const char* category) {
   LSL_ASSERT_MSG(when >= now_, "cannot schedule into the past");
   const EventId id{next_seq_++};
   heap_.push(Entry{when, id.seq, std::move(action)});
+  if (heap_.size() > queue_high_water_) {
+    queue_high_water_ = heap_.size();
+  }
+  if (category != nullptr) {
+    ++category_counts_[category];
+  }
   return id;
 }
 
-EventId Simulator::schedule_after(SimTime delay, Action action) {
+EventId Simulator::schedule_after(SimTime delay, Action action,
+                                  const char* category) {
   LSL_ASSERT_MSG(delay >= SimTime::zero(), "negative delay");
-  return schedule_at(now_ + delay, std::move(action));
+  return schedule_at(now_ + delay, std::move(action), category);
 }
 
 bool Simulator::cancel(EventId id) {
@@ -29,6 +139,7 @@ bool Simulator::cancel(EventId id) {
   (void)it;
   if (inserted) {
     ++tombstones_;
+    ++events_cancelled_;
     return true;
   }
   return false;
@@ -54,20 +165,32 @@ bool Simulator::pop_next(Entry& out) {
   return false;
 }
 
+void Simulator::dispatch(Entry& e) {
+  LSL_ASSERT(e.when >= now_);
+  now_ = e.when;
+  ++events_executed_;
+  e.action();
+}
+
 bool Simulator::step() {
   Entry e;
   if (!pop_next(e)) {
     return false;
   }
-  LSL_ASSERT(e.when >= now_);
-  now_ = e.when;
-  ++events_executed_;
-  e.action();
+  if (profiling_) {
+    const double start = wall_now();
+    dispatch(e);
+    wall_seconds_ += wall_now() - start;
+    return true;
+  }
+  dispatch(e);
   return true;
 }
 
 std::uint64_t Simulator::run(SimTime limit) {
   stop_requested_ = false;
+  const SimTime run_start = now_;
+  const double wall_start = profiling_ ? wall_now() : 0.0;
   std::uint64_t executed = 0;
   Entry e;
   while (!stop_requested_ && pop_next(e)) {
@@ -77,13 +200,36 @@ std::uint64_t Simulator::run(SimTime limit) {
       now_ = limit;
       break;
     }
-    LSL_ASSERT(e.when >= now_);
-    now_ = e.when;
-    ++events_executed_;
+    dispatch(e);
     ++executed;
-    e.action();
+  }
+  if (profiling_) {
+    wall_seconds_ += wall_now() - wall_start;
+    if (obs::TraceRecorder* tr = obs::tracer(); tr != nullptr && executed > 0) {
+      tr->complete(run_start, now_ - run_start, "sim", "sim.run");
+    }
   }
   return executed;
+}
+
+KernelProfile Simulator::profile() const {
+  KernelProfile p;
+  p.events_scheduled = next_seq_ - 1;
+  p.events_executed = events_executed_;
+  p.events_cancelled = events_cancelled_;
+  p.queue_high_water = queue_high_water_;
+  p.sim_time = now_;
+  p.wall_seconds = wall_seconds_;
+  // Merge by content: identical category literals may alias as distinct
+  // pointers across translation units.
+  std::map<std::string, std::uint64_t> merged;
+  for (const auto& [category, count] : category_counts_) {
+    merged[category] += count;
+  }
+  p.category_counts.assign(merged.begin(), merged.end());
+  std::sort(p.category_counts.begin(), p.category_counts.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return p;
 }
 
 }  // namespace lsl::sim

@@ -15,8 +15,11 @@ namespace lsl::sim {
 
 class Timer {
  public:
-  Timer(Simulator& simulator, std::function<void()> on_fire)
-      : sim_(simulator), on_fire_(std::move(on_fire)) {}
+  /// `category` is an optional static-string tag for the kernel profile's
+  /// per-category event counts (e.g. "tcp.rto").
+  Timer(Simulator& simulator, std::function<void()> on_fire,
+        const char* category = nullptr)
+      : sim_(simulator), on_fire_(std::move(on_fire)), category_(category) {}
 
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
@@ -27,10 +30,13 @@ class Timer {
   void arm(SimTime delay) {
     cancel();
     deadline_ = sim_.now() + delay;
-    pending_ = sim_.schedule_after(delay, [this] {
-      pending_ = EventId{};
-      on_fire_();
-    });
+    pending_ = sim_.schedule_after(
+        delay,
+        [this] {
+          pending_ = EventId{};
+          on_fire_();
+        },
+        category_);
   }
 
   /// Arm only if not already armed.
@@ -55,6 +61,7 @@ class Timer {
  private:
   Simulator& sim_;
   std::function<void()> on_fire_;
+  const char* category_ = nullptr;
   EventId pending_{};
   SimTime deadline_ = SimTime::zero();
 };

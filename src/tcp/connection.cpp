@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "tcp/stack.hpp"
 #include "util/log.hpp"
 
@@ -13,6 +14,31 @@ namespace {
 constexpr std::uint64_t kHugeSsthresh =
     std::numeric_limits<std::uint64_t>::max() / 2;
 }  // namespace
+
+TcpMetrics* TcpMetrics::get() {
+  if (!obs::metrics_enabled()) {
+    return nullptr;
+  }
+  static TcpMetrics metrics = [] {
+    auto& reg = obs::Registry::global();
+    TcpMetrics m;
+    m.connections = &reg.counter("tcp.conn.opened");
+    m.segments_sent = &reg.counter("tcp.conn.segments_sent");
+    m.retransmits = &reg.counter("tcp.conn.retransmits");
+    m.fast_retransmits = &reg.counter("tcp.conn.fast_retransmits");
+    m.timeouts = &reg.counter("tcp.conn.timeouts");
+    m.dup_acks = &reg.counter("tcp.conn.dup_acks");
+    m.sack_blocks_rx = &reg.counter("tcp.conn.sack_blocks_rx");
+    // RTTs on the paper's paths sit between ~1 ms (LAN) and seconds under
+    // bufferbloat; cwnd in segments spans slow-start's doubling range.
+    m.rtt_ms = &reg.histogram("tcp.conn.rtt_ms",
+                              obs::exponential_buckets(1.0, 2.0, 14));
+    m.cwnd_segments = &reg.histogram("tcp.conn.cwnd_segments",
+                                     obs::exponential_buckets(1.0, 2.0, 16));
+    return m;
+  }();
+  return &metrics;
+}
 
 const char* to_string(TcpState s) {
   switch (s) {
@@ -56,16 +82,23 @@ Connection::Connection(TcpStack& stack, net::NodeId local, net::NodeId remote,
       recv_buf_(opts.recv_buffer_bytes),
       rtt_(opts),
       ssthresh_(kHugeSsthresh),
-      rto_timer_(sim_, [this] { on_rto(); }),
-      persist_timer_(sim_, [this] { on_persist(); }),
-      time_wait_timer_(sim_, [this] { become_dead(); }),
-      delack_timer_(sim_, [this] {
-        unacked_segments_ = 0;
-        send_pure_ack();
-      }) {
+      rto_timer_(sim_, [this] { on_rto(); }, "tcp.rto"),
+      persist_timer_(sim_, [this] { on_persist(); }, "tcp.persist"),
+      time_wait_timer_(sim_, [this] { become_dead(); }, "tcp.time_wait"),
+      delack_timer_(
+          sim_,
+          [this] {
+            unacked_segments_ = 0;
+            send_pure_ack();
+          },
+          "tcp.delack") {
   LSL_ASSERT_MSG(opts_.recv_buffer_bytes >= opts_.mss,
                  "receive buffer smaller than one segment");
   cwnd_ = static_cast<std::uint64_t>(opts_.initial_cwnd_segments) * opts_.mss;
+  metrics_ = TcpMetrics::get();
+  if (metrics_ != nullptr) {
+    metrics_->connections->inc();
+  }
 }
 
 Connection::~Connection() = default;
@@ -175,11 +208,14 @@ RecvBuffer::ReadResult Connection::read(std::uint64_t max) {
     // before it has accounted for the bytes this read returns (the depot
     // relay would close its session with a chunk still in hand).
     auto self = shared_from_this();
-    sim_.schedule_after(SimTime::zero(), [self] {
-      if (self->on_eof) {
-        self->on_eof();
-      }
-    });
+    sim_.schedule_after(
+        SimTime::zero(),
+        [self] {
+          if (self->on_eof) {
+            self->on_eof();
+          }
+        },
+        "tcp.eof");
   }
   return r;
 }
@@ -218,8 +254,17 @@ void Connection::send_data_segment(std::uint64_t wire_seq, std::uint32_t len,
   last_advertised_wnd_ = p.tcp.wnd;
 
   ++stats_.segments_sent;
+  if (metrics_ != nullptr) {
+    metrics_->segments_sent->inc();
+  }
   if (retransmission) {
     ++stats_.retransmits;
+    if (metrics_ != nullptr) {
+      metrics_->retransmits->inc();
+    }
+    if (obs::TraceRecorder* tr = obs::tracer()) {
+      tr->instant(sim_.now(), "tcp", "tcp.retransmit", wire_seq);
+    }
   } else {
     stats_.bytes_sent += len;
     if (!timing_active_) {
@@ -254,6 +299,9 @@ void Connection::send_control(std::uint8_t flags, std::uint64_t wire_seq) {
   p.payload_bytes = 0;
   last_advertised_wnd_ = p.tcp.wnd;
   ++stats_.segments_sent;
+  if (metrics_ != nullptr) {
+    metrics_->segments_sent->inc();
+  }
   stack_.emit(std::move(p));
 }
 
@@ -385,6 +433,12 @@ void Connection::on_rto() {
     return;
   }
   ++stats_.timeouts;
+  if (metrics_ != nullptr) {
+    metrics_->timeouts->inc();
+  }
+  if (obs::TraceRecorder* tr = obs::tracer()) {
+    tr->instant(sim_.now(), "tcp", "tcp.rto", snd_una_);
+  }
   timing_active_ = false;  // Karn: never sample retransmitted data
   rtt_.backoff();
 
@@ -451,6 +505,9 @@ void Connection::handle_packet(const net::Packet& packet) {
       snd_wnd_ = h.wnd;
       state_ = TcpState::kEstablished;
       stats_.established_at = sim_.now();
+      if (obs::TraceRecorder* tr = obs::tracer()) {
+        tr->instant(sim_.now(), "tcp", "tcp.established", local_port_);
+      }
       restart_rto_if_needed();
       send_pure_ack();
       if (on_connected) {
@@ -547,6 +604,9 @@ void Connection::process_ack(const net::Packet& packet) {
     for (const auto& block : h.sack) {
       sacked_.add(block.begin, block.end);
     }
+    if (metrics_ != nullptr && !h.sack.empty()) {
+      metrics_->sack_blocks_rx->inc(h.sack.size());
+    }
   }
 
   if (ack > snd_una_) {
@@ -575,8 +635,16 @@ void Connection::process_ack(const net::Packet& packet) {
     }
 
     if (timing_active_ && snd_una_ >= timed_wire_end_) {
-      rtt_.add_sample(sim_.now() - timed_sent_at_);
+      const SimTime sample = sim_.now() - timed_sent_at_;
+      rtt_.add_sample(sample);
       timing_active_ = false;
+      if (metrics_ != nullptr) {
+        // RTT-sample cadence: one histogram point per timed segment, and a
+        // cwnd sample at the same rate (~once per RTT under Karn's rule).
+        metrics_->rtt_ms->observe(sample.to_milliseconds());
+        metrics_->cwnd_segments->observe(
+            static_cast<double>(cwnd_) / static_cast<double>(opts_.mss));
+      }
     }
 
     if (in_recovery_) {
@@ -631,6 +699,9 @@ void Connection::process_ack(const net::Packet& packet) {
 
   if (is_dup) {
     ++stats_.dup_acks_seen;
+    if (metrics_ != nullptr) {
+      metrics_->dup_acks->inc();
+    }
     if (in_recovery_) {
       if (opts_.sack_enabled) {
         recovery_fill();
@@ -654,6 +725,12 @@ void Connection::enter_recovery() {
   ssthresh_ = std::max(flight() / 2,
                        static_cast<std::uint64_t>(2) * opts_.mss);
   ++stats_.fast_retransmits;
+  if (metrics_ != nullptr) {
+    metrics_->fast_retransmits->inc();
+  }
+  if (obs::TraceRecorder* tr = obs::tracer()) {
+    tr->instant(sim_.now(), "tcp", "tcp.fast_retransmit", snd_una_);
+  }
   timing_active_ = false;  // Karn
   rtx_out_.clear();
   // Retransmit the presumed-lost head segment.
@@ -825,6 +902,9 @@ void Connection::maybe_accept_pending_fin() {
 void Connection::advance_handshake_established() {
   state_ = TcpState::kEstablished;
   stats_.established_at = sim_.now();
+  if (obs::TraceRecorder* tr = obs::tracer()) {
+    tr->instant(sim_.now(), "tcp", "tcp.established", local_port_);
+  }
   restart_rto_if_needed();
   stack_.deliver_accept(ConnKey{remote_node_, local_port_, remote_port_});
 }
@@ -857,6 +937,9 @@ void Connection::become_dead() {
     return;
   }
   state_ = TcpState::kDead;
+  if (obs::TraceRecorder* tr = obs::tracer()) {
+    tr->instant(sim_.now(), "tcp", "tcp.closed", local_port_);
+  }
   rto_timer_.cancel();
   persist_timer_.cancel();
   time_wait_timer_.cancel();

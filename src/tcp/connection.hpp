@@ -21,6 +21,7 @@
 
 #include "net/packet.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/timer.hpp"
 #include "tcp/options.hpp"
 #include "tcp/recv_buffer.hpp"
@@ -47,6 +48,25 @@ enum class TcpState {
 };
 
 [[nodiscard]] const char* to_string(TcpState s);
+
+/// Process-wide TCP instruments in the global metrics registry, shared by
+/// every connection (stack-level aggregates; per-connection detail stays in
+/// ConnectionStats). Obtained once at connection construction so hot-path
+/// updates are plain pointer stores.
+struct TcpMetrics {
+  obs::Counter* connections;       ///< tcp.conn.opened
+  obs::Counter* segments_sent;     ///< tcp.conn.segments_sent
+  obs::Counter* retransmits;       ///< tcp.conn.retransmits
+  obs::Counter* fast_retransmits;  ///< tcp.conn.fast_retransmits
+  obs::Counter* timeouts;          ///< tcp.conn.timeouts
+  obs::Counter* dup_acks;          ///< tcp.conn.dup_acks
+  obs::Counter* sack_blocks_rx;    ///< tcp.conn.sack_blocks_rx
+  obs::Histogram* rtt_ms;          ///< tcp.conn.rtt_ms
+  obs::Histogram* cwnd_segments;   ///< tcp.conn.cwnd_segments
+
+  /// nullptr while obs::metrics_enabled() is false.
+  static TcpMetrics* get();
+};
 
 struct ConnectionStats {
   std::uint64_t bytes_sent = 0;           ///< payload bytes first-transmitted
@@ -232,6 +252,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   int syn_retries_ = 0;
 
   ConnectionStats stats_;
+  TcpMetrics* metrics_ = nullptr;  ///< shared instruments (may be null)
   std::uint64_t next_packet_uid_ = 1;
 };
 

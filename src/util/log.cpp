@@ -8,7 +8,21 @@ namespace lsl {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
+LogClockFn g_clock_fn = nullptr;
+void* g_clock_ctx = nullptr;
 }  // namespace
+
+void set_log_clock(LogClockFn fn, void* ctx) {
+  g_clock_fn = fn;
+  g_clock_ctx = ctx;
+}
+
+void clear_log_clock(void* ctx) {
+  if (g_clock_ctx == ctx) {
+    g_clock_fn = nullptr;
+    g_clock_ctx = nullptr;
+  }
+}
 
 LogLevel log_level() { return g_level; }
 
@@ -56,12 +70,23 @@ void log_emit(LogLevel level, const char* fmt, ...) {
   if (!log_enabled(level)) {
     return;
   }
-  std::fprintf(stderr, "[%s] ", log_level_name(level));
+  if (g_clock_fn != nullptr) {
+    // Simulated seconds, microsecond resolution: matches the `ts` unit
+    // scale of exported trace files.
+    const double seconds =
+        static_cast<double>(g_clock_fn(g_clock_ctx)) * 1e-9;
+    std::fprintf(stderr, "[%12.6f] [%s] ", seconds, log_level_name(level));
+  } else {
+    std::fprintf(stderr, "[%s] ", log_level_name(level));
+  }
   va_list ap;
   va_start(ap, fmt);
   std::vfprintf(stderr, fmt, ap);
   va_end(ap);
   std::fputc('\n', stderr);
+  if (level >= LogLevel::kError) {
+    std::fflush(stderr);
+  }
 }
 
 }  // namespace lsl

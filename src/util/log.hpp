@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace lsl {
@@ -27,6 +28,15 @@ void set_log_level(LogLevel level);
 void init_log_from_env();
 
 [[nodiscard]] const char* log_level_name(LogLevel level);
+
+/// Optional time source for log prefixes, in integer nanoseconds. The
+/// simulator installs itself here so log lines carry the simulated time
+/// they were emitted at and correlate with trace timestamps. `ctx` is an
+/// opaque owner token; clear_log_clock() is a no-op unless the same owner
+/// still holds the clock (a newer simulator may have replaced it).
+using LogClockFn = std::int64_t (*)(void* ctx);
+void set_log_clock(LogClockFn fn, void* ctx);
+void clear_log_clock(void* ctx);
 
 /// printf-style emission; prepends level tag. Not for hot paths when
 /// suppressed -- guard with lsl::log_enabled() or the LSL_LOG_* macros.

@@ -1,9 +1,11 @@
 // lslsim: run LSL transfer scenarios from a text description.
 //
-//   lslsim <scenario-file> [--seed N]
+//   lslsim <scenario-file> [--seed N] [--sweep]
+//          [--metrics=<path>] [--trace=<path>] [--profile]
 //
 // Prints one result row per transfer. See src/exp/scenario.hpp for the file
-// format and scenarios/ for ready-made examples.
+// format, scenarios/ for ready-made examples, and docs/observability.md for
+// the metrics/trace output formats.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -12,6 +14,12 @@
 #include <sstream>
 
 #include "exp/scenario.hpp"
+#include "lsl/depot.hpp"
+#include "nws/monitor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sched/scheduler.hpp"
+#include "tcp/connection.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -20,25 +28,51 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: lslsim <scenario-file> [--seed N] [--sweep]\n"
+               "              [--metrics=<path>] [--trace=<path>] [--profile]\n"
                "  Runs the transfers described in the scenario file over the\n"
                "  packet-level simulator and prints a result row for each.\n"
                "  --sweep re-runs every transfer at doubling sizes from 1 MiB\n"
                "  up to its declared size (a Figure 2-style curve).\n"
-               "  LSL_LOG=debug enables protocol traces.\n");
+               "  --metrics=<path> writes a JSON snapshot of every metric.\n"
+               "  --trace=<path> writes Chrome trace-event JSON (load it in\n"
+               "  Perfetto or chrome://tracing).\n"
+               "  --profile prints the simulation kernel's self-profile.\n"
+               "  LSL_LOG=debug enables protocol traces; LSL_METRICS=off\n"
+               "  disables the built-in instrumentation.\n");
+}
+
+/// Touch every subsystem's instrument bundle so the JSON snapshot carries
+/// the full tcp/lsl/sched/nws namespace even when a scenario exercises only
+/// part of the stack (registration is lazy otherwise).
+void preregister_metrics() {
+  (void)lsl::tcp::TcpMetrics::get();
+  (void)lsl::session::DepotMetrics::get();
+  (void)lsl::sched::SchedMetrics::get();
+  (void)lsl::nws::NwsMetrics::get();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   lsl::init_log_from_env();
+  lsl::obs::init_metrics_from_env();
   const char* path = nullptr;
   std::uint64_t seed = 1;
   bool sweep = false;
+  bool profile = false;
+  const char* metrics_path = nullptr;
+  const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--sweep") == 0) {
       sweep = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       usage();
       return 0;
@@ -52,6 +86,14 @@ int main(int argc, char** argv) {
   if (path == nullptr) {
     usage();
     return 2;
+  }
+
+  if (metrics_path != nullptr) {
+    preregister_metrics();
+  }
+  lsl::obs::TraceRecorder recorder;
+  if (trace_path != nullptr) {
+    lsl::obs::set_tracer(&recorder);
   }
 
   std::ifstream file(path);
@@ -73,6 +115,34 @@ int main(int argc, char** argv) {
               scenario.transfers.size(),
               static_cast<unsigned long long>(seed));
 
+  // Kernel self-measurement: wall-clock sampling is enabled when the profile
+  // is wanted directly (--profile) or indirectly (sim.kernel.* metrics).
+  const bool want_profile = profile || metrics_path != nullptr;
+  lsl::sim::KernelProfile total_profile;
+
+  // Everything after the runs: kernel profile on stdout, metrics snapshot
+  // and Chrome trace to their files.
+  const auto finish = [&](bool ok) {
+    if (profile) {
+      std::printf("\n%s", total_profile.str().c_str());
+    }
+    if (metrics_path != nullptr) {
+      total_profile.export_metrics(lsl::obs::Registry::global());
+      if (!lsl::obs::Registry::global().write_json(metrics_path)) {
+        std::fprintf(stderr, "lslsim: cannot write %s\n", metrics_path);
+        ok = false;
+      }
+    }
+    if (trace_path != nullptr) {
+      if (!recorder.write_json(trace_path)) {
+        std::fprintf(stderr, "lslsim: cannot write %s\n", trace_path);
+        ok = false;
+      }
+      lsl::obs::set_tracer(nullptr);
+    }
+    return ok ? 0 : 1;
+  };
+
   if (sweep) {
     // Figure 2-style curves: re-run each declared transfer at doubling
     // sizes up to its declared size, one fresh simulation per point.
@@ -86,7 +156,13 @@ int main(int argc, char** argv) {
         auto point = scenario;
         point.transfers = {base};
         point.transfers[0].bytes = size;
-        const auto outcomes = lsl::exp::run_scenario(point, seed);
+        lsl::sim::KernelProfile run_profile;
+        const auto outcomes = lsl::exp::run_scenario(
+            point, seed, lsl::SimTime::seconds(3600),
+            want_profile ? &run_profile : nullptr);
+        if (want_profile) {
+          total_profile.merge_from(run_profile);
+        }
         const auto& outcome = outcomes.front().outcome;
         all_ok &= outcome.completed;
         table.add_row(
@@ -99,10 +175,12 @@ int main(int argc, char** argv) {
       table.print(std::cout);
       std::printf("\n");
     }
-    return all_ok ? 0 : 1;
+    return finish(all_ok);
   }
 
-  const auto outcomes = lsl::exp::run_scenario(scenario, seed);
+  const auto outcomes = lsl::exp::run_scenario(
+      scenario, seed, lsl::SimTime::seconds(3600),
+      want_profile ? &total_profile : nullptr);
   lsl::Table table({"src", "dst", "via", "size", "status", "time",
                     "Mbit/s"});
   bool all_ok = true;
@@ -125,5 +203,5 @@ int main(int argc, char** argv) {
                        : "-"});
   }
   table.print(std::cout);
-  return all_ok ? 0 : 1;
+  return finish(all_ok);
 }
