@@ -1,0 +1,34 @@
+# Depot churn on the paper's UCSB -> UIUC triangle: the Denver depot
+# crashes mid-transfer (one scripted crash plus a seeded MTBF/MTTR churn
+# process) and the session-recovery loop detects the failure, blacklists
+# the depot, fails over to the direct path, and resumes from the sink's
+# committed offset instead of byte 0.
+#
+#   lslsim scenarios/depot_churn.lsl --seed 7
+#
+# Exit status is nonzero if any session fails outright or a connection
+# leaks, so this doubles as the CI fault-smoke scenario.
+
+host ash.ucsb.edu  ucsb.edu
+host depot.denver  core
+host bell.uiuc.edu uiuc.edu
+
+link ash.ucsb.edu depot.denver   rate=155 delay=23   queue=8192 loss=1e-5
+link depot.denver bell.uiuc.edu  rate=155 delay=22.5 queue=8192 loss=5e-4
+link ash.ucsb.edu bell.uiuc.edu  rate=155 delay=35   queue=8192 loss=5e-4
+
+# 8 MB kernel buffers + 16 MB user buffer = the paper's 32 MB pipeline
+depot buffers=8192 user=16384
+
+# keep "direct" traffic on the direct link
+pin ash.ucsb.edu bell.uiuc.edu
+
+# one scripted crash in the middle of the first transfer, then background
+# churn for the rest of the run
+fault depot-crash depot.denver at=1.5 for=2
+churn depot.denver mtbf=30 mttr=2 start=10 horizon=120
+
+recovery retries=8 stall=5 backoff=250 max_backoff=5000 jitter=0.25
+
+transfer ash.ucsb.edu bell.uiuc.edu size=64 buffers=8192 via=depot.denver
+transfer ash.ucsb.edu bell.uiuc.edu size=64 buffers=8192 via=depot.denver

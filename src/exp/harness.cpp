@@ -72,6 +72,37 @@ SimHarness::Handle SimHarness::launch_traced(
   return Handle{source->session_id()};
 }
 
+SimHarness::Handle SimHarness::launch_reliable(
+    net::NodeId src, const session::TransferSpec& spec,
+    const session::RecoveryConfig& recovery,
+    session::RouteProvider route_provider) {
+  LSL_ASSERT_MSG(deployed_, "launch before deploy()");
+  auto transfer = session::ReliableTransfer::start(
+      stack(src), spec, recovery, rng_, std::move(route_provider));
+  const session::SessionId id = transfer->session_id();
+  Pending pending;
+  pending.started = sim_.now();
+  pending_.emplace(id, pending);
+  ++unfinished_;
+  transfer->on_failed = [this, id] { on_reliable_failed(id); };
+  reliable_.emplace(id, std::move(transfer));
+  return Handle{id};
+}
+
+session::ReliableTransfer::Ptr SimHarness::reliable(
+    const Handle& handle) const {
+  const auto it = reliable_.find(handle.id);
+  return it == reliable_.end() ? nullptr : it->second;
+}
+
+std::size_t SimHarness::open_connection_count() const {
+  std::size_t total = 0;
+  for (const auto& stack : stacks_) {
+    total += stack->open_connections();
+  }
+  return total;
+}
+
 void SimHarness::on_complete(const session::SessionRecord& record) {
   const auto it = pending_.find(record.header.session_id);
   if (it == pending_.end() || it->second.done) {
@@ -83,6 +114,27 @@ void SimHarness::on_complete(const session::SessionRecord& record) {
   p.outcome.bytes = record.bytes;
   p.outcome.elapsed = record.completed_at - p.started;
   p.outcome.goodput = throughput_of(record.bytes, p.outcome.elapsed);
+  if (const auto rel = reliable_.find(record.header.session_id);
+      rel != reliable_.end()) {
+    rel->second->notify_delivered();
+    p.outcome.retries = rel->second->retries();
+    p.outcome.recovered = rel->second->recovered();
+  }
+  LSL_ASSERT(unfinished_ > 0);
+  --unfinished_;
+}
+
+void SimHarness::on_reliable_failed(const session::SessionId& id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end() || it->second.done) {
+    return;
+  }
+  Pending& p = it->second;
+  p.done = true;
+  p.outcome.failed = true;
+  if (const auto rel = reliable_.find(id); rel != reliable_.end()) {
+    p.outcome.retries = rel->second->retries();
+  }
   LSL_ASSERT(unfinished_ > 0);
   --unfinished_;
 }

@@ -12,6 +12,7 @@
 
 #include "lsl/depot.hpp"
 #include "lsl/endpoint.hpp"
+#include "lsl/recovery.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/stack.hpp"
@@ -48,6 +49,13 @@ class SimHarness {
   // ---- transfers ----------------------------------------------------------
   struct TransferOutcome {
     bool completed = false;
+    /// Recovery gave up (retries exhausted or recovery disabled). Distinct
+    /// from !completed, which also covers deadline expiry.
+    bool failed = false;
+    /// Recovery attempts consumed (reliable launches only).
+    int retries = 0;
+    /// Completed, but only after at least one retry.
+    bool recovered = false;
     std::uint64_t bytes = 0;
     SimTime elapsed = SimTime::zero();
     Bandwidth goodput;
@@ -65,6 +73,21 @@ class SimHarness {
   Handle launch_traced(
       net::NodeId src, const session::TransferSpec& spec,
       const std::function<void(tcp::Connection&)>& on_source_conn);
+
+  /// Launch under the session-recovery loop: failures are detected, retried
+  /// with backoff, rerouted around blacklisted depots, and resumed from the
+  /// sink's committed offset. Unicast, single-stream transfers only.
+  Handle launch_reliable(net::NodeId src, const session::TransferSpec& spec,
+                         const session::RecoveryConfig& recovery = {},
+                         session::RouteProvider route_provider = nullptr);
+
+  /// The recovery wrapper behind a reliable launch (null for plain launches).
+  [[nodiscard]] session::ReliableTransfer::Ptr reliable(
+      const Handle& handle) const;
+
+  /// Total TCP connections still tracked across every host's stack; zero
+  /// once all sessions have finished and teardown has drained.
+  [[nodiscard]] std::size_t open_connection_count() const;
 
   /// Run the simulation until `handle` completes or `deadline` passes.
   TransferOutcome wait(const Handle& handle, SimTime deadline);
@@ -88,6 +111,7 @@ class SimHarness {
   };
 
   void on_complete(const session::SessionRecord& record);
+  void on_reliable_failed(const session::SessionId& id);
 
   sim::Simulator sim_;
   Rng rng_;
@@ -97,6 +121,9 @@ class SimHarness {
   std::unordered_map<session::SessionId, Pending, session::SessionIdHash>
       pending_;
   std::vector<session::LslSource::Ptr> sources_;
+  std::unordered_map<session::SessionId, session::ReliableTransfer::Ptr,
+                     session::SessionIdHash>
+      reliable_;
   std::size_t unfinished_ = 0;
   bool deployed_ = false;
 };

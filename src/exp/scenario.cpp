@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "fault/injector.hpp"
 #include "util/assert.hpp"
 
 namespace lsl::exp {
@@ -162,6 +163,155 @@ ParseResult parse_scenario(const std::string& text) {
       continue;
     }
 
+    if (directive == "fault") {
+      if (tokens.size() < 2) {
+        return {std::nullopt,
+                err_at(line_no, "fault <kind> [hosts...] at=<s> ...")};
+      }
+      ScenarioFault f;
+      const std::string& kind = tokens[1];
+      std::size_t attr_start = 0;
+      if (kind == "link-down" || kind == "brownout") {
+        f.kind = kind == "brownout" ? fault::FaultKind::kLinkBrownout
+                                    : fault::FaultKind::kLinkDown;
+        if (tokens.size() < 4) {
+          return {std::nullopt,
+                  err_at(line_no, "fault " + kind + " <a> <b> at=<s> ...")};
+        }
+        f.a = tokens[2];
+        f.b = tokens[3];
+        for (const std::string& host : {f.a, f.b}) {
+          if (!host_names.contains(host)) {
+            return {std::nullopt,
+                    err_at(line_no, "unknown host '" + host + "'")};
+          }
+        }
+        attr_start = 4;
+      } else if (kind == "depot-crash") {
+        f.kind = fault::FaultKind::kDepotCrash;
+        if (tokens.size() < 3) {
+          return {std::nullopt,
+                  err_at(line_no, "fault depot-crash <host> at=<s> ...")};
+        }
+        f.a = tokens[2];
+        if (!host_names.contains(f.a)) {
+          return {std::nullopt,
+                  err_at(line_no, "unknown host '" + f.a + "'")};
+        }
+        attr_start = 3;
+      } else if (kind == "nws-blackout") {
+        f.kind = fault::FaultKind::kNwsBlackout;
+        attr_start = 2;
+      } else {
+        return {std::nullopt,
+                err_at(line_no, "unknown fault kind '" + kind + "'")};
+      }
+      bool have_at = false;
+      for (std::size_t t = attr_start; t < tokens.size(); ++t) {
+        std::string key;
+        std::string value;
+        double number = 0.0;
+        if (!split_kv(tokens[t], key, value) ||
+            !parse_double(value, number)) {
+          return {std::nullopt,
+                  err_at(line_no, "bad attribute '" + tokens[t] + "'")};
+        }
+        if (key == "at") {
+          f.at_s = number;
+          have_at = true;
+        } else if (key == "for") {
+          f.for_s = number;
+        } else if (key == "loss" &&
+                   f.kind == fault::FaultKind::kLinkBrownout) {
+          f.loss = number;
+        } else {
+          return {std::nullopt,
+                  err_at(line_no, "unknown fault attribute '" + key + "'")};
+        }
+      }
+      if (!have_at) {
+        return {std::nullopt, err_at(line_no, "fault needs at=<s>")};
+      }
+      scenario.faults.push_back(std::move(f));
+      continue;
+    }
+
+    if (directive == "churn") {
+      if (tokens.size() < 2) {
+        return {std::nullopt,
+                err_at(line_no, "churn <host> [mtbf=<s> mttr=<s> ...]")};
+      }
+      ScenarioChurn churn;
+      churn.node = tokens[1];
+      if (!host_names.contains(churn.node)) {
+        return {std::nullopt,
+                err_at(line_no, "unknown host '" + churn.node + "'")};
+      }
+      for (std::size_t t = 2; t < tokens.size(); ++t) {
+        std::string key;
+        std::string value;
+        double number = 0.0;
+        if (!split_kv(tokens[t], key, value) ||
+            !parse_double(value, number)) {
+          return {std::nullopt,
+                  err_at(line_no, "bad attribute '" + tokens[t] + "'")};
+        }
+        if (key == "mtbf") {
+          churn.mtbf_s = number;
+        } else if (key == "mttr") {
+          churn.mttr_s = number;
+        } else if (key == "start") {
+          churn.start_s = number;
+        } else if (key == "horizon") {
+          churn.horizon_s = number;
+        } else {
+          return {std::nullopt,
+                  err_at(line_no, "unknown churn attribute '" + key + "'")};
+        }
+      }
+      if (churn.mtbf_s <= 0.0 || churn.mttr_s <= 0.0) {
+        return {std::nullopt,
+                err_at(line_no, "churn needs positive mtbf and mttr")};
+      }
+      scenario.churns.push_back(std::move(churn));
+      continue;
+    }
+
+    if (directive == "recovery") {
+      session::RecoveryConfig config;
+      for (std::size_t t = 1; t < tokens.size(); ++t) {
+        if (tokens[t] == "off") {
+          config.enabled = false;
+          continue;
+        }
+        std::string key;
+        std::string value;
+        double number = 0.0;
+        if (!split_kv(tokens[t], key, value) ||
+            !parse_double(value, number)) {
+          return {std::nullopt,
+                  err_at(line_no, "bad attribute '" + tokens[t] + "'")};
+        }
+        if (key == "retries") {
+          config.max_retries = static_cast<int>(number);
+        } else if (key == "stall") {
+          config.stall_timeout = SimTime::from_seconds(number);
+        } else if (key == "backoff") {
+          config.initial_backoff = SimTime::from_seconds(number * 1e-3);
+        } else if (key == "max_backoff") {
+          config.max_backoff = SimTime::from_seconds(number * 1e-3);
+        } else if (key == "jitter") {
+          config.backoff_jitter = number;
+        } else {
+          return {std::nullopt,
+                  err_at(line_no,
+                         "unknown recovery attribute '" + key + "'")};
+        }
+      }
+      scenario.recovery = config;
+      continue;
+    }
+
     if (directive == "transfer") {
       if (tokens.size() < 3) {
         return {std::nullopt,
@@ -231,10 +381,10 @@ ParseResult parse_scenario(const std::string& text) {
   return {std::move(scenario), {}};
 }
 
-std::vector<ScenarioOutcome> run_scenario(const Scenario& scenario,
-                                          std::uint64_t seed,
-                                          SimTime per_transfer_deadline,
-                                          sim::KernelProfile* profile_out) {
+std::vector<ScenarioOutcome> run_scenario(
+    const Scenario& scenario, std::uint64_t seed,
+    SimTime per_transfer_deadline, sim::KernelProfile* profile_out,
+    std::size_t* leaked_connections_out) {
   SimHarness harness(seed);
   if (profile_out != nullptr) {
     harness.simulator().set_profiling(true);
@@ -259,6 +409,57 @@ std::vector<ScenarioOutcome> run_scenario(const Scenario& scenario,
     topo.node(b).set_route(a, backward);
   }
 
+  // Faults: resolve host names, expand churn processes (seeded from the run
+  // seed so reruns replay bit-for-bit), and schedule the plan.
+  const bool faulty = !scenario.faults.empty() || !scenario.churns.empty();
+  fault::FaultInjector injector(harness.simulator(), topo);
+  if (faulty) {
+    injector.set_depot_control([&harness](net::NodeId node, bool up) {
+      if (up) {
+        harness.depot(node).restart();
+      } else {
+        harness.depot(node).shutdown();
+      }
+    });
+    fault::FaultPlan plan;
+    for (const auto& f : scenario.faults) {
+      fault::FaultSpec spec;
+      spec.kind = f.kind;
+      spec.at = SimTime::from_seconds(f.at_s);
+      spec.duration = SimTime::from_seconds(f.for_s);
+      spec.loss = f.loss;
+      if (f.kind == fault::FaultKind::kDepotCrash) {
+        spec.node = ids.at(f.a);
+      } else if (f.kind != fault::FaultKind::kNwsBlackout) {
+        spec.link_a = ids.at(f.a);
+        spec.link_b = ids.at(f.b);
+      }
+      plan.add(spec);
+    }
+    Rng churn_rng(seed ^ 0x9E3779B97F4A7C15ULL);
+    for (const auto& c : scenario.churns) {
+      fault::ChurnSpec churn;
+      churn.node = ids.at(c.node);
+      churn.mtbf = SimTime::from_seconds(c.mtbf_s);
+      churn.mttr = SimTime::from_seconds(c.mttr_s);
+      churn.start = SimTime::from_seconds(c.start_s);
+      churn.horizon = SimTime::from_seconds(c.horizon_s);
+      plan.add_churn(churn, churn_rng);
+    }
+    injector.schedule(plan);
+  }
+
+  // Any fault in play routes transfers through the recovery loop so
+  // failures are detected and reported instead of hanging to the deadline;
+  // retries happen only when the scenario opted in with `recovery`.
+  const bool reliably = scenario.recovery.has_value() || faulty;
+  session::RecoveryConfig recovery;
+  if (scenario.recovery.has_value()) {
+    recovery = *scenario.recovery;
+  } else {
+    recovery.enabled = false;
+  }
+
   std::vector<ScenarioOutcome> outcomes;
   for (const auto& transfer : scenario.transfers) {
     session::TransferSpec spec;
@@ -270,10 +471,25 @@ std::vector<ScenarioOutcome> run_scenario(const Scenario& scenario,
     spec.tcp = tcp::TcpOptions{}.with_buffers(transfer.buffer_bytes);
     ScenarioOutcome record;
     record.transfer = transfer;
-    record.outcome = harness.run_transfer(ids.at(transfer.src), spec,
-                                          harness.simulator().now() +
-                                              per_transfer_deadline);
+    const SimTime deadline =
+        harness.simulator().now() + per_transfer_deadline;
+    if (reliably) {
+      const auto handle =
+          harness.launch_reliable(ids.at(transfer.src), spec, recovery);
+      record.outcome = harness.wait(handle, deadline);
+      // Drain connection teardown so back-to-back transfers start clean.
+      harness.simulator().run(harness.simulator().now() +
+                              SimTime::seconds(2));
+    } else {
+      record.outcome =
+          harness.run_transfer(ids.at(transfer.src), spec, deadline);
+    }
     outcomes.push_back(std::move(record));
+  }
+  if (leaked_connections_out != nullptr) {
+    // TIME_WAIT linger is 500 ms; anything alive after this drain leaked.
+    harness.simulator().run(harness.simulator().now() + SimTime::seconds(5));
+    *leaked_connections_out = harness.open_connection_count();
   }
   if (profile_out != nullptr) {
     *profile_out = harness.simulator().profile();

@@ -22,8 +22,23 @@
 //   transfer ash.ucsb.edu bell.uiuc.edu size=64 buffers=8192
 //   transfer ash.ucsb.edu bell.uiuc.edu size=64 buffers=8192 via=depot.denver
 //
+//   # deterministic faults; `for` heals the fault after that long (omit it
+//   # for a permanent fault)
+//   fault link-down ash.ucsb.edu depot.denver at=5 for=10
+//   fault brownout depot.denver bell.uiuc.edu at=5 for=10 loss=0.3
+//   fault depot-crash depot.denver at=5 for=10
+//   fault nws-blackout at=5 for=60
+//
+//   # seeded crash/repair renewal process for one depot
+//   churn depot.denver mtbf=30 mttr=2 start=0 horizon=600
+//
+//   # run transfers under the session-recovery loop; `recovery off` keeps
+//   # failure detection (failed transfers are reported promptly) but never
+//   # retries. backoff/max_backoff in ms, stall in s.
+//   recovery retries=8 stall=10 backoff=250 max_backoff=10000 jitter=0.25
+//
 // Units: rate in Mbit/s, delay in ms (one way), queue/buffers/user in KiB,
-// size in MiB, loss as a probability.
+// size in MiB, loss as a probability, fault/churn times in seconds.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +47,7 @@
 #include <vector>
 
 #include "exp/harness.hpp"
+#include "fault/plan.hpp"
 
 namespace lsl::exp {
 
@@ -59,12 +75,37 @@ struct ScenarioTransfer {
   std::uint64_t buffer_bytes = 64 * kKiB;
 };
 
+/// One timed fault, with hosts still by name (resolved at run time).
+struct ScenarioFault {
+  fault::FaultKind kind = fault::FaultKind::kLinkDown;
+  double at_s = 0.0;
+  double for_s = 0.0;  ///< 0 = permanent
+  std::string a;       ///< link endpoint, or the depot host
+  std::string b;       ///< second link endpoint (link faults only)
+  double loss = 0.3;   ///< brownout loss probability
+};
+
+/// Seeded MTBF/MTTR crash process for one depot (see fault::ChurnSpec).
+struct ScenarioChurn {
+  std::string node;
+  double mtbf_s = 60.0;
+  double mttr_s = 5.0;
+  double start_s = 0.0;
+  double horizon_s = 600.0;
+};
+
 struct Scenario {
   std::vector<ScenarioHost> hosts;
   std::vector<ScenarioLink> links;
   std::vector<ScenarioPin> pins;
   session::DepotConfig depot;
   std::vector<ScenarioTransfer> transfers;
+  std::vector<ScenarioFault> faults;
+  std::vector<ScenarioChurn> churns;
+  /// Present when a `recovery` directive appeared. Transfers run under the
+  /// recovery loop whenever this is set or any fault/churn exists; without
+  /// a directive the loop runs detection-only (enabled = false).
+  std::optional<session::RecoveryConfig> recovery;
 };
 
 struct ParseResult {
@@ -85,10 +126,14 @@ struct ScenarioOutcome {
 
 /// Build the harness, run every transfer in order, return the outcomes.
 /// When `profile_out` is non-null, kernel profiling (wall-clock sampling)
-/// is enabled for the run and the final profile is stored there.
+/// is enabled for the run and the final profile is stored there. When
+/// `leaked_connections_out` is non-null, teardown is drained after the last
+/// transfer and the number of TCP connections still alive anywhere is
+/// stored there (nonzero = a leak).
 [[nodiscard]] std::vector<ScenarioOutcome> run_scenario(
     const Scenario& scenario, std::uint64_t seed,
     SimTime per_transfer_deadline = SimTime::seconds(3600),
-    sim::KernelProfile* profile_out = nullptr);
+    sim::KernelProfile* profile_out = nullptr,
+    std::size_t* leaked_connections_out = nullptr);
 
 }  // namespace lsl::exp

@@ -1,0 +1,166 @@
+#include "fault/injector.hpp"
+
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace lsl::fault {
+
+FaultMetrics* FaultMetrics::get() {
+  if (!obs::metrics_enabled()) {
+    return nullptr;
+  }
+  static FaultMetrics metrics = [] {
+    auto& reg = obs::Registry::global();
+    FaultMetrics m;
+    m.injected = &reg.counter("fault.injected");
+    m.healed = &reg.counter("fault.healed");
+    m.link_down = &reg.counter("fault.link_down");
+    m.link_brownouts = &reg.counter("fault.link_brownouts");
+    m.depot_crashes = &reg.counter("fault.depot_crashes");
+    m.depot_restarts = &reg.counter("fault.depot_restarts");
+    m.nws_blackouts = &reg.counter("fault.nws_blackouts");
+    m.active = &reg.gauge("fault.active");
+    return m;
+  }();
+  return &metrics;
+}
+
+FaultInjector::FaultInjector(sim::Simulator& sim, net::Topology& topology)
+    : sim_(sim), topo_(topology), metrics_(FaultMetrics::get()) {}
+
+void FaultInjector::schedule(const FaultPlan& plan) {
+  for (const FaultSpec& fault : plan.sorted()) {
+    sim_.schedule_at(fault.at, [this, fault] { apply(fault); }, "fault.apply");
+    if (!fault.permanent()) {
+      sim_.schedule_at(fault.at + fault.duration,
+                       [this, fault] { heal(fault); }, "fault.heal");
+    }
+  }
+}
+
+void FaultInjector::apply(const FaultSpec& fault) {
+  ++stats_.injected;
+  ++active_;
+  switch (fault.kind) {
+    case FaultKind::kLinkDown:
+      ++stats_.link_down;
+      set_duplex_loss(fault.link_a, fault.link_b, 1.0);
+      break;
+    case FaultKind::kLinkBrownout:
+      ++stats_.link_brownouts;
+      set_duplex_loss(fault.link_a, fault.link_b, fault.loss);
+      break;
+    case FaultKind::kDepotCrash:
+      ++stats_.depot_crashes;
+      if (depot_control_) {
+        depot_control_(fault.node, /*up=*/false);
+      }
+      break;
+    case FaultKind::kNwsBlackout:
+      ++stats_.nws_blackouts;
+      if (nws_control_) {
+        nws_control_(/*blackout=*/true);
+      }
+      break;
+  }
+  note(fault, /*applied=*/true);
+}
+
+void FaultInjector::heal(const FaultSpec& fault) {
+  ++stats_.healed;
+  --active_;
+  switch (fault.kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkBrownout:
+      restore_duplex_loss(fault.link_a, fault.link_b);
+      break;
+    case FaultKind::kDepotCrash:
+      ++stats_.depot_restarts;
+      if (depot_control_) {
+        depot_control_(fault.node, /*up=*/true);
+      }
+      break;
+    case FaultKind::kNwsBlackout:
+      if (nws_control_) {
+        nws_control_(/*blackout=*/false);
+      }
+      break;
+  }
+  note(fault, /*applied=*/false);
+}
+
+void FaultInjector::set_duplex_loss(net::NodeId a, net::NodeId b,
+                                    double loss) {
+  for (net::Link* link : {topo_.link_between(a, b), topo_.link_between(b, a)}) {
+    if (link == nullptr) {
+      LSL_WARN("fault: no link between %u and %u", a, b);
+      continue;
+    }
+    saved_loss_.try_emplace(link, link->config().loss_rate);
+    link->set_loss_rate(loss);
+  }
+}
+
+void FaultInjector::restore_duplex_loss(net::NodeId a, net::NodeId b) {
+  for (net::Link* link : {topo_.link_between(a, b), topo_.link_between(b, a)}) {
+    if (link == nullptr) {
+      continue;
+    }
+    if (const auto it = saved_loss_.find(link); it != saved_loss_.end()) {
+      link->set_loss_rate(it->second);
+      saved_loss_.erase(it);
+    }
+  }
+}
+
+void FaultInjector::note(const FaultSpec& fault, bool applied) {
+  LSL_DEBUG("fault: %s %s at t=%s", applied ? "apply" : "heal",
+            to_string(fault.kind), sim_.now().str().c_str());
+  if (metrics_ != nullptr) {
+    (applied ? metrics_->injected : metrics_->healed)->inc();
+    metrics_->active->set(static_cast<double>(active_));
+    if (applied) {
+      switch (fault.kind) {
+        case FaultKind::kLinkDown:
+          metrics_->link_down->inc();
+          break;
+        case FaultKind::kLinkBrownout:
+          metrics_->link_brownouts->inc();
+          break;
+        case FaultKind::kDepotCrash:
+          metrics_->depot_crashes->inc();
+          break;
+        case FaultKind::kNwsBlackout:
+          metrics_->nws_blackouts->inc();
+          break;
+      }
+    } else if (fault.kind == FaultKind::kDepotCrash) {
+      metrics_->depot_restarts->inc();
+    }
+  }
+  if (obs::TraceRecorder* tr = obs::tracer()) {
+    // Trace names must be literals with static storage duration.
+    const char* name = "?";
+    switch (fault.kind) {
+      case FaultKind::kLinkDown:
+        name = applied ? "fault.link_down" : "fault.heal.link_down";
+        break;
+      case FaultKind::kLinkBrownout:
+        name = applied ? "fault.brownout" : "fault.heal.brownout";
+        break;
+      case FaultKind::kDepotCrash:
+        name = applied ? "fault.depot_crash" : "fault.depot_restart";
+        break;
+      case FaultKind::kNwsBlackout:
+        name = applied ? "fault.nws_blackout" : "fault.heal.nws_blackout";
+        break;
+    }
+    const std::uint64_t arg =
+        fault.kind == FaultKind::kDepotCrash
+            ? fault.node
+            : (fault.kind == FaultKind::kNwsBlackout ? 0 : fault.link_a);
+    tr->instant(sim_.now(), "fault", name, arg);
+  }
+}
+
+}  // namespace lsl::fault

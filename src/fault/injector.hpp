@@ -1,0 +1,88 @@
+// FaultInjector: schedules a FaultPlan onto the simulation kernel.
+//
+// Link faults are applied by mutating the duplex pair's Bernoulli loss rate
+// (down = loss 1.0; brownout = the spec's loss), restoring the original
+// rates when the fault heals. Depot and NWS faults are delegated to
+// callbacks supplied by the experiment harness, keeping this layer free of
+// lsl/nws dependencies. Every injection and heal is counted in metrics and
+// emitted to the obs trace as an instant in the "fault" category.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "fault/plan.hpp"
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace lsl::fault {
+
+/// Process-wide fault instruments (global metrics registry).
+struct FaultMetrics {
+  obs::Counter* injected;        ///< fault.injected
+  obs::Counter* healed;          ///< fault.healed
+  obs::Counter* link_down;       ///< fault.link_down
+  obs::Counter* link_brownouts;  ///< fault.link_brownouts
+  obs::Counter* depot_crashes;   ///< fault.depot_crashes
+  obs::Counter* depot_restarts;  ///< fault.depot_restarts
+  obs::Counter* nws_blackouts;   ///< fault.nws_blackouts
+  obs::Gauge* active;            ///< fault.active (currently live faults)
+
+  /// nullptr while obs::metrics_enabled() is false.
+  static FaultMetrics* get();
+};
+
+struct InjectorStats {
+  std::uint64_t injected = 0;
+  std::uint64_t healed = 0;
+  std::uint64_t link_down = 0;
+  std::uint64_t link_brownouts = 0;
+  std::uint64_t depot_crashes = 0;
+  std::uint64_t depot_restarts = 0;
+  std::uint64_t nws_blackouts = 0;
+};
+
+class FaultInjector {
+ public:
+  /// up == false takes the depot out of service; true restores it.
+  using DepotControl = std::function<void(net::NodeId, bool up)>;
+  /// blackout == true suspends NWS measurement; false resumes it.
+  using NwsControl = std::function<void(bool blackout)>;
+
+  FaultInjector(sim::Simulator& sim, net::Topology& topology);
+
+  void set_depot_control(DepotControl control) {
+    depot_control_ = std::move(control);
+  }
+  void set_nws_control(NwsControl control) {
+    nws_control_ = std::move(control);
+  }
+
+  /// Schedule every fault (and its heal, when transient) onto the kernel.
+  void schedule(const FaultPlan& plan);
+
+  [[nodiscard]] const InjectorStats& stats() const { return stats_; }
+  [[nodiscard]] int active_faults() const { return active_; }
+
+ private:
+  void apply(const FaultSpec& fault);
+  void heal(const FaultSpec& fault);
+  void set_duplex_loss(net::NodeId a, net::NodeId b, double loss);
+  void restore_duplex_loss(net::NodeId a, net::NodeId b);
+  void note(const FaultSpec& fault, bool applied);
+
+  sim::Simulator& sim_;
+  net::Topology& topo_;
+  DepotControl depot_control_;
+  NwsControl nws_control_;
+  /// Pre-fault loss rates, saved at first application per directed link so
+  /// overlapping faults restore the true original value.
+  std::unordered_map<net::Link*, double> saved_loss_;
+  int active_ = 0;
+  InjectorStats stats_;
+  FaultMetrics* metrics_;
+};
+
+}  // namespace lsl::fault

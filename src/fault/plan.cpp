@@ -1,0 +1,55 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace lsl::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkDown:
+      return "link-down";
+    case FaultKind::kLinkBrownout:
+      return "brownout";
+    case FaultKind::kDepotCrash:
+      return "depot-crash";
+    case FaultKind::kNwsBlackout:
+      return "nws-blackout";
+  }
+  return "?";
+}
+
+void FaultPlan::add_churn(const ChurnSpec& churn, Rng& rng) {
+  LSL_ASSERT_MSG(churn.mtbf > SimTime::zero() && churn.mttr > SimTime::zero(),
+                 "churn needs positive mtbf/mttr");
+  SimTime t = churn.start;
+  while (true) {
+    t += SimTime::from_seconds(rng.exponential(churn.mtbf.to_seconds()));
+    if (t >= churn.horizon) {
+      break;
+    }
+    // A zero repair draw would read as "permanent"; keep crashes transient.
+    const SimTime repair = std::max(
+        SimTime::from_seconds(rng.exponential(churn.mttr.to_seconds())),
+        SimTime::milliseconds(1));
+    FaultSpec crash;
+    crash.kind = FaultKind::kDepotCrash;
+    crash.at = t;
+    crash.duration = repair;
+    crash.node = churn.node;
+    faults.push_back(crash);
+    t += repair;
+  }
+}
+
+std::vector<FaultSpec> FaultPlan::sorted() const {
+  std::vector<FaultSpec> out = faults;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultSpec& a, const FaultSpec& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+}  // namespace lsl::fault

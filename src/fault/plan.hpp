@@ -1,0 +1,67 @@
+// Deterministic fault plans (paper §6: "the tolerance of depot failure...
+// is an area for future work").
+//
+// A FaultPlan is a list of timed faults -- link outages, link brownouts
+// (elevated loss for an interval), depot crash/restart, and NWS measurement
+// blackouts -- that a FaultInjector schedules onto the simulation kernel.
+// Plans come from two sources: explicit scenario directives and seeded
+// MTBF/MTTR renewal processes (add_churn), so whole failure experiments
+// replay bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace lsl::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,      ///< 100% loss on both directions of a duplex link
+  kLinkBrownout,  ///< elevated Bernoulli loss on both directions
+  kDepotCrash,    ///< depot out of service; restarts after `duration`
+  kNwsBlackout,   ///< measurement epochs suspended (forecasts go stale)
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kLinkDown;
+  SimTime at = SimTime::zero();
+  /// Time until the fault heals; zero means it is permanent.
+  SimTime duration = SimTime::zero();
+  net::NodeId node = net::kInvalidNode;    ///< depot faults
+  net::NodeId link_a = net::kInvalidNode;  ///< link faults (duplex pair)
+  net::NodeId link_b = net::kInvalidNode;
+  double loss = 0.3;  ///< brownout loss probability
+
+  [[nodiscard]] bool permanent() const { return duration == SimTime::zero(); }
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+/// Seeded crash/repair renewal process for one depot: up-times are
+/// exponential with mean `mtbf`, repair times exponential with mean `mttr`.
+struct ChurnSpec {
+  net::NodeId node = net::kInvalidNode;
+  SimTime mtbf = SimTime::seconds(60);
+  SimTime mttr = SimTime::seconds(5);
+  SimTime start = SimTime::zero();
+  SimTime horizon = SimTime::seconds(600);  ///< no crashes injected after
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  void add(const FaultSpec& fault) { faults.push_back(fault); }
+  /// Expand a churn process into concrete kDepotCrash faults drawn from
+  /// `rng`; identical (spec, rng state) always yields the identical plan.
+  void add_churn(const ChurnSpec& churn, Rng& rng);
+
+  /// Faults in injection order (stable sort by time).
+  [[nodiscard]] std::vector<FaultSpec> sorted() const;
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+};
+
+}  // namespace lsl::fault

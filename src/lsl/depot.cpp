@@ -23,6 +23,9 @@ DepotMetrics* DepotMetrics::get() {
     m.sessions_delivered = &reg.counter("lsl.depot.sessions_delivered");
     m.bytes_relayed = &reg.counter("lsl.depot.bytes_relayed");
     m.bytes_delivered = &reg.counter("lsl.depot.bytes_delivered");
+    m.sessions_interrupted = &reg.counter("lsl.depot.sessions_interrupted");
+    m.sessions_resumed = &reg.counter("lsl.depot.sessions_resumed");
+    m.offset_queries = &reg.counter("lsl.depot.offset_queries");
     m.stall_us = &reg.counter("lsl.depot.stall_us");
     m.buffer_occupancy = &reg.gauge("lsl.depot.buffer_occupancy");
     // Session sizes from the paper span 1 MiB .. 1 GiB in doublings.
@@ -47,6 +50,7 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
     up_->on_readable = [this] { on_upstream_readable(); };
     up_->on_eof = [this] { on_upstream_eof(); };
     up_->on_closed = [this] { on_upstream_closed(); };
+    up_->on_error = [this](tcp::ConnectionError e) { on_upstream_error(e); };
     // Data may already be buffered by the time the relay is attached.
     on_upstream_readable();
   }
@@ -62,6 +66,7 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
         c->on_eof = nullptr;
         c->on_closed = nullptr;
         c->on_connected = nullptr;
+        c->on_error = nullptr;
       }
     };
     clear(up_);
@@ -78,6 +83,7 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
     kDelivering,  ///< this node is the destination
     kStoring,     ///< async session parked here
     kServingFetch,
+    kServingOffset,  ///< answering a resume-offset probe
     kMulticast,
     kDone,
   };
@@ -148,6 +154,12 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
       return;
     }
 
+    if (hdr_.type == SessionType::kOffsetQuery) {
+      phase_ = Phase::kServingOffset;
+      serve_offset_query();
+      return;
+    }
+
     if (hdr_.multicast.has_value()) {
       const auto index = hdr_.multicast->find(me);
       if (index.has_value()) {
@@ -172,6 +184,15 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
 
     if (hdr_.dst == me) {
       phase_ = Phase::kDelivering;
+      if (hdr_.resume_offset > 0) {
+        // Resumed session: the source restarts the payload stream at our
+        // committed offset, so account delivery on top of that base.
+        resume_base_ = hdr_.resume_offset;
+        ++depot_.stats_.sessions_resumed;
+        if (depot_.metrics_ != nullptr) {
+          depot_.metrics_->sessions_resumed->inc();
+        }
+      }
       pump();
       return;
     }
@@ -384,6 +405,10 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
         if (depot_.metrics_ != nullptr) {
           depot_.metrics_->bytes_delivered->inc(r.n);
         }
+        // Live resume watermark: these bytes have reached the receiving
+        // application, so offset probes see delivery progress as it
+        // happens and a crash from here on never resends them.
+        depot_.commit_progress(hdr_.session_id, resume_base_ + payload_seen_);
       }
     }
   }
@@ -427,6 +452,31 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
     done();
   }
 
+  // ---- resume-offset probes ------------------------------------------------
+
+  /// Answer a kOffsetQuery: echo the header back with resume_offset set to
+  /// this depot's committed byte count for the session, then close. The
+  /// response rides our send direction; the relay is finished immediately
+  /// (the connection drains independently of relay callbacks).
+  void serve_offset_query() {
+    ++depot_.stats_.offset_queries;
+    if (depot_.metrics_ != nullptr) {
+      depot_.metrics_->offset_queries->inc();
+    }
+    SessionHeader response;
+    response.type = SessionType::kOffsetQuery;
+    response.session_id = hdr_.session_id;
+    response.src = depot_.node_id();
+    response.dst = hdr_.src;
+    response.resume_offset = depot_.committed_offset(hdr_.session_id);
+    const auto bytes = encode(response);
+    const std::uint64_t n = up_->write_bytes(bytes);
+    LSL_ASSERT_MSG(n == bytes.size(),
+                   "send buffer must hold the offset-query response");
+    up_->close();
+    done();
+  }
+
   // ---- teardown ------------------------------------------------------------
 
   void on_upstream_eof() {
@@ -434,12 +484,36 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
     pump();
   }
 
+  void on_upstream_error(tcp::ConnectionError e) {
+    if (phase_ == Phase::kDone) {
+      return;
+    }
+    LSL_DEBUG("depot %u: upstream %s mid-session", depot_.node_id(),
+              tcp::to_string(e));
+    note_interrupted();
+    fail();
+  }
+
   void on_upstream_closed() {
     if (phase_ == Phase::kDone) {
       return;
     }
-    // Upstream went away entirely; flush whatever we hold and finish.
+    if (!up_eof_) {
+      // Upstream terminated without a clean FIN (and without a surfaced
+      // error, or we would already be done): the session cannot complete.
+      note_interrupted();
+      fail();
+      return;
+    }
+    // Clean teardown can complete while we still drain; keep pumping.
     pump();
+  }
+
+  void note_interrupted() {
+    ++depot_.stats_.sessions_interrupted;
+    if (depot_.metrics_ != nullptr) {
+      depot_.metrics_->sessions_interrupted->inc();
+    }
   }
 
   void on_downstream_closed() {
@@ -470,8 +544,12 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
         break;
       case Phase::kDelivering: {
         const SessionHeader header = hdr_;
-        const std::uint64_t bytes = payload_seen_;
+        const std::uint64_t bytes = resume_base_ + payload_seen_;
         const SimTime accepted = accepted_at_;
+        // Keep the full total in the ledger (instead of erasing) so a late
+        // offset probe reads "everything committed" and the source resends
+        // nothing rather than everything.
+        depot_.commit_progress(header.session_id, bytes);
         up_->close();
         done();
         depot_.session_delivered(header, bytes, accepted);
@@ -514,6 +592,15 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
     if (phase_ == Phase::kDone) {
       return;
     }
+    if (phase_ == Phase::kDelivering) {
+      // Commit whatever arrived before the failure so the source can resume
+      // from here instead of byte 0; bytes still queued in the socket are
+      // salvaged first.
+      drain_locally();
+      if (resume_base_ + payload_seen_ > 0) {
+        depot_.commit_progress(hdr_.session_id, resume_base_ + payload_seen_);
+      }
+    }
     if (up_) {
       up_->abort();
     }
@@ -554,6 +641,7 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
         case Phase::kDelivering: name = "lsl.deliver"; break;
         case Phase::kStoring: name = "lsl.store"; break;
         case Phase::kServingFetch: name = "lsl.fetch"; break;
+        case Phase::kServingOffset: name = "lsl.offset_query"; break;
         case Phase::kMulticast: name = "lsl.multicast"; break;
         default: break;
       }
@@ -584,6 +672,8 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
   std::uint64_t buf_base_ = 0;
   std::uint64_t buf_high_ = 0;
   std::uint64_t payload_seen_ = 0;
+  /// Resumed delivery: stream offset where this connection's payload starts.
+  std::uint64_t resume_base_ = 0;
   std::uint64_t fetch_remaining_ = 0;
   SimTime accepted_at_;
   std::uint64_t user_buffer_granted_ = 0;
@@ -761,6 +851,27 @@ void Depot::release_user_memory(std::uint64_t bytes) {
   }
   LSL_ASSERT(user_memory_in_use_ >= bytes);
   user_memory_in_use_ -= bytes;
+}
+
+void Depot::commit_progress(const SessionId& id, std::uint64_t bytes) {
+  // Bounded ledger: enough for every live recovery plus a long tail of
+  // completed sessions, evicted FIFO.
+  constexpr std::size_t kMaxProgressEntries = 4096;
+  const auto [it, inserted] = progress_.try_emplace(id, bytes);
+  if (!inserted) {
+    it->second = std::max(it->second, bytes);  // progress never regresses
+    return;
+  }
+  progress_order_.push_back(id);
+  while (progress_.size() > kMaxProgressEntries && !progress_order_.empty()) {
+    progress_.erase(progress_order_.front());
+    progress_order_.pop_front();
+  }
+}
+
+std::uint64_t Depot::committed_offset(const SessionId& id) const {
+  const auto it = progress_.find(id);
+  return it == progress_.end() ? 0 : it->second;
 }
 
 std::optional<std::uint64_t> Depot::stored_bytes(const SessionId& id) const {

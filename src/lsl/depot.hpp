@@ -41,6 +41,9 @@ struct DepotMetrics {
   obs::Counter* sessions_delivered; ///< lsl.depot.sessions_delivered
   obs::Counter* bytes_relayed;      ///< lsl.depot.bytes_relayed
   obs::Counter* bytes_delivered;    ///< lsl.depot.bytes_delivered
+  obs::Counter* sessions_interrupted;  ///< lsl.depot.sessions_interrupted
+  obs::Counter* sessions_resumed;   ///< lsl.depot.sessions_resumed
+  obs::Counter* offset_queries;     ///< lsl.depot.offset_queries
   obs::Counter* stall_us;           ///< lsl.depot.stall_us (buffer-full time)
   obs::Gauge* buffer_occupancy;     ///< lsl.depot.buffer_occupancy (bytes)
   obs::Histogram* relay_session_mib;///< lsl.depot.relay_session_mib
@@ -82,6 +85,11 @@ struct DepotStats {
   std::uint64_t sessions_evicted = 0;
   std::uint64_t bytes_relayed = 0;
   std::uint64_t bytes_delivered = 0;
+  /// Sessions whose upstream died (reset / timeout) before completion.
+  std::uint64_t sessions_interrupted = 0;
+  /// Deliveries that resumed from a nonzero committed offset.
+  std::uint64_t sessions_resumed = 0;
+  std::uint64_t offset_queries = 0;
 };
 
 /// A completed local delivery (this node was the destination).
@@ -122,6 +130,11 @@ class Depot {
   [[nodiscard]] net::NodeId node_id() const { return stack_.node_id(); }
   [[nodiscard]] std::size_t active_sessions() const { return active_; }
 
+  /// Committed byte count for a (possibly interrupted) delivery, 0 when the
+  /// session is unknown. This is what kOffsetQuery probes read; a source
+  /// resumes its resend from here instead of byte 0.
+  [[nodiscard]] std::uint64_t committed_offset(const SessionId& id) const;
+
   /// Async-session store introspection (bytes held for a session id).
   [[nodiscard]] std::optional<std::uint64_t> stored_bytes(
       const SessionId& id) const;
@@ -141,6 +154,9 @@ class Depot {
   /// fires on_session_complete when the whole session has arrived.
   void session_delivered(const SessionHeader& header, std::uint64_t bytes,
                          SimTime accepted_at);
+  /// Record delivery progress for resume (monotonic per session, bounded
+  /// ledger with FIFO eviction).
+  void commit_progress(const SessionId& id, std::uint64_t bytes);
   /// Reserve relay buffer memory from the depot-wide pool; returns the
   /// granted byte count (0 when the pool cannot meet the minimum grant).
   [[nodiscard]] std::uint64_t reserve_user_memory();
@@ -167,6 +183,11 @@ class Depot {
     SimTime first_accepted = SimTime::zero();
   };
   std::unordered_map<SessionId, PartialStripes, SessionIdHash> stripes_;
+  /// Delivery-progress ledger: id -> committed bytes, FIFO-bounded. Survives
+  /// shutdown()/restart() -- it models what the receiving application has
+  /// already consumed, which a depot process crash does not undo.
+  std::unordered_map<SessionId, std::uint64_t, SessionIdHash> progress_;
+  std::deque<SessionId> progress_order_;
   std::uint64_t user_memory_in_use_ = 0;
   bool running_ = true;
   DepotMetrics* metrics_ = nullptr;  ///< shared instruments (may be null)

@@ -15,9 +15,13 @@ LslSource::Ptr LslSource::start(tcp::TcpStack& stack, const TransferSpec& spec,
   LSL_ASSERT_MSG(spec.streams == 1 ||
                      (!spec.async_session && !spec.multicast.has_value()),
                  "striping composes with unicast sessions only");
+  LSL_ASSERT_MSG(spec.resume_offset == 0 ||
+                     (spec.streams == 1 && !spec.async_session &&
+                      !spec.multicast.has_value()),
+                 "resume composes with single-stream unicast sessions only");
 
   auto source = Ptr(new LslSource());
-  source->id_ = SessionId::random(rng);
+  source->id_ = spec.session_id.value_or(SessionId::random(rng));
   source->started_at_ = stack.simulator().now();
 
   SessionHeader base_header;
@@ -29,6 +33,7 @@ LslSource::Ptr LslSource::start(tcp::TcpStack& stack, const TransferSpec& spec,
   base_header.payload_bytes = spec.payload_bytes;
   base_header.async_session = spec.async_session;
   base_header.multicast = spec.multicast;
+  base_header.resume_offset = spec.resume_offset;
 
   net::NodeId first_hop = spec.dst;
   if (spec.multicast.has_value()) {
@@ -121,6 +126,15 @@ AsyncFetcher::Ptr AsyncFetcher::start(tcp::TcpStack& stack, net::NodeId depot,
       }
     } else if (fetcher->on_error) {
       fetcher->on_error();
+    }
+  };
+  // Abnormal teardown (depot reset, connect timeout) is reported directly;
+  // on_closed additionally catches local aborts on malformed responses.
+  conn->on_error = [fetcher](tcp::ConnectionError e) {
+    LSL_DEBUG("fetch: connection %s", tcp::to_string(e));
+    if (fetcher->on_error) {
+      fetcher->on_error();
+      fetcher->on_error = nullptr;
     }
   };
   conn->on_closed = [fetcher] {

@@ -29,6 +29,12 @@ struct TransferSpec {
   /// striping composed with logistical forwarding). Must be 1 for async
   /// and multicast sessions.
   std::uint16_t streams = 1;
+  /// Reuse this id instead of generating one (session recovery relaunches
+  /// the same session so the sink can aggregate progress).
+  std::optional<SessionId> session_id;
+  /// Resume: payload_bytes covers the remainder starting at this stream
+  /// offset (the sink's committed byte count). Unicast, streams == 1 only.
+  std::uint64_t resume_offset = 0;
 };
 
 /// Initiates a session: connects to the first hop (or the destination),

@@ -111,6 +111,9 @@ std::size_t SessionHeader::encoded_size() const {
   if (stripe.has_value()) {
     size += 4 + 4;
   }
+  if (resume_offset != 0) {
+    size += 4 + 8;
+  }
   return size;
 }
 
@@ -157,6 +160,11 @@ std::vector<std::byte> encode(const SessionHeader& header) {
     w.u16(4);
     w.u16(header.stripe->index);
     w.u16(header.stripe->count);
+  }
+  if (header.resume_offset != 0) {
+    w.u16(kOptResumeOffset);
+    w.u16(8);
+    w.u64(header.resume_offset);
   }
   LSL_ASSERT(out.size() == header.encoded_size());
   return out;
@@ -247,6 +255,13 @@ std::optional<SessionHeader> decode(std::span<const std::byte> bytes) {
           return std::nullopt;
         }
         h.stripe = stripe;
+        break;
+      }
+      case kOptResumeOffset: {
+        if (opt_len != 8) {
+          return std::nullopt;
+        }
+        h.resume_offset = r.u64();
         break;
       }
       default:

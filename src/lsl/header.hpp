@@ -42,6 +42,10 @@ constexpr std::size_t kHeaderPreambleBytes = 8;
 enum class SessionType : std::uint16_t {
   kData = 1,   ///< synchronous point-to-point stream
   kFetch = 2,  ///< asynchronous retrieval of a stored session
+  /// Recovery probe: "how many bytes of this session did you commit?" The
+  /// sink answers with a kOffsetQuery header whose resume_offset carries its
+  /// committed byte count, then closes. Carries no payload.
+  kOffsetQuery = 3,
 };
 
 enum OptionType : std::uint16_t {
@@ -49,6 +53,7 @@ enum OptionType : std::uint16_t {
   kOptMulticastTree = 2,
   kOptAsyncSession = 3,
   kOptStripe = 4,
+  kOptResumeOffset = 5,
 };
 
 /// Striped session: this connection carries stripe `index` of `count`
@@ -95,6 +100,10 @@ struct SessionHeader {
   std::optional<MulticastTree> multicast;
   bool async_session = false;
   std::optional<StripeInfo> stripe;
+  /// Resumed session: payload starts at this byte of the original stream
+  /// (the sink's committed offset); in kOffsetQuery replies, the committed
+  /// byte count itself. Zero means a fresh session and is not encoded.
+  std::uint64_t resume_offset = 0;
 
   [[nodiscard]] std::size_t encoded_size() const;
 

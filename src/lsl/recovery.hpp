@@ -1,0 +1,149 @@
+// Session-layer fault tolerance (paper section 6 future work: depot failure
+// tolerance).
+//
+// A ReliableTransfer wraps an LslSource with the source-side recovery loop:
+//
+//   detect    peer abort / reset, connect timeout, or a stall watchdog on
+//             acked-byte progress (while sending) and on the sink's
+//             committed offset (after the local send finishes);
+//   back off  capped exponential backoff with deterministic seeded jitter;
+//   reroute   the failed attempt's depots are blacklisted and the route
+//             provider (typically the MMP scheduler with those nodes
+//             excluded) picks an alternate path, degrading to the direct
+//             path when none exists;
+//   resume    before relaunching, the sink is probed with a kOffsetQuery and
+//             the resend starts at its committed offset, not byte 0.
+//
+// End-to-end completion is still observed at the sink depot; the deployment
+// wires its on_session_complete callback to notify_delivered().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "lsl/endpoint.hpp"
+#include "obs/metrics.hpp"
+#include "sim/timer.hpp"
+#include "tcp/stack.hpp"
+#include "util/rng.hpp"
+
+namespace lsl::session {
+
+struct RecoveryConfig {
+  /// When false the first detected failure is terminal (no retries); the
+  /// detection machinery still runs so failures are reported, not hung.
+  bool enabled = true;
+  int max_retries = 8;
+  SimTime initial_backoff = SimTime::milliseconds(250);
+  double backoff_multiplier = 2.0;
+  SimTime max_backoff = SimTime::seconds(10);
+  /// Uniform jitter fraction: each delay is scaled by 1 +- jitter.
+  double backoff_jitter = 0.25;
+  /// No acked-byte (or committed-offset) progress for this long = failure.
+  /// Also bounds how long an offset probe may hang.
+  SimTime stall_timeout = SimTime::seconds(10);
+};
+
+/// Process-wide recovery instruments in the global metrics registry.
+struct RecoveryMetrics {
+  obs::Counter* failures_detected;   ///< lsl.recovery.failures_detected
+  obs::Counter* retries;             ///< lsl.recovery.retries
+  obs::Counter* sessions_recovered;  ///< lsl.recovery.sessions_recovered
+  obs::Counter* sessions_failed;     ///< lsl.recovery.sessions_failed
+  obs::Counter* depots_blacklisted;  ///< lsl.recovery.depots_blacklisted
+  obs::Counter* offset_probes;       ///< lsl.recovery.offset_probes
+  obs::Counter* resumed_bytes_saved; ///< lsl.recovery.resumed_bytes_saved
+
+  /// nullptr while obs::metrics_enabled() is false.
+  static RecoveryMetrics* get();
+};
+
+/// Picks the relay path for a retry given the depots blacklisted so far.
+/// Returning an empty vector degrades to the direct path. When absent, the
+/// default drops blacklisted hops from the original via list.
+using RouteProvider = std::function<std::vector<net::NodeId>(
+    const std::vector<net::NodeId>& blacklist)>;
+
+class ReliableTransfer : public std::enable_shared_from_this<ReliableTransfer> {
+ public:
+  using Ptr = std::shared_ptr<ReliableTransfer>;
+
+  enum class Outcome { kPending, kCompleted, kFailed };
+
+  /// Fired once, when the sink reports full delivery (via notify_delivered).
+  std::function<void()> on_complete;
+  /// Fired once, when retries are exhausted (or recovery is disabled).
+  std::function<void()> on_failed;
+
+  /// Launch the first attempt. Unicast, single-stream transfers only.
+  static Ptr start(tcp::TcpStack& stack, const TransferSpec& spec,
+                   const RecoveryConfig& config, Rng& rng,
+                   RouteProvider route_provider = nullptr);
+
+  /// Wire the sink's completion signal here (idempotent).
+  void notify_delivered();
+
+  [[nodiscard]] const SessionId& session_id() const { return id_; }
+  [[nodiscard]] Outcome outcome() const { return outcome_; }
+  [[nodiscard]] int retries() const { return retries_; }
+  /// Completed, but only after at least one retry.
+  [[nodiscard]] bool recovered() const {
+    return outcome_ == Outcome::kCompleted && retries_ > 0;
+  }
+  [[nodiscard]] const std::vector<net::NodeId>& blacklist() const {
+    return blacklist_;
+  }
+  /// The sink-committed offset the latest resume started from.
+  [[nodiscard]] std::uint64_t committed_offset() const { return committed_; }
+
+ private:
+  enum class State { kRunning, kBackoff, kProbing, kDone };
+  enum class ProbePurpose { kWatchdog, kRelaunch };
+
+  ReliableTransfer(tcp::TcpStack& stack, TransferSpec spec,
+                   RecoveryConfig config, Rng rng, RouteProvider provider);
+
+  void launch_attempt();
+  void detach_source();
+  void on_failure(const char* reason);
+  void on_stall_tick();
+  void start_probe(ProbePurpose purpose);
+  void probe_read();
+  void probe_finish(std::optional<std::uint64_t> offset);
+  void relaunch_with(std::uint64_t sink_committed);
+  void finish_failed();
+  [[nodiscard]] SimTime next_backoff();
+
+  tcp::TcpStack& stack_;
+  sim::Simulator& sim_;
+  TransferSpec spec_;  ///< original request (via = the preferred route)
+  RecoveryConfig config_;
+  Rng rng_;  ///< private stream for backoff jitter
+  RouteProvider provider_;
+  SessionId id_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t committed_ = 0;  ///< sink-committed bytes we know of
+  std::uint64_t saved_accounted_ = 0;
+  std::vector<net::NodeId> current_via_;
+  std::vector<net::NodeId> blacklist_;
+  LslSource::Ptr source_;
+  bool local_send_done_ = false;
+  std::uint64_t last_acked_ = 0;
+  /// Sink-consumed bytes seen by the most recent watchdog probe.
+  std::uint64_t probe_watermark_ = 0;
+  State state_ = State::kRunning;
+  Outcome outcome_ = Outcome::kPending;
+  int retries_ = 0;
+  sim::Timer stall_timer_;
+  sim::Timer backoff_timer_;
+  // In-flight offset probe (one at a time).
+  tcp::Connection::Ptr probe_conn_;
+  std::vector<std::byte> probe_buf_;
+  std::optional<SessionHeader> probe_header_;
+  ProbePurpose probe_purpose_ = ProbePurpose::kWatchdog;
+  RecoveryMetrics* metrics_ = nullptr;
+};
+
+}  // namespace lsl::session

@@ -15,6 +15,7 @@ NwsMetrics* NwsMetrics::get() {
     NwsMetrics m;
     m.epochs = &reg.counter("nws.monitor.epochs");
     m.observations = &reg.counter("nws.monitor.observations");
+    m.blackout_epochs = &reg.counter("nws.monitor.blackout_epochs");
     m.forecast_abs_rel_error =
         &reg.histogram("nws.monitor.forecast_abs_rel_error",
                        obs::linear_buckets(0.05, 0.05, 20));
@@ -59,6 +60,14 @@ void PerformanceMonitor::observe_epoch(const TruthFn& truth) {
   ++epochs_;
   if (metrics_ != nullptr) {
     metrics_->epochs->inc();
+  }
+  if (blackout_) {
+    // Measurement infrastructure fault: no probes run; the forecasters keep
+    // serving their last predictions, which drift from the ground truth.
+    if (metrics_ != nullptr) {
+      metrics_->blackout_epochs->inc();
+    }
+    return;
   }
   const std::size_t s = site_names_.size();
   for (std::size_t a = 0; a < s; ++a) {

@@ -25,6 +25,7 @@ namespace lsl::nws {
 struct NwsMetrics {
   obs::Counter* epochs;          ///< nws.monitor.epochs
   obs::Counter* observations;    ///< nws.monitor.observations
+  obs::Counter* blackout_epochs; ///< nws.monitor.blackout_epochs
   /// nws.monitor.forecast_abs_rel_error: |measured - predicted| / measured
   /// for every measurement taken after the pair's forecaster warmed up.
   obs::Histogram* forecast_abs_rel_error;
@@ -54,8 +55,14 @@ class PerformanceMonitor {
   PerformanceMonitor(std::vector<std::string> sites, NoiseModel noise,
                      std::uint64_t seed);
 
-  /// Take one measurement epoch against the ground truth.
+  /// Take one measurement epoch against the ground truth. During a
+  /// blackout the epoch is skipped (no probes run) and forecasts go stale.
   void observe_epoch(const TruthFn& truth);
+
+  /// Measurement blackout (monitoring infrastructure fault): while set,
+  /// observe_epoch takes no measurements.
+  void set_blackout(bool blackout) { blackout_ = blackout; }
+  [[nodiscard]] bool blackout() const { return blackout_; }
 
   /// Forecast bandwidth between two hosts (site-aggregated).
   [[nodiscard]] Bandwidth forecast(std::size_t i, std::size_t j) const;
@@ -81,6 +88,7 @@ class PerformanceMonitor {
   std::vector<std::size_t> site_index_of_host_;
   std::vector<std::size_t> site_representative_;
   std::size_t epochs_ = 0;
+  bool blackout_ = false;
   NwsMetrics* metrics_ = nullptr;  ///< shared instruments (may be null)
 };
 

@@ -37,6 +37,9 @@ class Rescheduler {
   [[nodiscard]] const sched::Scheduler* current() const { return current_.get(); }
   [[nodiscard]] std::size_t rebuilds() const { return rebuilds_; }
 
+  /// The owned monitor (fault injection flips its measurement blackout).
+  [[nodiscard]] PerformanceMonitor& monitor() { return monitor_; }
+
  private:
   void tick();
 

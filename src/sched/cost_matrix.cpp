@@ -33,6 +33,16 @@ void CostMatrix::set_bandwidth_symmetric(std::size_t i, std::size_t j,
   set_bandwidth(j, i, bw);
 }
 
+void CostMatrix::exclude_node(std::size_t i) {
+  LSL_ASSERT(i < n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j != i) {
+      costs_[i * n_ + j] = kInfiniteCost;
+      costs_[j * n_ + i] = kInfiniteCost;
+    }
+  }
+}
+
 Bandwidth CostMatrix::bandwidth(std::size_t i, std::size_t j) const {
   const double c = cost(i, j);
   if (c <= 0.0 || c == kInfiniteCost) {

@@ -31,6 +31,10 @@ class CostMatrix {
   void set_bandwidth(std::size_t i, std::size_t j, Bandwidth bw);
   void set_bandwidth_symmetric(std::size_t i, std::size_t j, Bandwidth bw);
 
+  /// Remove node i from the performance topology: every edge to or from it
+  /// becomes infinite (failure blacklisting; the diagonal stays 0).
+  void exclude_node(std::size_t i);
+
   [[nodiscard]] Bandwidth bandwidth(std::size_t i, std::size_t j) const;
 
   /// Node labels (host names / sites), for reporting and tree-shaping tests.

@@ -18,6 +18,7 @@ SchedMetrics* SchedMetrics::get() {
     m.epsilon_collapses = &reg.counter("sched.mmp.epsilon_collapses");
     m.route_decisions = &reg.counter("sched.mmp.route_decisions");
     m.relays_chosen = &reg.counter("sched.mmp.relays_chosen");
+    m.reroutes = &reg.counter("sched.mmp.reroutes");
     m.tree_build_us = &reg.histogram("sched.mmp.tree_build_us",
                                      obs::exponential_buckets(1.0, 4.0, 10));
     return m;
@@ -74,6 +75,39 @@ Scheduler::Decision Scheduler::route(std::size_t src, std::size_t dst) const {
   }
   if (metrics_ != nullptr) {
     metrics_->route_decisions->inc();
+    if (decision.uses_depots()) {
+      metrics_->relays_chosen->inc();
+    }
+  }
+  return decision;
+}
+
+Scheduler::Decision Scheduler::route_avoiding(
+    std::size_t src, std::size_t dst,
+    const std::vector<std::size_t>& excluded) const {
+  LSL_ASSERT(src < matrix_.size() && dst < matrix_.size());
+  if (excluded.empty()) {
+    return route(src, dst);
+  }
+  CostMatrix pruned = matrix_;
+  for (const std::size_t node : excluded) {
+    if (node < pruned.size() && node != src && node != dst) {
+      pruned.exclude_node(node);
+    }
+  }
+  MmpOptions mmp;
+  mmp.epsilon = options_.epsilon;
+  mmp.node_costs = options_.host_costs;
+  const MmpTree tree = build_mmp_tree(pruned, src, mmp);
+  Decision decision;
+  decision.direct_cost = pruned.cost(src, dst);
+  decision.path = tree.path_to(dst);
+  if (!decision.path.empty()) {
+    decision.scheduled_cost = tree.cost[dst];
+  }
+  if (metrics_ != nullptr) {
+    metrics_->route_decisions->inc();
+    metrics_->reroutes->inc();
     if (decision.uses_depots()) {
       metrics_->relays_chosen->inc();
     }

@@ -25,6 +25,7 @@ struct SchedMetrics {
   obs::Counter* epsilon_collapses; ///< sched.mmp.epsilon_collapses
   obs::Counter* route_decisions;   ///< sched.mmp.route_decisions
   obs::Counter* relays_chosen;     ///< sched.mmp.relays_chosen
+  obs::Counter* reroutes;          ///< sched.mmp.reroutes (blacklist repairs)
   obs::Histogram* tree_build_us;   ///< sched.mmp.tree_build_us (wall clock)
 
   /// nullptr while obs::metrics_enabled() is false.
@@ -56,6 +57,14 @@ class Scheduler {
   };
 
   [[nodiscard]] Decision route(std::size_t src, std::size_t dst) const;
+
+  /// Route with the given nodes blacklisted (failed depots): their edges are
+  /// made infinite and a fresh uncached MMP tree is built, so the decision
+  /// degrades gracefully to the direct path -- or to an empty path when the
+  /// destination itself is excluded/unreachable.
+  [[nodiscard]] Decision route_avoiding(
+      std::size_t src, std::size_t dst,
+      const std::vector<std::size_t>& excluded) const;
 
   /// The full MMP tree rooted at `src` (cached).
   [[nodiscard]] const MmpTree& tree_from(std::size_t src) const;

@@ -40,6 +40,18 @@ TcpMetrics* TcpMetrics::get() {
   return &metrics;
 }
 
+const char* to_string(ConnectionError e) {
+  switch (e) {
+    case ConnectionError::kNone:
+      return "none";
+    case ConnectionError::kConnectTimeout:
+      return "connect-timeout";
+    case ConnectionError::kReset:
+      return "reset";
+  }
+  return "?";
+}
+
 const char* to_string(TcpState s) {
   switch (s) {
     case TcpState::kClosed:
@@ -444,7 +456,8 @@ void Connection::on_rto() {
 
   if (state_ == TcpState::kSynSent || state_ == TcpState::kSynRcvd) {
     if (++syn_retries_ > opts_.max_syn_retries) {
-      // The peer is unreachable or refusing: give up.
+      // The peer is unreachable or refusing: give up and tell the app.
+      error_ = ConnectionError::kConnectTimeout;
       become_dead();
       return;
     }
@@ -493,6 +506,10 @@ void Connection::handle_packet(const net::Packet& packet) {
 
   if (h.has(net::kFlagRst)) {
     LSL_DEBUG("tcp %u:%u: RST received", local_node_, local_port_);
+    if (state_ != TcpState::kTimeWait) {
+      // A reset in TIME_WAIT is an ordinary early teardown, not a failure.
+      error_ = ConnectionError::kReset;
+    }
     become_dead();
     return;
   }
@@ -945,6 +962,9 @@ void Connection::become_dead() {
   time_wait_timer_.cancel();
   delack_timer_.cancel();
   stack_.reap(ConnKey{remote_node_, local_port_, remote_port_});
+  if (error_ != ConnectionError::kNone && on_error) {
+    on_error(error_);
+  }
   if (on_closed) {
     on_closed();
   }

@@ -49,6 +49,16 @@ enum class TcpState {
 
 [[nodiscard]] const char* to_string(TcpState s);
 
+/// Abnormal termination causes, reported through Connection::on_error just
+/// before on_closed. Local abort() is not an error (the application asked).
+enum class ConnectionError {
+  kNone = 0,
+  kConnectTimeout,  ///< handshake exhausted max_syn_retries
+  kReset,           ///< peer sent RST
+};
+
+[[nodiscard]] const char* to_string(ConnectionError e);
+
 /// Process-wide TCP instruments in the global metrics registry, shared by
 /// every connection (stack-level aggregates; per-connection detail stays in
 /// ConnectionStats). Obtained once at connection construction so hot-path
@@ -93,6 +103,10 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::function<void()> on_writable;
   std::function<void()> on_eof;     ///< peer FIN received & all data read
   std::function<void()> on_closed;  ///< connection fully terminated
+  /// Abnormal termination (reset / connect timeout), fired immediately
+  /// before on_closed. Clean FIN teardown never fires this, so endpoints
+  /// can distinguish failure from EOF without inference.
+  std::function<void(ConnectionError)> on_error;
   /// Sender-side trace hook: fires when cumulative acked payload advances;
   /// argument is total acked payload bytes (the paper's Figs 4/5 series).
   std::function<void(SimTime, std::uint64_t)> on_ack_advance;
@@ -138,6 +152,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   [[nodiscard]] net::Port remote_port() const { return remote_port_; }
   /// Total payload bytes the peer has acknowledged (sender-side progress).
   [[nodiscard]] std::uint64_t acked_payload() const;
+  /// Why the connection died, kNone for clean teardown or while alive.
+  [[nodiscard]] ConnectionError last_error() const { return error_; }
 
   /// One-line internal state summary for diagnostics.
   [[nodiscard]] std::string debug_string() const;
@@ -207,6 +223,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   TcpOptions opts_;
 
   TcpState state_ = TcpState::kClosed;
+  ConnectionError error_ = ConnectionError::kNone;
 
   SendBuffer send_buf_;
   RecvBuffer recv_buf_;

@@ -6,6 +6,8 @@
 #include "exp/harness.hpp"
 #include "fixtures.hpp"
 #include "lsl/endpoint.hpp"
+#include "sched/scheduler.hpp"
+#include <algorithm>
 #include <cstring>
 #include <memory>
 
@@ -292,6 +294,238 @@ TEST(FailureTest, ShutdownDropsAsyncStore) {
   h.depot(d).shutdown();
   EXPECT_FALSE(h.depot(d).stored_bytes(id).has_value());
   EXPECT_EQ(h.depot(d).store_bytes_used(), 0u);
+}
+
+// ---- session recovery (fault-tolerance layer) -----------------------------
+
+/// The Figure 2 triangle: 155 Mbit links, depot path faster than direct.
+net::LinkConfig fig2_link(double delay_ms) {
+  net::LinkConfig cfg;
+  cfg.rate = Bandwidth::mbps(155);
+  cfg.propagation_delay = SimTime::from_seconds(delay_ms * 1e-3);
+  cfg.queue_capacity_bytes = mib(8);
+  return cfg;
+}
+
+TEST(FailureTest, DepotCrashMidRelayRecoversAndResumes) {
+  // 64 MB scheduled through the Denver depot; the depot dies mid-transfer.
+  // The source must blacklist it, fail over to the direct path, and resume
+  // from the sink's committed offset -- not byte 0.
+  exp::SimHarness h(37);
+  const auto a = h.add_host("ash.ucsb.edu", "ucsb.edu");
+  const auto d = h.add_host("depot.denver", "core");
+  const auto b = h.add_host("bell.uiuc.edu", "uiuc.edu");
+  h.add_link(a, d, fig2_link(23.0));
+  h.add_link(d, b, fig2_link(22.5));
+  h.add_link(a, b, fig2_link(35.0));
+  session::DepotConfig cfg;
+  cfg.tcp = tcp::TcpOptions{}.with_buffers(mib(8));
+  cfg.user_buffer_bytes = mib(16);
+  h.deploy(cfg);
+
+  session::TransferSpec spec;
+  spec.dst = b;
+  spec.via = {d};
+  spec.payload_bytes = mib(64);
+  spec.tcp = tcp::TcpOptions{}.with_buffers(mib(8));
+  session::RecoveryConfig recovery;
+  recovery.stall_timeout = 5_s;
+  const auto handle = h.launch_reliable(a, spec, recovery);
+  h.simulator().schedule_at(1500_ms, [&] { h.depot(d).shutdown(); });
+
+  const auto r = h.wait(handle, 600_s);
+  ASSERT_TRUE(r.completed);
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.bytes, mib(64));
+  EXPECT_GE(r.retries, 1);
+  EXPECT_TRUE(r.recovered);
+
+  const auto transfer = h.reliable(handle);
+  ASSERT_NE(transfer, nullptr);
+  // The retry resumed from a nonzero committed offset...
+  EXPECT_GT(transfer->committed_offset(), 0u);
+  EXPECT_EQ(h.depot(b).stats().sessions_resumed, 1u);
+  EXPECT_GE(h.depot(b).stats().sessions_interrupted, 1u);
+  // ...so across both attempts the sink consumed each byte exactly once.
+  // A resend from byte 0 would push this well past the payload size.
+  EXPECT_EQ(h.depot(b).stats().bytes_delivered, mib(64));
+  const auto& blacklist = transfer->blacklist();
+  EXPECT_NE(std::find(blacklist.begin(), blacklist.end(), d),
+            blacklist.end());
+}
+
+TEST(FailureTest, DepotCrashWithRecoveryDisabledReportsFailure) {
+  // The same crash with recovery off: the failure must be detected and
+  // reported promptly (not hang to the deadline), with no retry.
+  exp::SimHarness h(37);  // same seed: identical pre-crash trajectory
+  const auto a = h.add_host("ash.ucsb.edu", "ucsb.edu");
+  const auto d = h.add_host("depot.denver", "core");
+  const auto b = h.add_host("bell.uiuc.edu", "uiuc.edu");
+  h.add_link(a, d, fig2_link(23.0));
+  h.add_link(d, b, fig2_link(22.5));
+  h.add_link(a, b, fig2_link(35.0));
+  session::DepotConfig cfg;
+  cfg.tcp = tcp::TcpOptions{}.with_buffers(mib(8));
+  cfg.user_buffer_bytes = mib(16);
+  h.deploy(cfg);
+
+  session::TransferSpec spec;
+  spec.dst = b;
+  spec.via = {d};
+  spec.payload_bytes = mib(64);
+  spec.tcp = tcp::TcpOptions{}.with_buffers(mib(8));
+  session::RecoveryConfig recovery;
+  recovery.enabled = false;
+  recovery.stall_timeout = 5_s;
+  const auto handle = h.launch_reliable(a, spec, recovery);
+  h.simulator().schedule_at(1500_ms, [&] { h.depot(d).shutdown(); });
+
+  const auto r = h.wait(handle, 600_s);
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.failed);
+  EXPECT_EQ(r.retries, 0);
+  EXPECT_LT(h.simulator().now(), 60_s);  // detection, not deadline expiry
+  EXPECT_EQ(h.depot(b).stats().sessions_resumed, 0u);
+}
+
+TEST(FailureTest, DepotCrashWithQueuedMulticastChildrenTearsDownCleanly) {
+  // The staging root dies while its children are mid-stream; every branch
+  // of the tree must be reset without leaking sessions or connections.
+  exp::SimHarness h(39);
+  const auto src = h.add_host("src");
+  const auto root = h.add_host("root");
+  const auto m1 = h.add_host("m1");
+  const auto m2 = h.add_host("m2");
+  const auto l1 = h.add_host("l1");
+  const auto l2 = h.add_host("l2");
+  h.add_link(src, root, wan_link(100, 5_ms));
+  h.add_link(root, m1, wan_link(100, 5_ms));
+  h.add_link(root, m2, wan_link(100, 5_ms));
+  h.add_link(m1, l1, wan_link(100, 5_ms));
+  h.add_link(m2, l2, wan_link(100, 5_ms));
+  session::DepotConfig cfg;
+  cfg.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  cfg.user_buffer_bytes = mib(2);
+  h.deploy(cfg);
+
+  session::MulticastTree tree;
+  tree.entries = {{root, 0}, {m1, 0}, {m2, 0}, {l1, 1}, {l2, 2}};
+  session::TransferSpec spec;
+  spec.dst = root;
+  spec.multicast = tree;
+  spec.payload_bytes = mib(8);
+  spec.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  auto source = session::LslSource::start(h.stack(src), spec, h.rng());
+  h.simulator().schedule_at(200_ms, [&] { h.depot(root).shutdown(); });
+  h.simulator().run(h.simulator().now() + 60_s);
+
+  for (const auto node : {src, root, m1, m2, l1, l2}) {
+    EXPECT_EQ(h.depot(node).active_sessions(), 0u) << "node " << node;
+    EXPECT_EQ(h.stack(node).open_connections(), 0u) << "node " << node;
+  }
+}
+
+TEST(FailureTest, FailoverToSecondDepotResumesByteExact) {
+  // Two parallel depot paths; the first depot dies and the route provider
+  // (standing in for the MMP scheduler) offers the second. Delivery must
+  // be byte-exact across the two attempts.
+  exp::SimHarness h(40);
+  const auto a = h.add_host("a");
+  const auto d1 = h.add_host("d1");
+  const auto d2 = h.add_host("d2");
+  const auto b = h.add_host("b");
+  h.add_link(a, d1, wan_link(100, 10_ms));
+  h.add_link(d1, b, wan_link(100, 10_ms));
+  h.add_link(a, d2, wan_link(100, 10_ms));
+  h.add_link(d2, b, wan_link(100, 10_ms));
+  session::DepotConfig cfg;
+  cfg.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  cfg.user_buffer_bytes = mib(2);
+  h.deploy(cfg);
+
+  session::TransferSpec spec;
+  spec.dst = b;
+  spec.via = {d1};
+  spec.payload_bytes = mib(16);
+  spec.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  session::RecoveryConfig recovery;
+  recovery.stall_timeout = 5_s;
+  const auto provider =
+      [d1, d2](const std::vector<net::NodeId>& blacklist)
+      -> std::vector<net::NodeId> {
+    if (std::find(blacklist.begin(), blacklist.end(), d2) ==
+        blacklist.end()) {
+      return {d2};
+    }
+    return {};  // both depots dead: degrade to direct
+  };
+  const auto handle = h.launch_reliable(a, spec, recovery, provider);
+  h.simulator().schedule_at(300_ms, [&] { h.depot(d1).shutdown(); });
+
+  const auto r = h.wait(handle, 600_s);
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.recovered);
+  EXPECT_EQ(r.bytes, mib(16));
+  EXPECT_EQ(h.depot(b).stats().bytes_delivered, mib(16));
+  EXPECT_EQ(h.depot(b).stats().sessions_resumed, 1u);
+  // The second attempt rode through d2, not d1.
+  EXPECT_GT(h.depot(d2).stats().bytes_relayed, 0u);
+}
+
+TEST(FailureTest, RecoveryReroutesViaScheduler) {
+  // route_avoiding() as the route provider: with the mid depot exec'd out
+  // of the matrix the scheduler picks the alternate depot chain.
+  exp::SimHarness h(41);
+  const auto a = h.add_host("a");
+  const auto d1 = h.add_host("d1");
+  const auto d2 = h.add_host("d2");
+  const auto b = h.add_host("b");
+  h.add_link(a, d1, wan_link(100, 10_ms));
+  h.add_link(d1, b, wan_link(100, 10_ms));
+  h.add_link(a, d2, wan_link(80, 10_ms));
+  h.add_link(d2, b, wan_link(80, 10_ms));
+  h.add_link(a, b, wan_link(10, 30_ms));
+  session::DepotConfig cfg;
+  cfg.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  cfg.user_buffer_bytes = mib(2);
+  h.deploy(cfg);
+
+  // A bandwidth matrix mirroring the topology: depot legs fast, direct slow.
+  sched::CostMatrix matrix(4);
+  const auto set = [&](std::size_t i, std::size_t j, double mbit) {
+    matrix.set_bandwidth(i, j, Bandwidth::mbps(mbit));
+    matrix.set_bandwidth(j, i, Bandwidth::mbps(mbit));
+  };
+  set(a, d1, 100);
+  set(d1, b, 100);
+  set(a, d2, 80);
+  set(d2, b, 80);
+  set(a, b, 10);
+  sched::Scheduler scheduler(matrix);
+  ASSERT_EQ(scheduler.route(a, b).via(), std::vector<net::NodeId>{d1});
+
+  session::TransferSpec spec;
+  spec.dst = b;
+  spec.via = scheduler.route(a, b).via();
+  spec.payload_bytes = mib(16);
+  spec.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+  session::RecoveryConfig recovery;
+  recovery.stall_timeout = 5_s;
+  const auto provider =
+      [&scheduler, a, b](const std::vector<net::NodeId>& blacklist) {
+        std::vector<std::size_t> excluded(blacklist.begin(),
+                                          blacklist.end());
+        return scheduler.route_avoiding(a, b, excluded).via();
+      };
+  const auto handle = h.launch_reliable(a, spec, recovery, provider);
+  h.simulator().schedule_at(300_ms, [&] { h.depot(d1).shutdown(); });
+
+  const auto r = h.wait(handle, 600_s);
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.recovered);
+  EXPECT_EQ(h.depot(b).stats().bytes_delivered, mib(16));
+  // The reroute went through the scheduler's second choice.
+  EXPECT_GT(h.depot(d2).stats().bytes_relayed, 0u);
 }
 
 }  // namespace

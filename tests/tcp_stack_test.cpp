@@ -52,6 +52,63 @@ TEST(TcpStackTest, SynToClosedPortIsDropped) {
   EXPECT_GT(c->stats().timeouts, 0u);
 }
 
+TEST(TcpStackTest, SynRetriesAreCappedAndSurfaceConnectTimeout) {
+  TwoNodeNet net(lan());
+  auto c = net.stack_a->connect(net.b, 9999);  // nobody listening, ever
+  ConnectionError seen = ConnectionError::kNone;
+  bool closed = false;
+  c->on_error = [&](ConnectionError e) { seen = e; };
+  c->on_closed = [&] { closed = true; };
+  net.sim.run(600_s);
+  // After max_syn_retries doublings the attempt gives up for good and the
+  // failure surfaces to the application instead of retrying forever.
+  EXPECT_EQ(c->state(), TcpState::kDead);
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(seen, ConnectionError::kConnectTimeout);
+  EXPECT_EQ(c->last_error(), ConnectionError::kConnectTimeout);
+  EXPECT_LE(c->stats().timeouts, 1u + c->options().max_syn_retries);
+  EXPECT_EQ(net.stack_a->open_connections(), 0u);
+}
+
+TEST(TcpStackTest, PeerAbortSurfacesResetButCleanEofDoesNot) {
+  TwoNodeNet net(lan());
+  net.stack_b->listen(80, [](Connection::Ptr conn) {
+    conn->on_readable = [c = conn.get()] {
+      (void)c->read(c->readable_bytes());
+      c->abort();  // slam the door mid-stream
+    };
+  });
+  auto aborted = net.stack_a->connect(net.b, 80);
+  ConnectionError aborted_error = ConnectionError::kNone;
+  aborted->on_connected = [c = aborted.get()] { c->write_synthetic(kib(64)); };
+  aborted->on_error = [&](ConnectionError e) { aborted_error = e; };
+  net.sim.run(5_s);
+  EXPECT_EQ(aborted_error, ConnectionError::kReset);
+  EXPECT_EQ(aborted->last_error(), ConnectionError::kReset);
+
+  // A clean close never fires on_error.
+  net.stack_b->listen(81, [](Connection::Ptr conn) {
+    conn->on_readable = [c = conn.get()] { (void)c->read(c->readable_bytes()); };
+    conn->on_eof = [c = conn.get()] {
+      (void)c->read(c->readable_bytes());
+      c->close();
+    };
+  });
+  auto clean = net.stack_a->connect(net.b, 81);
+  ConnectionError clean_error = ConnectionError::kNone;
+  bool clean_closed = false;
+  clean->on_connected = [c = clean.get()] {
+    c->write_synthetic(kib(4));
+    c->close();
+  };
+  clean->on_error = [&](ConnectionError e) { clean_error = e; };
+  clean->on_closed = [&] { clean_closed = true; };
+  net.sim.run(net.sim.now() + 10_s);
+  EXPECT_TRUE(clean_closed);
+  EXPECT_EQ(clean_error, ConnectionError::kNone);
+  EXPECT_EQ(clean->last_error(), ConnectionError::kNone);
+}
+
 TEST(TcpStackTest, StopListeningRefusesNewConnections) {
   TwoNodeNet net(lan());
   int accepted = 0;

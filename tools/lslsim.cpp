@@ -14,7 +14,9 @@
 #include <sstream>
 
 #include "exp/scenario.hpp"
+#include "fault/injector.hpp"
 #include "lsl/depot.hpp"
+#include "lsl/recovery.hpp"
 #include "nws/monitor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -37,6 +39,10 @@ void usage() {
                "  --trace=<path> writes Chrome trace-event JSON (load it in\n"
                "  Perfetto or chrome://tracing).\n"
                "  --profile prints the simulation kernel's self-profile.\n"
+               "  Scenarios may inject faults (fault/churn directives) and\n"
+               "  enable session recovery; the status column then reports\n"
+               "  ok / recovered(xN) / FAILED per transfer. Exit status is\n"
+               "  nonzero when any session fails or a connection leaks.\n"
                "  LSL_LOG=debug enables protocol traces; LSL_METRICS=off\n"
                "  disables the built-in instrumentation.\n");
 }
@@ -47,8 +53,21 @@ void usage() {
 void preregister_metrics() {
   (void)lsl::tcp::TcpMetrics::get();
   (void)lsl::session::DepotMetrics::get();
+  (void)lsl::session::RecoveryMetrics::get();
   (void)lsl::sched::SchedMetrics::get();
   (void)lsl::nws::NwsMetrics::get();
+  (void)lsl::fault::FaultMetrics::get();
+}
+
+/// Per-transfer status cell: ok / recovered(xN) / FAILED.
+std::string status_of(const lsl::exp::SimHarness::TransferOutcome& outcome) {
+  if (!outcome.completed) {
+    return "FAILED";
+  }
+  if (outcome.recovered) {
+    return "recovered(x" + std::to_string(outcome.retries) + ")";
+  }
+  return "ok";
 }
 
 }  // namespace
@@ -157,11 +176,16 @@ int main(int argc, char** argv) {
         point.transfers = {base};
         point.transfers[0].bytes = size;
         lsl::sim::KernelProfile run_profile;
+        std::size_t leaked = 0;
         const auto outcomes = lsl::exp::run_scenario(
             point, seed, lsl::SimTime::seconds(3600),
-            want_profile ? &run_profile : nullptr);
+            want_profile ? &run_profile : nullptr, &leaked);
         if (want_profile) {
           total_profile.merge_from(run_profile);
+        }
+        if (leaked != 0) {
+          std::fprintf(stderr, "lslsim: %zu connections leaked\n", leaked);
+          all_ok = false;
         }
         const auto& outcome = outcomes.front().outcome;
         all_ok &= outcome.completed;
@@ -178,9 +202,10 @@ int main(int argc, char** argv) {
     return finish(all_ok);
   }
 
+  std::size_t leaked = 0;
   const auto outcomes = lsl::exp::run_scenario(
       scenario, seed, lsl::SimTime::seconds(3600),
-      want_profile ? &total_profile : nullptr);
+      want_profile ? &total_profile : nullptr, &leaked);
   lsl::Table table({"src", "dst", "via", "size", "status", "time",
                     "Mbit/s"});
   bool all_ok = true;
@@ -194,8 +219,7 @@ int main(int argc, char** argv) {
     }
     all_ok &= outcome.completed;
     table.add_row({transfer.src, transfer.dst, via,
-                   lsl::format_bytes(transfer.bytes),
-                   outcome.completed ? "ok" : "FAILED",
+                   lsl::format_bytes(transfer.bytes), status_of(outcome),
                    outcome.completed ? outcome.elapsed.str() : "-",
                    outcome.completed
                        ? lsl::Table::num(
@@ -203,5 +227,9 @@ int main(int argc, char** argv) {
                        : "-"});
   }
   table.print(std::cout);
+  if (leaked != 0) {
+    std::fprintf(stderr, "lslsim: %zu connections leaked\n", leaked);
+    all_ok = false;
+  }
   return finish(all_ok);
 }
