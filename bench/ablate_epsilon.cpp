@@ -14,8 +14,9 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lsl;
+  const auto opts = bench::parse_options(argc, argv);
   bench::banner(
       "Ablation -- epsilon edge-equivalence sweep",
       "Higher eps: fewer, safer relay decisions with shorter paths. The "
@@ -32,6 +33,7 @@ int main() {
     config.iterations = bench::scaled(3, 2);
     config.max_cases = 250;
     config.epsilon = eps;
+    config.jobs = opts.jobs;
     const auto result = testbed::run_speedup_sweep(grid, config, 42);
     const auto all = result.all_speedups();
     table.add_row({Table::num(eps, 2),

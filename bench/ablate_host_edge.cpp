@@ -11,8 +11,9 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lsl;
+  const auto opts = bench::parse_options(argc, argv);
   bench::banner(
       "Ablation -- host-throughput edges in the scheduler (paper sec. 6)",
       "Accounting for the bandwidth *through* relay hosts should cut the "
@@ -31,6 +32,7 @@ int main() {
     config.max_cases = 300;
     config.epsilon = grid.noise().sweep_epsilon;
     config.use_host_costs = use_host_costs;
+    config.jobs = opts.jobs;
     const auto result = testbed::run_speedup_sweep(grid, config, 42);
     const auto all = result.all_speedups();
     table.add_row({use_host_costs ? "on" : "off",

@@ -13,8 +13,9 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lsl;
+  const auto opts = bench::parse_options(argc, argv);
   bench::banner(
       "Ablation -- scheduling from stale network information",
       "Fresh forecasts keep the speedup distribution favorable; as the "
@@ -32,6 +33,7 @@ int main() {
     config.max_cases = 250;
     config.epsilon = grid.noise().sweep_epsilon;
     config.matrix_drift_sigma = drift;
+    config.jobs = opts.jobs;
     const auto result = testbed::run_speedup_sweep(grid, config, 42);
     const auto all = result.all_speedups();
     table.add_row({Table::num(drift, 2),

@@ -9,12 +9,20 @@
 // global metrics registry named <artifact>.metrics.json (in the working
 // directory, or under LSL_BENCH_METRICS_DIR; LSL_BENCH_METRICS=off skips
 // it). See docs/observability.md.
+// Perf-trajectory output: --json <file> (or LSL_BENCH_JSON=<file>) makes a
+// bench write machine-readable {bench, metric, value} records through
+// JsonRecords, so successive PRs can diff results/BENCH_*.json. Wall-clock
+// metrics are named *_wall_seconds / *_per_second so determinism checks can
+// filter them out. --jobs N (or LSL_BENCH_JOBS=N) sets the trial-engine
+// parallelism for benches that sweep.
 #pragma once
 
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "util/log.hpp"
@@ -36,6 +44,79 @@ inline std::size_t scaled(std::size_t n, std::size_t min_value = 1) {
                                           scale_factor());
   return s < min_value ? min_value : s;
 }
+
+/// Command-line options shared by the figure/ablation binaries.
+struct BenchOptions {
+  /// Trial-engine workers (--jobs N / LSL_BENCH_JOBS). Default 1: a bench
+  /// must opt into parallelism explicitly so published figures stay
+  /// attributable to a known configuration. 0 = hardware concurrency.
+  std::size_t jobs = 1;
+  /// When non-empty, write {bench, metric, value} records here at the
+  /// bench's discretion (--json <file> / LSL_BENCH_JSON).
+  std::string json_path;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opts;
+  if (const char* v = std::getenv("LSL_BENCH_JOBS")) {
+    opts.jobs = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  }
+  if (const char* v = std::getenv("LSL_BENCH_JSON")) {
+    opts.json_path = v;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      opts.jobs = static_cast<std::size_t>(
+          std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      opts.jobs = static_cast<std::size_t>(
+          std::strtoull(argv[i] + 7, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opts.json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      opts.json_path = argv[i] + 7;
+    }
+  }
+  return opts;
+}
+
+/// Accumulates {bench, metric, value} records and writes them as a JSON
+/// array, one record per line (so text diffs and greps work record-wise).
+class JsonRecords {
+ public:
+  explicit JsonRecords(std::string bench) : bench_(std::move(bench)) {}
+
+  void add(const std::string& metric, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g", value);
+    records_.push_back("{\"bench\": \"" + bench_ + "\", \"metric\": \"" +
+                       metric + "\", \"value\": " + buf + "}");
+  }
+
+  /// No-op (returning true) when path is empty.
+  bool write(const std::string& path) const {
+    if (path.empty()) {
+      return true;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fputs("[\n", f);
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      std::fputs(records_[i].c_str(), f);
+      std::fputs(i + 1 < records_.size() ? ",\n" : "\n", f);
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::string> records_;
+};
 
 namespace detail {
 

@@ -3,6 +3,13 @@
 //
 // Paper: 142-host pool, scheduler picked depots for 26% of paths, 362,895
 // total measurements, average speedup between 5.75% and 9% by size.
+//
+// Usage: fig09_planetlab_speedup [--jobs N] [--json <file>]
+//   --jobs parallelizes the measurement sweep over the trial engine; the
+//   tables and figures are bitwise identical for every N (the perf-smoke CI
+//   step diffs N=1 against N=2). --json records the series plus the sweep's
+//   wall time for the perf trajectory (results/BENCH_fig09.json).
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
@@ -11,8 +18,9 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lsl;
+  const auto opts = bench::parse_options(argc, argv);
   bench::banner(
       "Figure 9 -- Average speedup per transfer size over all host pairs",
       "Paper claim: 5.75%-9% average speedup for 1-64 MB transfers; the "
@@ -22,10 +30,18 @@ int main() {
       testbed::SyntheticGrid::planetlab(testbed::PlanetLabConfig{}, 2004);
   testbed::SweepConfig config;
   config.max_size_exp = 7;  // 1, 2, 4, ..., 64 MB
+  // Full paper-scale measurement count by default (the parallel trial
+  // engine + kernel fast path made it cheap); LSL_BENCH_SCALE still shrinks
+  // smoke runs.
   config.iterations = bench::scaled(5, 2);
   config.max_cases = 0;  // all scheduled pairs
   config.epsilon = grid.noise().sweep_epsilon;
+  config.jobs = opts.jobs;
+  const auto t0 = std::chrono::steady_clock::now();
   const auto result = testbed::run_speedup_sweep(grid, config, 42);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 
   std::printf("Pool: %zu hosts. Scheduler chose depot routes for %.1f%% of "
               "pairs (paper: 26%%).\n",
@@ -33,6 +49,14 @@ int main() {
   std::printf("Total measurements: %zu (paper: 362,895). Mean depot hops: "
               "%.2f.\n\n",
               result.total_measurements, result.mean_path_hops);
+
+  bench::JsonRecords records("fig09_planetlab_speedup");
+  records.add("hosts", static_cast<double>(grid.size()));
+  records.add("fraction_scheduled", result.fraction_scheduled);
+  records.add("total_measurements",
+              static_cast<double>(result.total_measurements));
+  records.add("mean_path_hops", result.mean_path_hops);
+  records.add("jobs", static_cast<double>(opts.jobs));
 
   Table table({"size", "cases", "mean speedup", "gain %"});
   FigureData fig("Average speedup per transfer size", "size_mb", {"speedup"});
@@ -42,9 +66,19 @@ int main() {
                    Table::num(mean, 4), Table::num(100.0 * (mean - 1.0), 2)});
     fig.add_point(static_cast<double>(size) / static_cast<double>(kMiB),
                   {mean});
+    records.add("mean_speedup_" + format_bytes(size), mean);
   }
   table.print(std::cout);
   std::printf("\n");
   fig.print(std::cout);
-  return 0;
+  // stderr, not stdout: the perf-smoke CI step diffs stdout across --jobs
+  // values byte for byte, and wall time is inherently nondeterministic.
+  std::fprintf(stderr, "\nSweep wall time: %.3fs (jobs=%zu)\n", sweep_seconds,
+               opts.jobs);
+  // Wall-clock metrics carry the _wall_seconds suffix so determinism diffs
+  // can filter them (see .github/workflows/ci.yml perf-smoke).
+  records.add("sweep_wall_seconds", sweep_seconds);
+  records.add("measurements_per_second",
+              static_cast<double>(result.total_measurements) / sweep_seconds);
+  return records.write(opts.json_path) ? 0 : 1;
 }

@@ -8,8 +8,9 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lsl;
+  const auto opts = bench::parse_options(argc, argv);
   bench::banner(
       "Figure 10 -- Median / 25th / 75th percentile of speedup per size",
       "Paper claim: acceptable speedup in many cases but quite a few where "
@@ -22,6 +23,7 @@ int main() {
   config.iterations = bench::scaled(5, 2);
   config.max_cases = 0;
   config.epsilon = grid.noise().sweep_epsilon;
+  config.jobs = opts.jobs;
   const auto result = testbed::run_speedup_sweep(grid, config, 42);
 
   Table table({"size", "p25", "median", "p75", "min", "max"});

@@ -12,8 +12,9 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lsl;
+  const auto opts = bench::parse_options(argc, argv);
   bench::banner(
       "Figure 11 -- Speedup box stats with depots at Abilene POPs "
       "(16MB and 128MB)",
@@ -30,6 +31,7 @@ int main() {
   config.iterations = bench::scaled(10, 3);
   config.max_cases = 0;
   config.epsilon = 0.10;
+  config.jobs = opts.jobs;
   for (std::size_t u = 0; u < 10; ++u) {
     config.endpoints.push_back(u);
   }

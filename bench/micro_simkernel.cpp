@@ -1,11 +1,22 @@
 // Micro-benchmarks for the simulation substrate: event kernel throughput
 // and end-to-end packet cost, which bound how large a packet-level
 // experiment the harness can run.
+//
+// Usage: micro_simkernel [--json <file>] [google-benchmark flags]
+//   --json writes one {bench, metric, value} record per benchmark metric
+//   (wall seconds per iteration plus any rate counters) so successive PRs
+//   can track the kernel's perf trajectory (results/BENCH_kernel.json).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "exp/raw_tcp.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer.hpp"
 #include "tcp/stack.hpp"
 
 namespace {
@@ -39,6 +50,100 @@ void BM_TimerChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_TimerChurn);
 
+void BM_TimerChurnPendingCancels(benchmark::State& state) {
+  // Timer churn against a populated queue: `pending` armed timers sit in
+  // the heap while one timer is re-armed/cancelled per iteration. With the
+  // generation-counted kernel a cancel is O(1) and the dead entry is
+  // dropped lazily, so this should cost about the same as the empty-queue
+  // churn above; the tombstone-set kernel paid a hash insert per cancel
+  // plus a hash probe per pop.
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  std::deque<sim::Timer> timers;  // Timer is pinned; deque never relocates
+  for (std::size_t i = 0; i < pending; ++i) {
+    timers.emplace_back(sim, [] {});
+    timers.back().arm(SimTime::seconds(3600));
+  }
+  sim::Timer churn(sim, [] {});
+  for (auto _ : state) {
+    churn.arm(1_ms);
+    churn.cancel();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TimerChurnPendingCancels)->Arg(1024)->Arg(16384);
+
+void BM_CancelHeavyRun(benchmark::State& state) {
+  // Schedule a batch, cancel every other event, then drain: the dispatch
+  // loop must skip the dead heap entries without dispatching them.
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::vector<sim::EventId> ids(batch);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < batch; ++i) {
+      ids[i] = sim.schedule_at(
+          SimTime::nanoseconds(static_cast<std::int64_t>(i)), [] {});
+    }
+    for (std::size_t i = 0; i < batch; i += 2) {
+      sim.cancel(ids[i]);
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_CancelHeavyRun)->Arg(1024)->Arg(65536);
+
+void BM_ActionSmallCapture(benchmark::State& state) {
+  // A capture that fits sim::Action's inline buffer and is trivially
+  // copyable: scheduling takes the memcpy fast path, no allocation.
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  struct Small {
+    std::uint64_t a, b;
+  };
+  static_assert(sim::Action::fits_inline<Small>());
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < batch; ++i) {
+      Small payload{i, i ^ 0x9e3779b97f4a7c15ULL};
+      sim.schedule_at(SimTime::nanoseconds(static_cast<std::int64_t>(i)),
+                      [payload, &sink] { sink += payload.a ^ payload.b; });
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ActionSmallCapture)->Arg(4096);
+
+void BM_ActionLargeCapture(benchmark::State& state) {
+  // Deliberately larger than the inline buffer: every schedule pays one
+  // heap allocation, the pre-SBO cost for every event. The gap between
+  // this and BM_ActionSmallCapture is what the inline path saves.
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  struct Large {
+    unsigned char bytes[sim::Action::kInlineCapacity + 16];
+  };
+  static_assert(!sim::Action::fits_inline<Large>());
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < batch; ++i) {
+      Large payload{};
+      payload.bytes[0] = static_cast<unsigned char>(i);
+      sim.schedule_at(SimTime::nanoseconds(static_cast<std::int64_t>(i)),
+                      [payload, &sink] { sink += payload.bytes[0]; });
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ActionLargeCapture)->Arg(4096);
+
 void BM_PacketTransferPerMegabyte(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;
@@ -61,6 +166,59 @@ void BM_PacketTransferPerMegabyte(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketTransferPerMegabyte);
 
+/// Console output as usual, plus one JsonRecords entry per metric. All the
+/// names end in _wall_seconds / _per_second: these are perf-trajectory
+/// numbers, not determinism-checked ones.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(lsl::bench::JsonRecords& records)
+      : records_(records) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) {
+        continue;
+      }
+      const double seconds =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : run.real_accumulated_time;
+      records_.add(run.benchmark_name() + "_wall_seconds", seconds);
+      for (const auto& [name, counter] : run.counters) {
+        records_.add(run.benchmark_name() + "_" + name,
+                     static_cast<double>(counter));
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  lsl::bench::JsonRecords& records_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto opts = lsl::bench::parse_options(argc, argv);
+  // Strip the bench_common flags before google-benchmark sees argv.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if ((std::strcmp(argv[i], "--json") == 0 ||
+         std::strcmp(argv[i], "--jobs") == 0) &&
+        i + 1 < argc) {
+      ++i;
+    } else if (std::strncmp(argv[i], "--json=", 7) != 0 &&
+               std::strncmp(argv[i], "--jobs=", 7) != 0) {
+      args.push_back(argv[i]);
+    }
+  }
+  args.push_back(nullptr);
+  int bench_argc = static_cast<int>(args.size()) - 1;
+  benchmark::Initialize(&bench_argc, args.data());
+  lsl::bench::JsonRecords records("micro_simkernel");
+  RecordingReporter reporter(records);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return records.write(opts.json_path) ? 0 : 1;
+}

@@ -9,8 +9,9 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lsl;
+  const auto opts = bench::parse_options(argc, argv);
   bench::banner(
       "Table (section 4.2) -- Percentile where speedup exceeds 1.0",
       "Paper values ranged 39-49 across sizes: roughly 40-49% of scheduled "
@@ -23,6 +24,7 @@ int main() {
   config.iterations = bench::scaled(5, 2);
   config.max_cases = 0;
   config.epsilon = grid.noise().sweep_epsilon;
+  config.jobs = opts.jobs;
   const auto result = testbed::run_speedup_sweep(grid, config, 42);
 
   static constexpr int kPaperRow[] = {39, 43, 48, 43, 48, 46, 49};

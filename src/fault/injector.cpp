@@ -9,19 +9,22 @@ FaultMetrics* FaultMetrics::get() {
   if (!obs::metrics_enabled()) {
     return nullptr;
   }
-  static FaultMetrics metrics = [] {
-    auto& reg = obs::Registry::global();
-    FaultMetrics m;
-    m.injected = &reg.counter("fault.injected");
-    m.healed = &reg.counter("fault.healed");
-    m.link_down = &reg.counter("fault.link_down");
-    m.link_brownouts = &reg.counter("fault.link_brownouts");
-    m.depot_crashes = &reg.counter("fault.depot_crashes");
-    m.depot_restarts = &reg.counter("fault.depot_restarts");
-    m.nws_blackouts = &reg.counter("fault.nws_blackouts");
-    m.active = &reg.gauge("fault.active");
-    return m;
-  }();
+  // Thread-local, revalidated by registry uid (parallel trials swap the
+  // thread's registry via obs::ScopedRegistry).
+  thread_local FaultMetrics metrics;
+  thread_local std::uint64_t bound_uid = 0;
+  auto& reg = obs::Registry::global();
+  if (bound_uid != reg.uid()) {
+    bound_uid = reg.uid();
+    metrics.injected = &reg.counter("fault.injected");
+    metrics.healed = &reg.counter("fault.healed");
+    metrics.link_down = &reg.counter("fault.link_down");
+    metrics.link_brownouts = &reg.counter("fault.link_brownouts");
+    metrics.depot_crashes = &reg.counter("fault.depot_crashes");
+    metrics.depot_restarts = &reg.counter("fault.depot_restarts");
+    metrics.nws_blackouts = &reg.counter("fault.nws_blackouts");
+    metrics.active = &reg.gauge("fault.active");
+  }
   return &metrics;
 }
 

@@ -14,25 +14,29 @@ DepotMetrics* DepotMetrics::get() {
   if (!obs::metrics_enabled()) {
     return nullptr;
   }
-  static DepotMetrics metrics = [] {
-    auto& reg = obs::Registry::global();
-    DepotMetrics m;
-    m.sessions_accepted = &reg.counter("lsl.depot.sessions_accepted");
-    m.sessions_refused = &reg.counter("lsl.depot.sessions_refused");
-    m.sessions_relayed = &reg.counter("lsl.depot.sessions_relayed");
-    m.sessions_delivered = &reg.counter("lsl.depot.sessions_delivered");
-    m.bytes_relayed = &reg.counter("lsl.depot.bytes_relayed");
-    m.bytes_delivered = &reg.counter("lsl.depot.bytes_delivered");
-    m.sessions_interrupted = &reg.counter("lsl.depot.sessions_interrupted");
-    m.sessions_resumed = &reg.counter("lsl.depot.sessions_resumed");
-    m.offset_queries = &reg.counter("lsl.depot.offset_queries");
-    m.stall_us = &reg.counter("lsl.depot.stall_us");
-    m.buffer_occupancy = &reg.gauge("lsl.depot.buffer_occupancy");
+  // Thread-local, revalidated by registry uid (parallel trials swap the
+  // thread's registry via obs::ScopedRegistry).
+  thread_local DepotMetrics metrics;
+  thread_local std::uint64_t bound_uid = 0;
+  auto& reg = obs::Registry::global();
+  if (bound_uid != reg.uid()) {
+    bound_uid = reg.uid();
+    metrics.sessions_accepted = &reg.counter("lsl.depot.sessions_accepted");
+    metrics.sessions_refused = &reg.counter("lsl.depot.sessions_refused");
+    metrics.sessions_relayed = &reg.counter("lsl.depot.sessions_relayed");
+    metrics.sessions_delivered = &reg.counter("lsl.depot.sessions_delivered");
+    metrics.bytes_relayed = &reg.counter("lsl.depot.bytes_relayed");
+    metrics.bytes_delivered = &reg.counter("lsl.depot.bytes_delivered");
+    metrics.sessions_interrupted =
+        &reg.counter("lsl.depot.sessions_interrupted");
+    metrics.sessions_resumed = &reg.counter("lsl.depot.sessions_resumed");
+    metrics.offset_queries = &reg.counter("lsl.depot.offset_queries");
+    metrics.stall_us = &reg.counter("lsl.depot.stall_us");
+    metrics.buffer_occupancy = &reg.gauge("lsl.depot.buffer_occupancy");
     // Session sizes from the paper span 1 MiB .. 1 GiB in doublings.
-    m.relay_session_mib = &reg.histogram(
+    metrics.relay_session_mib = &reg.histogram(
         "lsl.depot.relay_session_mib", obs::exponential_buckets(1.0, 2.0, 11));
-    return m;
-  }();
+  }
   return &metrics;
 }
 

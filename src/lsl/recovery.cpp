@@ -26,18 +26,24 @@ RecoveryMetrics* RecoveryMetrics::get() {
   if (!obs::metrics_enabled()) {
     return nullptr;
   }
-  static RecoveryMetrics metrics = [] {
-    auto& reg = obs::Registry::global();
-    RecoveryMetrics m;
-    m.failures_detected = &reg.counter("lsl.recovery.failures_detected");
-    m.retries = &reg.counter("lsl.recovery.retries");
-    m.sessions_recovered = &reg.counter("lsl.recovery.sessions_recovered");
-    m.sessions_failed = &reg.counter("lsl.recovery.sessions_failed");
-    m.depots_blacklisted = &reg.counter("lsl.recovery.depots_blacklisted");
-    m.offset_probes = &reg.counter("lsl.recovery.offset_probes");
-    m.resumed_bytes_saved = &reg.counter("lsl.recovery.resumed_bytes_saved");
-    return m;
-  }();
+  // Thread-local, revalidated by registry uid (parallel trials swap the
+  // thread's registry via obs::ScopedRegistry).
+  thread_local RecoveryMetrics metrics;
+  thread_local std::uint64_t bound_uid = 0;
+  auto& reg = obs::Registry::global();
+  if (bound_uid != reg.uid()) {
+    bound_uid = reg.uid();
+    metrics.failures_detected = &reg.counter("lsl.recovery.failures_detected");
+    metrics.retries = &reg.counter("lsl.recovery.retries");
+    metrics.sessions_recovered =
+        &reg.counter("lsl.recovery.sessions_recovered");
+    metrics.sessions_failed = &reg.counter("lsl.recovery.sessions_failed");
+    metrics.depots_blacklisted =
+        &reg.counter("lsl.recovery.depots_blacklisted");
+    metrics.offset_probes = &reg.counter("lsl.recovery.offset_probes");
+    metrics.resumed_bytes_saved =
+        &reg.counter("lsl.recovery.resumed_bytes_saved");
+  }
   return &metrics;
 }
 

@@ -35,6 +35,36 @@ struct SackBlock {
   std::uint64_t end = 0;
 };
 
+/// Inline list of SACK blocks. The real TCP option carries at most four
+/// blocks, so a fixed array plus a count replaces the std::vector that used
+/// to heap-allocate on nearly every ACK carrying SACK information. The
+/// vector-ish surface (push_back / range-for / size / empty) keeps call
+/// sites unchanged.
+class SackList {
+ public:
+  static constexpr std::size_t kMaxBlocks = 4;
+
+  void push_back(const SackBlock& block) {
+    if (count_ < kMaxBlocks) {  // excess blocks are dropped, like the option
+      blocks_[count_++] = block;
+    }
+  }
+  void clear() { count_ = 0; }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] const SackBlock& operator[](std::size_t i) const {
+    return blocks_[i];
+  }
+
+  [[nodiscard]] const SackBlock* begin() const { return blocks_; }
+  [[nodiscard]] const SackBlock* end() const { return blocks_ + count_; }
+
+ private:
+  SackBlock blocks_[kMaxBlocks];
+  std::uint8_t count_ = 0;
+};
+
 struct TcpHeader {
   Port src_port = 0;
   Port dst_port = 0;
@@ -43,7 +73,7 @@ struct TcpHeader {
   std::uint64_t wnd = 0;  ///< Advertised receive window, bytes.
   std::uint8_t flags = 0;
   /// Selective acknowledgment blocks (bounded like the real option: <= 4).
-  std::vector<SackBlock> sack;
+  SackList sack;
 
   [[nodiscard]] bool has(TcpFlags f) const { return (flags & f) != 0; }
 };

@@ -10,17 +10,20 @@ NwsMetrics* NwsMetrics::get() {
   if (!obs::metrics_enabled()) {
     return nullptr;
   }
-  static NwsMetrics metrics = [] {
-    auto& reg = obs::Registry::global();
-    NwsMetrics m;
-    m.epochs = &reg.counter("nws.monitor.epochs");
-    m.observations = &reg.counter("nws.monitor.observations");
-    m.blackout_epochs = &reg.counter("nws.monitor.blackout_epochs");
-    m.forecast_abs_rel_error =
+  // Thread-local, revalidated by registry uid (parallel trials swap the
+  // thread's registry via obs::ScopedRegistry).
+  thread_local NwsMetrics metrics;
+  thread_local std::uint64_t bound_uid = 0;
+  auto& reg = obs::Registry::global();
+  if (bound_uid != reg.uid()) {
+    bound_uid = reg.uid();
+    metrics.epochs = &reg.counter("nws.monitor.epochs");
+    metrics.observations = &reg.counter("nws.monitor.observations");
+    metrics.blackout_epochs = &reg.counter("nws.monitor.blackout_epochs");
+    metrics.forecast_abs_rel_error =
         &reg.histogram("nws.monitor.forecast_abs_rel_error",
                        obs::linear_buckets(0.05, 0.05, 20));
-    return m;
-  }();
+  }
   return &metrics;
 }
 

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -132,6 +133,11 @@ std::vector<double> exponential_buckets(double start, double factor,
 
 // ---------------------------------------------------------------------------
 // Registry
+
+Registry::Registry() {
+  static std::atomic<std::uint64_t> next_uid{1};
+  uid_ = next_uid.fetch_add(1, std::memory_order_relaxed);
+}
 
 const std::string& Registry::Entry::name() const {
   switch (kind) {
@@ -321,10 +327,68 @@ bool Registry::write_json(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
+void Registry::merge_from(const Registry& other) {
+  for (const auto& entry : other.entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        counter(entry.counter->name()).inc(entry.counter->value());
+        break;
+      case Kind::kGauge: {
+        Gauge& g = gauge(entry.gauge->name());
+        g.set(entry.gauge->value());
+        if (entry.gauge->high_water() > g.high_water_) {
+          g.high_water_ = entry.gauge->high_water();
+        }
+        break;
+      }
+      case Kind::kHistogram: {
+        const Histogram& src = *entry.histogram;
+        Histogram& dst = histogram(src.name(), src.bounds());
+        LSL_ASSERT_MSG(dst.bounds_ == src.bounds_,
+                       "histogram merged with different buckets");
+        if (src.count_ > 0) {
+          if (dst.count_ == 0) {
+            dst.min_ = src.min_;
+            dst.max_ = src.max_;
+          } else {
+            dst.min_ = std::min(dst.min_, src.min_);
+            dst.max_ = std::max(dst.max_, src.max_);
+          }
+          dst.count_ += src.count_;
+          dst.sum_ += src.sum_;
+          for (std::size_t i = 0; i < src.buckets_.size(); ++i) {
+            dst.buckets_[i] += src.buckets_[i];
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+// Per-thread redirect for Registry::global(); see ScopedRegistry.
+thread_local Registry* t_scoped_registry = nullptr;
+}  // namespace
+
 Registry& Registry::global() {
+  if (t_scoped_registry != nullptr) {
+    return *t_scoped_registry;
+  }
+  return process_global();
+}
+
+Registry& Registry::process_global() {
   static Registry registry;
   return registry;
 }
+
+ScopedRegistry::ScopedRegistry(Registry& registry)
+    : previous_(t_scoped_registry) {
+  t_scoped_registry = &registry;
+}
+
+ScopedRegistry::~ScopedRegistry() { t_scoped_registry = previous_; }
 
 // ---------------------------------------------------------------------------
 // Enable switch

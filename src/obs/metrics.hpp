@@ -111,9 +111,14 @@ class Histogram {
 /// is preserved in exports.
 class Registry {
  public:
-  Registry() = default;
+  Registry();
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
+
+  /// Process-unique id (never reused, unlike addresses). Instrument bundles
+  /// cache resolved pointers keyed by this to notice when the thread's
+  /// registry changed underneath them.
+  [[nodiscard]] std::uint64_t uid() const { return uid_; }
 
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
@@ -125,14 +130,28 @@ class Registry {
   /// Zero every instrument's value, keeping registrations.
   void reset_values();
 
+  /// Fold another registry's instruments into this one, creating missing
+  /// instruments on the fly: counters add, gauges take the other's last
+  /// value (and max high waters), histograms add buckets. The parallel
+  /// trial engine merges per-trial registries through this in trial order,
+  /// so merged totals are independent of worker scheduling.
+  void merge_from(const Registry& other);
+
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}}
   [[nodiscard]] std::string to_json() const;
   /// Aligned text table for terminal output.
   [[nodiscard]] std::string to_table() const;
   bool write_json(const std::string& path) const;
 
-  /// Process-wide registry used by all built-in instrumentation.
+  /// Registry used by all built-in instrumentation: the thread's scoped
+  /// registry when one is installed (see ScopedRegistry), else the
+  /// process-wide default. Hot paths never call this repeatedly -- the
+  /// instrument bundles (TcpMetrics etc.) cache resolved pointers and
+  /// revalidate with one pointer compare.
   static Registry& global();
+
+  /// The process-wide default registry, ignoring any thread-local override.
+  static Registry& process_global();
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -147,7 +166,24 @@ class Registry {
 
   Entry* find(std::string_view name, Kind kind);
 
+  std::uint64_t uid_;
   std::vector<Entry> entries_;
+};
+
+/// Redirects Registry::global() to `registry` on the current thread for the
+/// scope's lifetime. The parallel trial engine installs one fresh Registry
+/// per trial in the worker thread so built-in instrumentation stays
+/// lock-free, then merges the per-trial registries post-hoc in trial order.
+/// Nests (the previous override is restored).
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry& registry);
+  ~ScopedRegistry();
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  Registry* previous_;
 };
 
 /// Process-wide enable switch for the built-in instrumentation bundles

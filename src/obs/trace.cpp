@@ -9,6 +9,11 @@ namespace lsl::obs {
 
 namespace {
 TraceRecorder* g_tracer = nullptr;
+// Per-thread override (see ScopedTracer). The flag distinguishes "override
+// to nullptr" (tracing silenced) from "no override" (fall through to the
+// process-wide recorder).
+thread_local TraceRecorder* t_tracer = nullptr;
+thread_local bool t_tracer_overridden = false;
 }  // namespace
 
 TraceRecorder::TraceRecorder(std::size_t capacity) {
@@ -85,8 +90,27 @@ bool TraceRecorder::write_json(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
-TraceRecorder* tracer() { return g_tracer; }
+TraceRecorder* tracer() {
+  return t_tracer_overridden ? t_tracer : g_tracer;
+}
 
 void set_tracer(TraceRecorder* recorder) { g_tracer = recorder; }
+
+ScopedTracer::ScopedTracer(TraceRecorder* recorder)
+    : previous_(t_tracer), had_previous_(t_tracer_overridden) {
+  t_tracer = recorder;
+  t_tracer_overridden = true;
+}
+
+ScopedTracer::~ScopedTracer() {
+  t_tracer = previous_;
+  t_tracer_overridden = had_previous_;
+}
+
+void append_snapshot(TraceRecorder& dest, const TraceRecorder& source) {
+  for (const TraceEvent& event : source.snapshot()) {
+    dest.record(event);
+  }
+}
 
 }  // namespace lsl::obs

@@ -92,8 +92,29 @@ class TraceRecorder {
   std::uint64_t total_ = 0;  ///< next write slot is total_ % capacity
 };
 
-/// Process-wide recorder; nullptr when tracing is off.
+/// The active recorder for this thread: a thread-scoped recorder when one
+/// is installed (see ScopedTracer), else the process-wide one; nullptr when
+/// tracing is off.
 [[nodiscard]] TraceRecorder* tracer();
 void set_tracer(TraceRecorder* recorder);
+
+/// Redirects tracer() on the current thread for the scope's lifetime
+/// (recorder may be nullptr to silence tracing). The parallel trial engine
+/// gives each trial its own recorder and appends the snapshots to the main
+/// recorder post-hoc in trial order. Nests.
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(TraceRecorder* recorder);
+  ~ScopedTracer();
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+ private:
+  TraceRecorder* previous_;
+  bool had_previous_;
+};
+
+/// Append every held event of `source` (oldest first) into `dest`.
+void append_snapshot(TraceRecorder& dest, const TraceRecorder& source);
 
 }  // namespace lsl::obs

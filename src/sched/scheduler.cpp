@@ -11,18 +11,21 @@ SchedMetrics* SchedMetrics::get() {
   if (!obs::metrics_enabled()) {
     return nullptr;
   }
-  static SchedMetrics metrics = [] {
-    auto& reg = obs::Registry::global();
-    SchedMetrics m;
-    m.trees_built = &reg.counter("sched.mmp.trees_built");
-    m.epsilon_collapses = &reg.counter("sched.mmp.epsilon_collapses");
-    m.route_decisions = &reg.counter("sched.mmp.route_decisions");
-    m.relays_chosen = &reg.counter("sched.mmp.relays_chosen");
-    m.reroutes = &reg.counter("sched.mmp.reroutes");
-    m.tree_build_us = &reg.histogram("sched.mmp.tree_build_us",
-                                     obs::exponential_buckets(1.0, 4.0, 10));
-    return m;
-  }();
+  // Thread-local, revalidated by registry uid (parallel trials swap the
+  // thread's registry via obs::ScopedRegistry).
+  thread_local SchedMetrics metrics;
+  thread_local std::uint64_t bound_uid = 0;
+  auto& reg = obs::Registry::global();
+  if (bound_uid != reg.uid()) {
+    bound_uid = reg.uid();
+    metrics.trees_built = &reg.counter("sched.mmp.trees_built");
+    metrics.epsilon_collapses = &reg.counter("sched.mmp.epsilon_collapses");
+    metrics.route_decisions = &reg.counter("sched.mmp.route_decisions");
+    metrics.relays_chosen = &reg.counter("sched.mmp.relays_chosen");
+    metrics.reroutes = &reg.counter("sched.mmp.reroutes");
+    metrics.tree_build_us = &reg.histogram(
+        "sched.mmp.tree_build_us", obs::exponential_buckets(1.0, 4.0, 10));
+  }
   return &metrics;
 }
 

@@ -1,0 +1,141 @@
+// Move-only callable with small-buffer optimization, the event kernel's
+// closure type.
+//
+// The kernel dispatches tens of millions of one-shot closures per run;
+// std::function heap-allocates for anything beyond two pointers of capture
+// and drags in RTTI/copyability machinery the kernel never uses. Action
+// stores any callable up to kInlineCapacity bytes (48: enough for a
+// this-pointer plus several words of capture, and for a std::function being
+// wrapped during migration) directly in the object. Trivially-copyable
+// callables relocate with memcpy, which keeps heap sift operations cheap;
+// everything else goes through a single manager function pointer. Larger
+// callables fall back to one heap allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lsl::sim {
+
+class Action {
+ public:
+  /// Inline capture capacity in bytes. Chosen so the common kernel closures
+  /// (a this-pointer plus a few words, or a moved-in std::function) never
+  /// allocate.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  Action() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, Action> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  // NOLINTNEXTLINE(bugprone-forwarding-reference-overload)
+  Action(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_.inline_bytes)) D(std::forward<F>(f));
+      invoke_ = [](Action& self) {
+        (*std::launder(
+            reinterpret_cast<D*>(self.storage_.inline_bytes)))();
+      };
+      if constexpr (!(std::is_trivially_copyable_v<D> &&
+                      std::is_trivially_destructible_v<D>)) {
+        manage_ = [](Action* self, Action* dst) {
+          D* src = std::launder(
+              reinterpret_cast<D*>(self->storage_.inline_bytes));
+          if (dst != nullptr) {
+            ::new (static_cast<void*>(dst->storage_.inline_bytes))
+                D(std::move(*src));
+          }
+          src->~D();
+        };
+      }
+      // manage_ stays nullptr for trivially-copyable callables: relocation
+      // is a memcpy of the storage and destruction is a no-op.
+    } else {
+      storage_.heap = new D(std::forward<F>(f));
+      invoke_ = [](Action& self) {
+        (*static_cast<D*>(self.storage_.heap))();
+      };
+      manage_ = [](Action* self, Action* dst) {
+        if (dst != nullptr) {
+          dst->storage_.heap = self->storage_.heap;
+        } else {
+          delete static_cast<D*>(self->storage_.heap);
+        }
+      };
+    }
+  }
+
+  Action(Action&& other) noexcept { move_from(other); }
+
+  Action& operator=(Action&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Action(const Action&) = delete;
+  Action& operator=(const Action&) = delete;
+
+  ~Action() { reset(); }
+
+  void operator()() { invoke_(*this); }
+
+  /// Destroy the held callable in place (no-op when empty). Lets a caller
+  /// that stores Actions in stable slots dispose of one without paying a
+  /// move-out.
+  void reset() noexcept {
+    if (manage_ != nullptr) {
+      manage_(this, nullptr);
+      manage_ = nullptr;
+    }
+    invoke_ = nullptr;
+  }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// True when the held callable lives in the inline buffer (testing hook).
+  template <typename D>
+  [[nodiscard]] static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineCapacity &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  using InvokeFn = void (*)(Action&);
+  /// Moves the callable into *dst (when non-null) and destroys the source;
+  /// with dst == nullptr it only destroys. Null manage_ means the storage is
+  /// trivially relocatable and trivially destructible.
+  using ManageFn = void (*)(Action* self, Action* dst);
+
+  void move_from(Action& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) {
+      manage_(&other, this);
+    } else {
+      std::memcpy(&storage_, &other.storage_, sizeof storage_);
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  union Storage {
+    alignas(std::max_align_t) unsigned char inline_bytes[kInlineCapacity];
+    void* heap;
+  };
+
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+  Storage storage_;
+};
+
+}  // namespace lsl::sim

@@ -100,19 +100,131 @@ void KernelProfile::merge_from(const KernelProfile& other) {
 
 Simulator::Simulator() {
   // Log lines carry the simulated timestamp of the most recently created
-  // live simulator (tests that run several sequentially each take over).
+  // live simulator on this thread (tests that run several sequentially each
+  // take over; parallel trials each own their thread's clock).
   set_log_clock(&sim_log_clock, this);
+  // Skip the first few doubling-growth reallocations; ~9 KB per simulator.
+  heap_.reserve(256);
+  slots_.reserve(256);
+  free_slots_.reserve(256);
 }
 
 Simulator::~Simulator() { clear_log_clock(this); }
 
+// ---------------------------------------------------------------------------
+// 4-ary heap of 24-byte POD keys. Children of i are 4i+1 .. 4i+4. A wider
+// node fans the tree out to ~half the depth of a binary heap: pops do more
+// comparisons per level but fewer key moves. Sifts use hole insertion (save
+// the key, shift, place) rather than pairwise swaps.
+
+void Simulator::heap_push(Entry e) {
+  heap_.push_back(e);
+  sift_up(heap_.size() - 1);
+}
+
+void Simulator::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!e.before(heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::sift_down(std::size_t i) {
+  // Hole-sink (the libstdc++ __adjust_heap trick): heap_[i] was just
+  // replaced by an element from the bottom, which almost always belongs
+  // near the bottom again. Sink the hole to a leaf choosing only the
+  // smallest child per level (3 comparisons, no early-exit compare against
+  // the displaced element), then sift the element up from there (usually a
+  // single comparison). Saves a compare per level on the common path.
+  const std::size_t n = heap_.size();
+  const Entry e = heap_[i];
+  std::size_t hole = i;
+  for (;;) {
+    const std::size_t first_child = 4 * hole + 1;
+    if (first_child >= n) {
+      break;
+    }
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_[c].before(heap_[best])) {
+        best = c;
+      }
+    }
+    __builtin_prefetch(&heap_[std::min(4 * best + 1, n - 1)]);
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  // Place e and bubble it back up (not past i, where it was heap-ordered).
+  while (hole > i) {
+    const std::size_t parent = (hole - 1) / 4;
+    if (parent < i || !e.before(heap_[parent])) {
+      break;
+    }
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = e;
+}
+
+void Simulator::heap_pop_top() {
+  if (heap_.size() > 1) {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void Simulator::compact_heap() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) { return !entry_live(e); }),
+              heap_.end());
+  // Floyd heap construction. Pop order is fully determined by the (when,
+  // seq) total order, so the internal layout after a rebuild is
+  // unobservable.
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) {
+      sift_down(i);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
 EventId Simulator::schedule_at(SimTime when, Action action,
                                const char* category) {
   LSL_ASSERT_MSG(when >= now_, "cannot schedule into the past");
-  const EventId id{next_seq_++};
-  heap_.push(Entry{when, id.seq, std::move(action)});
-  if (heap_.size() > queue_high_water_) {
-    queue_high_water_ = heap_.size();
+  std::uint64_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = slots_.size();
+    LSL_ASSERT_MSG(slot <= kSlotMask, "too many concurrent events");
+    slots_.push_back(SlotState{});
+    if ((slot >> kActionChunkShift) == action_chunks_.size()) {
+      action_chunks_.emplace_back(new Action[kActionChunkSize]);
+    }
+  }
+  const EventId id{(slot + 1) |
+                   (static_cast<std::uint64_t>(slots_[slot].gen) << 32U)};
+  LSL_ASSERT_MSG(next_seq_ < (1ULL << 40U), "event sequence overflow");
+  const std::uint64_t key = (next_seq_++ << kSlotBits) | slot;
+  slots_[slot].key = key;
+  action_of(slot) = std::move(action);
+  heap_push(Entry{when, key});
+  ++events_scheduled_;
+  ++live_events_;
+  if (live_events_ > queue_high_water_) {
+    queue_high_water_ = live_events_;
   }
   if (category != nullptr) {
     ++category_counts_[category];
@@ -130,61 +242,82 @@ bool Simulator::cancel(EventId id) {
   if (!id.valid()) {
     return false;
   }
-  // Only tombstone ids that could still be pending; an id >= next_seq_ was
-  // never issued and an already-popped id is gone from the heap.
-  if (id.seq >= next_seq_) {
+  const std::uint64_t slot = slot_of(id.raw);
+  // A slot index never issued, or a generation that has since advanced
+  // (the event fired, was cancelled, or the slot was reused), is stale.
+  if (slot >= slots_.size() || slots_[slot].gen != gen_of(id.raw)) {
     return false;
   }
-  const auto [it, inserted] = cancelled_.insert(id.seq);
-  (void)it;
-  if (inserted) {
-    ++tombstones_;
-    ++events_cancelled_;
-    return true;
+  if (slots_[slot].key == dispatching_key_) {
+    // The event is firing right now (an action cancelling itself). It has
+    // already left the heap and its closure must keep executing; report it
+    // as already-run.
+    return false;
   }
-  return false;
+  retire_slot(slot);
+  slots_[slot].key = 0;  // the heap corpse must stop matching
+  --live_events_;
+  ++events_cancelled_;
+  // Move the closure out before destroying it: its destructor may re-enter
+  // the kernel (schedule, cancel), and by now the slot is fully retired.
+  const Action dead = std::move(action_of(slot));
+  // The dead heap key is dropped lazily when it surfaces at the top -- but
+  // when corpses outnumber live entries, arm/cancel churn (TCP timers) is
+  // accumulating them faster than pops retire them, so compact.
+  if (heap_.size() > 64 && heap_.size() > 2 * live_events_) {
+    compact_heap();
+  }
+  return true;
 }
 
-bool Simulator::pop_next(Entry& out) {
+bool Simulator::settle_top() {
   while (!heap_.empty()) {
-    // priority_queue::top() is const; the action must be moved out, so we
-    // const_cast the known-mutable underlying entry before popping.
-    auto& top = const_cast<Entry&>(heap_.top());
-    if (const auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --tombstones_;
-      heap_.pop();
-      continue;
+    if (entry_live(heap_.front())) {
+      return true;
     }
-    out.when = top.when;
-    out.seq = top.seq;
-    out.action = std::move(top.action);
-    heap_.pop();
-    return true;
+    heap_pop_top();  // cancelled: generation moved on, drop the corpse
   }
   return false;
-}
-
-void Simulator::dispatch(Entry& e) {
-  LSL_ASSERT(e.when >= now_);
-  now_ = e.when;
-  ++events_executed_;
-  e.action();
 }
 
 bool Simulator::step() {
-  Entry e;
-  if (!pop_next(e)) {
+  if (!settle_top()) {
     return false;
   }
   if (profiling_) {
     const double start = wall_now();
-    dispatch(e);
+    dispatch_top();
     wall_seconds_ += wall_now() - start;
     return true;
   }
-  dispatch(e);
+  dispatch_top();
   return true;
+}
+
+void Simulator::dispatch_top() {
+  const Entry top = heap_.front();
+  const std::uint64_t slot = top.key & kSlotMask;
+  heap_pop_top();
+  LSL_ASSERT(top.when >= now_);
+  now_ = top.when;
+  ++events_executed_;
+  // Invoke in place: chunked storage is pinned, so the reference survives
+  // any scheduling the action does (which may grow slots_ / heap_), and the
+  // per-event closure move-out is avoided. cancel() treats the in-flight
+  // key as already fired, so nothing destroys the closure mid-call.
+  Action& action = action_of(slot);
+  const std::uint64_t enclosing = dispatching_key_;
+  dispatching_key_ = top.key;
+  action();
+  dispatching_key_ = enclosing;
+  // Retire after the call so the action's own slot is not recycled under
+  // it. The key can only have stopped matching via a nested run() whose
+  // events cancelled this one -- then the cancel already retired the slot.
+  if (slots_[slot].key == top.key) {
+    retire_slot(slot);
+    --live_events_;
+    action.reset();
+  }
 }
 
 std::uint64_t Simulator::run(SimTime limit) {
@@ -192,15 +325,13 @@ std::uint64_t Simulator::run(SimTime limit) {
   const SimTime run_start = now_;
   const double wall_start = profiling_ ? wall_now() : 0.0;
   std::uint64_t executed = 0;
-  Entry e;
-  while (!stop_requested_ && pop_next(e)) {
-    if (e.when > limit) {
-      // Put time forward to the limit but not beyond; re-queue the event.
-      heap_.push(Entry{e.when, e.seq, std::move(e.action)});
+  while (!stop_requested_ && settle_top()) {
+    if (heap_.front().when > limit) {
+      // Put time forward to the limit but not beyond; the event stays queued.
       now_ = limit;
       break;
     }
-    dispatch(e);
+    dispatch_top();
     ++executed;
   }
   if (profiling_) {
@@ -214,7 +345,7 @@ std::uint64_t Simulator::run(SimTime limit) {
 
 KernelProfile Simulator::profile() const {
   KernelProfile p;
-  p.events_scheduled = next_seq_ - 1;
+  p.events_scheduled = events_scheduled_;
   p.events_executed = events_executed_;
   p.events_cancelled = events_cancelled_;
   p.queue_high_water = queue_high_water_;

@@ -1,24 +1,33 @@
 // Discrete-event simulation kernel.
 //
-// A Simulator owns a priority queue of (time, sequence, action) events.
-// Sequence numbers break ties so that same-timestamp events fire in schedule
-// order, which makes every run fully deterministic. Events are one-shot
-// closures; cancellable timers are layered on top (timer.hpp).
+// A Simulator owns an indexed 4-ary min-heap laid out in a flat vector: the
+// heap holds 24-byte (time, sequence, id) keys, and the event closures
+// (sim::Action, small-buffer-optimized) live in a side slot table, so heap
+// sifts never relocate a closure. Sequence numbers break ties so that
+// same-timestamp events fire in schedule order, which makes every run fully
+// deterministic. Cancellable timers are layered on top (timer.hpp).
+//
+// Cancellation is generation-counted: every EventId names a slot in a side
+// table plus the generation the slot had when the event was scheduled. The
+// generation bumps whenever the event fires or is cancelled, so cancel() is
+// an O(1) array probe (no hashing, no tombstone set) and a stale id can
+// never affect a newer event that reuses the slot. Cancelled entries stay in
+// the heap until they surface at the top, where a generation mismatch drops
+// them for free.
 //
 // Observability: the kernel always keeps cheap counters (events scheduled /
-// executed / cancelled, queue-depth high water, per-category schedule
+// executed / cancelled, live-queue-depth high water, per-category schedule
 // counts); set_profiling(true) additionally samples wall-clock time around
 // event dispatch so profile() can report the simulated-vs-wall ratio.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/action.hpp"
 #include "util/assert.hpp"
 #include "util/time.hpp"
 
@@ -29,11 +38,13 @@ class Registry;
 namespace lsl::sim {
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
+/// Packs (slot index + 1) in the low 32 bits and the slot's generation in
+/// the high 32; a default-constructed id is invalid.
 struct EventId {
-  std::uint64_t seq = 0;
+  std::uint64_t raw = 0;
 
-  [[nodiscard]] bool valid() const { return seq != 0; }
-  friend bool operator==(EventId a, EventId b) { return a.seq == b.seq; }
+  [[nodiscard]] bool valid() const { return raw != 0; }
+  friend bool operator==(EventId a, EventId b) { return a.raw == b.raw; }
 };
 
 /// Snapshot of the kernel's self-measurements (see Simulator::profile()).
@@ -41,7 +52,7 @@ struct KernelProfile {
   std::uint64_t events_scheduled = 0;
   std::uint64_t events_executed = 0;
   std::uint64_t events_cancelled = 0;
-  std::uint64_t queue_high_water = 0;  ///< max pending entries ever
+  std::uint64_t queue_high_water = 0;  ///< max live pending entries ever
   SimTime sim_time = SimTime::zero();  ///< clock at snapshot
   double wall_seconds = 0.0;           ///< dispatch wall time (profiling on)
   /// Events scheduled per category tag, descending by count. Untagged
@@ -63,10 +74,12 @@ struct KernelProfile {
   void merge_from(const KernelProfile& other);
 };
 
-/// Single-threaded discrete-event simulator.
+/// Single-threaded discrete-event simulator. Each instance is confined to
+/// one thread; the parallel trial engine (exp/parallel.hpp) runs one
+/// Simulator per trial, never sharing one across threads.
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = sim::Action;
 
   Simulator();
   ~Simulator();
@@ -86,8 +99,8 @@ class Simulator {
                          const char* category = nullptr);
 
   /// Cancel a pending event. Returns false if it already ran or was
-  /// cancelled. Cancellation is O(1): the entry is tombstoned and skipped
-  /// when popped.
+  /// cancelled. O(1): the slot's generation is bumped so the heap entry is
+  /// recognized as dead when it reaches the top.
   bool cancel(EventId id);
 
   /// Run until the event queue is empty or `limit` is reached, whichever is
@@ -100,9 +113,8 @@ class Simulator {
   /// Stop at the end of the current event (run() returns afterwards).
   void request_stop() { stop_requested_ = true; }
 
-  [[nodiscard]] std::size_t pending_events() const {
-    return heap_.size() - tombstones_;
-  }
+  /// Live (scheduled, not yet fired or cancelled) events.
+  [[nodiscard]] std::size_t pending_events() const { return live_events_; }
   [[nodiscard]] std::uint64_t events_executed() const {
     return events_executed_;
   }
@@ -115,26 +127,92 @@ class Simulator {
   [[nodiscard]] KernelProfile profile() const;
 
  private:
+  /// Heap key: 16 bytes of POD (4 per cache line, so a 4-ary sift level is
+  /// usually one line). `key` packs the global sequence number in the high
+  /// 40 bits and the slot index in the low 24; comparing `key` therefore
+  /// tie-breaks same-timestamp events by schedule order. Closures live in
+  /// the slot table, so sifts never relocate one.
   struct Entry {
     SimTime when;
-    std::uint64_t seq;
-    Action action;
+    std::uint64_t key;  ///< (seq << kSlotBits) | slot
 
-    // Min-heap via std::priority_queue's max-heap comparison inversion.
-    friend bool operator<(const Entry& a, const Entry& b) {
-      if (a.when != b.when) {
-        return a.when > b.when;
+    [[nodiscard]] bool before(const Entry& other) const {
+      if (when != other.when) {
+        return when < other.when;
       }
-      return a.seq > b.seq;
+      return key < other.key;
     }
   };
 
-  bool pop_next(Entry& out);
-  void dispatch(Entry& e);
+  static constexpr unsigned kSlotBits = 24;  ///< <= 16.7M concurrent events
+  static constexpr std::uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
 
-  std::priority_queue<Entry> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;  // tombstoned event seqs
-  std::size_t tombstones_ = 0;
+  static constexpr std::uint64_t slot_of(std::uint64_t raw) {
+    return (raw & 0xFFFFFFFFULL) - 1;
+  }
+  static constexpr std::uint32_t gen_of(std::uint64_t raw) {
+    return static_cast<std::uint32_t>(raw >> 32U);
+  }
+
+  /// Per-slot bookkeeping, one 16-byte record so the dispatch path's key
+  /// probe and the cancel path's generation probe share a cache line.
+  struct SlotState {
+    std::uint64_t key = 0;  ///< packed key while live (cancel zeroes it)
+    std::uint32_t gen = 0;  ///< validates public EventIds
+  };
+
+  /// A heap key is live iff its slot still holds the same packed key: seq
+  /// is globally unique, so one compare is exact (no generations needed on
+  /// this path -- those only validate public EventIds). A dispatched key is
+  /// popped and never probed again, so the dispatch path skips the key
+  /// clear; a reused slot gets a fresh seq, which can never collide.
+  [[nodiscard]] bool entry_live(const Entry& e) const {
+    return slots_[e.key & kSlotMask].key == e.key;
+  }
+
+  /// Retire the slot behind a live entry that is about to fire or was
+  /// cancelled: bump the generation (invalidates outstanding EventIds) and
+  /// recycle the index.
+  void retire_slot(std::uint64_t slot) {
+    ++slots_[slot].gen;
+    free_slots_.push_back(static_cast<std::uint32_t>(slot));
+  }
+
+  /// Closure storage for `slot`. Chunked so growth never moves an Action.
+  [[nodiscard]] Action& action_of(std::uint64_t slot) {
+    return action_chunks_[slot >> kActionChunkShift]
+                         [slot & (kActionChunkSize - 1)];
+  }
+
+  // 4-ary heap primitives over heap_ (flat vector, index arithmetic).
+  void heap_push(Entry e);
+  void heap_pop_top();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  /// Drop dead entries off the top; afterwards heap_.front() (if any) is
+  /// live. Returns false when the heap is empty.
+  bool settle_top();
+  /// Erase dead keys and re-heapify; called when corpses outnumber live
+  /// entries so arm/cancel churn cannot grow the heap without bound.
+  void compact_heap();
+  /// Pop the live top (settle_top() must have returned true), advance the
+  /// clock, and run its action.
+  void dispatch_top();
+
+  static constexpr std::size_t kActionChunkShift = 10;
+  static constexpr std::size_t kActionChunkSize = 1ULL << kActionChunkShift;
+
+  std::vector<Entry> heap_;
+  // Slot table as a POD array (dense probes, trivial reallocation) plus
+  // chunked closure storage (growth never moves an Action).
+  std::vector<SlotState> slots_;
+  std::vector<std::unique_ptr<Action[]>> action_chunks_;
+  std::vector<std::uint32_t> free_slots_;
+  /// Key of the event currently being dispatched (0 when idle). Lets
+  /// cancel() refuse to tear down the closure that is executing.
+  std::uint64_t dispatching_key_ = 0;
+  std::size_t live_events_ = 0;
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
@@ -142,6 +220,7 @@ class Simulator {
 
   // Kernel self-measurement (see KernelProfile).
   bool profiling_ = false;
+  std::uint64_t events_scheduled_ = 0;
   std::uint64_t events_cancelled_ = 0;
   std::size_t queue_high_water_ = 0;
   double wall_seconds_ = 0.0;

@@ -1,9 +1,9 @@
 // Restartable one-shot timer built on the Simulator.
 //
 // TCP needs retransmission / persist timers that are armed, re-armed, and
-// cancelled constantly; Timer wraps the tombstone-cancellation dance so the
-// protocol code can't leak stale events. The callback is fixed at
-// construction; arming only chooses the deadline.
+// cancelled constantly; Timer wraps the generation-counted cancellation
+// dance so the protocol code can't leak stale events. The callback is fixed
+// at construction; arming only chooses the deadline.
 #pragma once
 
 #include <functional>

@@ -19,24 +19,28 @@ TcpMetrics* TcpMetrics::get() {
   if (!obs::metrics_enabled()) {
     return nullptr;
   }
-  static TcpMetrics metrics = [] {
-    auto& reg = obs::Registry::global();
-    TcpMetrics m;
-    m.connections = &reg.counter("tcp.conn.opened");
-    m.segments_sent = &reg.counter("tcp.conn.segments_sent");
-    m.retransmits = &reg.counter("tcp.conn.retransmits");
-    m.fast_retransmits = &reg.counter("tcp.conn.fast_retransmits");
-    m.timeouts = &reg.counter("tcp.conn.timeouts");
-    m.dup_acks = &reg.counter("tcp.conn.dup_acks");
-    m.sack_blocks_rx = &reg.counter("tcp.conn.sack_blocks_rx");
+  // Thread-local, revalidated by registry uid: parallel trials install a
+  // per-trial ScopedRegistry, so the bundle re-resolves when the thread's
+  // registry changes and the hot path stays one integer compare.
+  thread_local TcpMetrics metrics;
+  thread_local std::uint64_t bound_uid = 0;
+  auto& reg = obs::Registry::global();
+  if (bound_uid != reg.uid()) {
+    bound_uid = reg.uid();
+    metrics.connections = &reg.counter("tcp.conn.opened");
+    metrics.segments_sent = &reg.counter("tcp.conn.segments_sent");
+    metrics.retransmits = &reg.counter("tcp.conn.retransmits");
+    metrics.fast_retransmits = &reg.counter("tcp.conn.fast_retransmits");
+    metrics.timeouts = &reg.counter("tcp.conn.timeouts");
+    metrics.dup_acks = &reg.counter("tcp.conn.dup_acks");
+    metrics.sack_blocks_rx = &reg.counter("tcp.conn.sack_blocks_rx");
     // RTTs on the paper's paths sit between ~1 ms (LAN) and seconds under
     // bufferbloat; cwnd in segments spans slow-start's doubling range.
-    m.rtt_ms = &reg.histogram("tcp.conn.rtt_ms",
-                              obs::exponential_buckets(1.0, 2.0, 14));
-    m.cwnd_segments = &reg.histogram("tcp.conn.cwnd_segments",
-                                     obs::exponential_buckets(1.0, 2.0, 16));
-    return m;
-  }();
+    metrics.rtt_ms = &reg.histogram("tcp.conn.rtt_ms",
+                                    obs::exponential_buckets(1.0, 2.0, 14));
+    metrics.cwnd_segments = &reg.histogram(
+        "tcp.conn.cwnd_segments", obs::exponential_buckets(1.0, 2.0, 16));
+  }
   return &metrics;
 }
 

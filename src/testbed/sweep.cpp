@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exp/parallel.hpp"
 #include "nws/monitor.hpp"
 #include "util/assert.hpp"
 
@@ -109,31 +110,56 @@ SweepResult run_speedup_sweep(const SyntheticGrid& grid,
   }
 
   // 4. Measure: per case and size, average bandwidth over iterations for
-  // both modes, then Eq. 1.
-  for (const auto& c : cases) {
-    Rng case_rng = rng.fork(Rng::hash(grid.host(c.src).name) ^
-                            Rng::hash(grid.host(c.dst).name));
-    for (const std::uint64_t size : sizes) {
-      double direct_bw_sum = 0.0;
-      double sched_bw_sum = 0.0;
-      for (std::size_t it = 0; it < config.iterations; ++it) {
-        // Direct measurement.
-        const auto direct = grid.direct_params(c.src, c.dst, size, case_rng);
-        const SimTime t_direct = flow::transfer_time(direct, size);
-        direct_bw_sum += static_cast<double>(size) * 8.0 /
-                         t_direct.to_seconds();
-        // Scheduled (LSL) measurement.
-        const auto hops = grid.relay_params(c.path, size, case_rng);
-        flow::RelayPathParams path_params;
-        path_params.hops = hops;
-        const SimTime t_sched = flow::relay_transfer_time(path_params, size);
-        sched_bw_sum += static_cast<double>(size) * 8.0 /
-                        t_sched.to_seconds();
-        result.total_measurements += 2;
-      }
-      result.speedups_by_size[size].push_back(sched_bw_sum / direct_bw_sum);
+  // both modes, then Eq. 1. Every case is an independent trial: its Rng is
+  // forked from the (fixed) sweep generator keyed by the host-name pair, so
+  // the cases can run on any worker in any order and still reproduce the
+  // serial sweep bit for bit. Results land in a per-case slot and are
+  // folded into the size-keyed result map in case order afterwards.
+  struct CaseResult {
+    std::vector<double> speedup_by_size;  ///< parallel to `sizes`
+  };
+  exp::TrialOptions trial_options;
+  trial_options.jobs = config.jobs;
+  // The flow-model measurement phase touches no built-in instrumentation;
+  // skip the per-trial registry copies.
+  trial_options.scope_metrics = false;
+  const std::vector<CaseResult> measured = exp::map_trials<CaseResult>(
+      cases.size(), trial_options, [&](std::size_t trial) {
+        const auto& c = cases[trial];
+        Rng case_rng = rng.fork(Rng::hash(grid.host(c.src).name) ^
+                                Rng::hash(grid.host(c.dst).name));
+        CaseResult out;
+        out.speedup_by_size.reserve(sizes.size());
+        for (const std::uint64_t size : sizes) {
+          double direct_bw_sum = 0.0;
+          double sched_bw_sum = 0.0;
+          for (std::size_t it = 0; it < config.iterations; ++it) {
+            // Direct measurement.
+            const auto direct =
+                grid.direct_params(c.src, c.dst, size, case_rng);
+            const SimTime t_direct = flow::transfer_time(direct, size);
+            direct_bw_sum +=
+                static_cast<double>(size) * 8.0 / t_direct.to_seconds();
+            // Scheduled (LSL) measurement.
+            const auto hops = grid.relay_params(c.path, size, case_rng);
+            flow::RelayPathParams path_params;
+            path_params.hops = hops;
+            const SimTime t_sched =
+                flow::relay_transfer_time(path_params, size);
+            sched_bw_sum +=
+                static_cast<double>(size) * 8.0 / t_sched.to_seconds();
+          }
+          out.speedup_by_size.push_back(sched_bw_sum / direct_bw_sum);
+        }
+        return out;
+      });
+  for (const CaseResult& cr : measured) {
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      result.speedups_by_size[sizes[s]].push_back(cr.speedup_by_size[s]);
     }
   }
+  result.total_measurements +=
+      cases.size() * sizes.size() * config.iterations * 2;
   return result;
 }
 

@@ -36,6 +36,11 @@ struct SweepConfig {
   std::vector<std::size_t> endpoints;
   /// Host-throughput scheduler extension (paper future work).
   bool use_host_costs = false;
+  /// Worker threads for the measurement phase (each scheduled case is an
+  /// independent trial). Any value produces bitwise-identical results --
+  /// see docs/performance.md for the determinism contract. 0 = one worker
+  /// per hardware thread.
+  std::size_t jobs = 1;
 };
 
 struct SweepResult {

@@ -8,8 +8,11 @@ namespace lsl {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
-LogClockFn g_clock_fn = nullptr;
-void* g_clock_ctx = nullptr;
+// Thread-local: each parallel trial's Simulator installs its own clock, so
+// concurrent trials stamp log lines with their own simulated time instead of
+// racing on one global slot.
+thread_local LogClockFn g_clock_fn = nullptr;
+thread_local void* g_clock_ctx = nullptr;
 }  // namespace
 
 void set_log_clock(LogClockFn fn, void* ctx) {

@@ -31,9 +31,11 @@ void init_log_from_env();
 
 /// Optional time source for log prefixes, in integer nanoseconds. The
 /// simulator installs itself here so log lines carry the simulated time
-/// they were emitted at and correlate with trace timestamps. `ctx` is an
-/// opaque owner token; clear_log_clock() is a no-op unless the same owner
-/// still holds the clock (a newer simulator may have replaced it).
+/// they were emitted at and correlate with trace timestamps. The slot is
+/// thread-local so parallel trials each stamp with their own clock. `ctx`
+/// is an opaque owner token; clear_log_clock() is a no-op unless the same
+/// owner still holds this thread's clock (a newer simulator may have
+/// replaced it).
 using LogClockFn = std::int64_t (*)(void* ctx);
 void set_log_clock(LogClockFn fn, void* ctx);
 void clear_log_clock(void* ctx);

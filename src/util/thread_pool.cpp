@@ -1,0 +1,77 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace lsl {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::uint64_t seen_batch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || batch_ != seen_batch; });
+      if (shutdown_) {
+        return;
+      }
+      seen_batch = batch_;
+      job = job_;
+    }
+    (*job)(index);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(std::size_t)>& job) {
+  if (!workers_.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &job;
+      outstanding_ = workers_.size();
+      ++batch_;
+    }
+    start_cv_.notify_all();
+  }
+  job(workers_.size());  // the caller participates as the last worker
+  if (!workers_.empty()) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+std::size_t ThreadPool::default_jobs() {
+  if (const char* v = std::getenv("LSL_JOBS")) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n >= 1) {
+      return static_cast<std::size_t>(n);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace lsl

@@ -1,0 +1,53 @@
+// Minimal persistent thread pool for the parallel trial engine.
+//
+// Deliberately not a task-queue/work-stealing scheduler: the only consumer
+// (exp/parallel.hpp) partitions trials into chunks itself and hands every
+// worker the same callable, which claims chunks off a shared atomic cursor.
+// The pool just keeps N threads parked between batches so repeated sweeps
+// don't pay thread spawn/join each time.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lsl {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 is allowed: run_on_all degenerates to a
+  /// call on the caller's thread).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads owned by the pool (excludes the calling thread).
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Runs job(worker_index) once on every pool thread plus once on the
+  /// calling thread (worker_index == size()), and blocks until all return.
+  /// The job must be internally thread-safe. Not reentrant.
+  void run_on_all(const std::function<void(std::size_t)>& job);
+
+  /// Default parallelism: LSL_JOBS when set (>= 1), else hardware
+  /// concurrency, else 1.
+  [[nodiscard]] static std::size_t default_jobs();
+
+ private:
+  void worker_loop(std::size_t index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t batch_ = 0;       ///< bumps when a new job is posted
+  std::size_t outstanding_ = 0;   ///< workers still running the current job
+  bool shutdown_ = false;
+};
+
+}  // namespace lsl

@@ -1,0 +1,174 @@
+// The parallel trial engine's determinism contract: any --jobs value
+// produces bit-identical results, metrics, and traces (docs/performance.md).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "testbed/grid.hpp"
+#include "testbed/sweep.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lsl {
+namespace {
+
+TEST(ThreadPoolTest, RunsJobOnEveryWorkerAndCaller) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run_on_all([&](std::size_t worker) { hits[worker].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "worker " << i;
+  }
+}
+
+TEST(ParallelTest, RunsEveryTrialExactlyOnce) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{8}}) {
+    std::vector<std::atomic<int>> hits(100);
+    exp::TrialOptions options;
+    options.jobs = jobs;
+    options.scope_metrics = false;
+    exp::for_each_trial(hits.size(), options, [&](std::size_t trial) {
+      hits[trial].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " trial " << i;
+    }
+  }
+}
+
+TEST(ParallelTest, MapTrialsReturnsResultsInTrialOrder) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{8}}) {
+    exp::TrialOptions options;
+    options.jobs = jobs;
+    options.chunk = 3;  // force several claims per worker
+    const auto results = exp::map_trials<std::size_t>(
+        64, options, [](std::size_t trial) { return trial * trial; });
+    ASSERT_EQ(results.size(), 64u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i], i * i) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelTest, RethrowsLowestTrialIndexFailure) {
+  // Every trial throws; the engine must surface trial 0's exception no
+  // matter which workers failed first.
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    exp::TrialOptions options;
+    options.jobs = jobs;
+    options.chunk = 1;
+    try {
+      exp::for_each_trial(32, options, [](std::size_t trial) {
+        throw std::runtime_error("trial " + std::to_string(trial));
+      });
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "trial 0") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelTest, MergesPerTrialMetricsInTrialOrder) {
+  constexpr std::size_t kTrials = 40;
+  // Counters accumulate; gauges keep the last value in trial order. Both
+  // must come out identical to the serial run for every jobs value.
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{8}}) {
+    obs::Registry parent;
+    {
+      obs::ScopedRegistry scope(parent);
+      exp::TrialOptions options;
+      options.jobs = jobs;
+      exp::for_each_trial(kTrials, options, [](std::size_t trial) {
+        obs::Registry::global().counter("test.trials").inc(trial);
+        obs::Registry::global().gauge("test.last_trial").set(
+            static_cast<double>(trial));
+      });
+    }
+    EXPECT_EQ(parent.counter("test.trials").value(),
+              kTrials * (kTrials - 1) / 2)
+        << "jobs=" << jobs;
+    EXPECT_EQ(parent.gauge("test.last_trial").value(),
+              static_cast<double>(kTrials - 1))
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelTest, AppendsPerTrialTracesInTrialOrder) {
+  constexpr std::size_t kTrials = 24;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{8}}) {
+    obs::TraceRecorder parent;
+    obs::set_tracer(&parent);
+    exp::TrialOptions options;
+    options.jobs = jobs;
+    options.scope_metrics = false;
+    exp::for_each_trial(kTrials, options, [](std::size_t trial) {
+      obs::tracer()->record(
+          {.ts = SimTime::milliseconds(static_cast<std::int64_t>(trial)),
+           .name = "trial",
+           .phase = obs::TracePhase::kCounter,
+           .value = static_cast<double>(trial)});
+    });
+    obs::set_tracer(nullptr);
+    const auto events = parent.snapshot();
+    ASSERT_EQ(events.size(), kTrials) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].value, static_cast<double>(i)) << "jobs=" << jobs;
+    }
+  }
+}
+
+/// Exact equality: the contract is bitwise-identical, not approximately
+/// equal, so EXPECT_EQ on doubles is intentional throughout.
+void expect_identical(const testbed::SweepResult& a,
+                      const testbed::SweepResult& b, std::size_t jobs) {
+  EXPECT_EQ(a.fraction_scheduled, b.fraction_scheduled) << "jobs=" << jobs;
+  EXPECT_EQ(a.scheduled_cases, b.scheduled_cases) << "jobs=" << jobs;
+  EXPECT_EQ(a.total_measurements, b.total_measurements) << "jobs=" << jobs;
+  EXPECT_EQ(a.mean_path_hops, b.mean_path_hops) << "jobs=" << jobs;
+  ASSERT_EQ(a.speedups_by_size.size(), b.speedups_by_size.size())
+      << "jobs=" << jobs;
+  auto it_a = a.speedups_by_size.begin();
+  auto it_b = b.speedups_by_size.begin();
+  for (; it_a != a.speedups_by_size.end(); ++it_a, ++it_b) {
+    EXPECT_EQ(it_a->first, it_b->first) << "jobs=" << jobs;
+    ASSERT_EQ(it_a->second.size(), it_b->second.size())
+        << "jobs=" << jobs << " size=" << it_a->first;
+    for (std::size_t i = 0; i < it_a->second.size(); ++i) {
+      EXPECT_EQ(it_a->second[i], it_b->second[i])
+          << "jobs=" << jobs << " size=" << it_a->first << " case " << i;
+    }
+  }
+}
+
+TEST(ParallelSweepTest, SweepIsBitwiseIdenticalForAnyJobsValue) {
+  testbed::PlanetLabConfig pool;
+  pool.sites = 14;  // small pool: enough depot routes, fast enough for CI
+  const auto grid = testbed::SyntheticGrid::planetlab(pool, 2004);
+  testbed::SweepConfig config;
+  config.max_size_exp = 3;
+  config.iterations = 2;
+  config.max_cases = 30;
+  config.monitor_epochs = 5;
+
+  config.jobs = 1;
+  const auto serial = testbed::run_speedup_sweep(grid, config, 42);
+  ASSERT_GT(serial.scheduled_cases, 0u);
+
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+    config.jobs = jobs;
+    const auto parallel = testbed::run_speedup_sweep(grid, config, 42);
+    expect_identical(serial, parallel, jobs);
+  }
+}
+
+}  // namespace
+}  // namespace lsl

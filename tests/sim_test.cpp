@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
+#include "sim/action.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
 
@@ -9,6 +11,12 @@ namespace lsl::sim {
 namespace {
 
 using namespace lsl::time_literals;
+
+/// The slot index packed into an EventId's low half (see simulator.hpp);
+/// lets tests assert that a freed slot really was recycled.
+std::uint32_t slot_part(EventId id) {
+  return static_cast<std::uint32_t>(id.raw & 0xFFFFFFFFULL);
+}
 
 TEST(SimulatorTest, RunsEventsInTimeOrder) {
   Simulator sim;
@@ -131,6 +139,126 @@ TEST(SimulatorTest, CountsExecutedEvents) {
   }
   sim.run();
   EXPECT_EQ(sim.events_executed(), 10u);
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(10_ms, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  // The slot's generation advanced when the event fired.
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(SimulatorTest, StaleIdCannotCancelEventOnRecycledSlot) {
+  Simulator sim;
+  const EventId stale = sim.schedule_at(10_ms, [] {});
+  EXPECT_TRUE(sim.cancel(stale));
+  // The next schedule reuses the freed slot under a new generation.
+  bool ran = false;
+  const EventId fresh = sim.schedule_at(20_ms, [&] { ran = true; });
+  EXPECT_EQ(slot_part(stale), slot_part(fresh));
+  EXPECT_FALSE(sim.cancel(stale));  // stale generation: a no-op
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, StaleIdAfterFireCannotCancelRecycledSlot) {
+  Simulator sim;
+  const EventId stale = sim.schedule_at(1_ms, [] {});
+  sim.run();
+  bool ran = false;
+  const EventId fresh = sim.schedule_at(2_ms, [&] { ran = true; });
+  EXPECT_EQ(slot_part(stale), slot_part(fresh));
+  EXPECT_FALSE(sim.cancel(stale));
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, EventCanCancelAnotherDuringDispatch) {
+  Simulator sim;
+  bool victim_ran = false;
+  const EventId victim = sim.schedule_at(20_ms, [&] { victim_ran = true; });
+  bool cancelled = false;
+  sim.schedule_at(10_ms, [&] { cancelled = sim.cancel(victim); });
+  sim.run();
+  EXPECT_TRUE(cancelled);
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(SimulatorTest, HighWaterTracksLiveEventsNotTombstones) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1_ms, [] {});
+  sim.schedule_at(2_ms, [] {});
+  sim.cancel(a);
+  // The dead heap entry must not count: replacing a cancelled event keeps
+  // the live depth at 2.
+  sim.schedule_at(3_ms, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  const auto profile = sim.profile();
+  EXPECT_EQ(profile.queue_high_water, 2u);
+  EXPECT_EQ(profile.events_scheduled, 3u);
+  EXPECT_EQ(profile.events_cancelled, 1u);
+}
+
+TEST(SimulatorTest, ManyCancelledEventsDrainWithoutDispatch) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(sim.schedule_at(SimTime::milliseconds(i + 1), [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(sim.cancel(ids[i]));
+  }
+  EXPECT_EQ(sim.pending_events(), 500u);
+  EXPECT_EQ(sim.run(), 500u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(ActionTest, SmallTriviallyCopyableCaptureStaysInline) {
+  struct Small {
+    std::uint64_t a, b;
+  };
+  Small payload{7, 35};
+  std::uint64_t out = 0;
+  auto fn = [payload, &out] { out = payload.a + payload.b; };
+  static_assert(Action::fits_inline<decltype(fn)>());
+  Action action(fn);
+  Action moved(std::move(action));
+  moved();
+  EXPECT_EQ(out, 42u);
+}
+
+TEST(ActionTest, LargeCaptureFallsBackToHeapAndStillRuns) {
+  struct Large {
+    unsigned char bytes[Action::kInlineCapacity + 16] = {};
+  };
+  static_assert(!Action::fits_inline<Large>());
+  Large payload;
+  payload.bytes[0] = 9;
+  int out = 0;
+  Action action([payload, &out] { out = payload.bytes[0]; });
+  Action moved(std::move(action));
+  EXPECT_FALSE(static_cast<bool>(action));
+  moved();
+  EXPECT_EQ(out, 9);
+}
+
+TEST(ActionTest, NonTrivialCaptureDestroysExactlyOnce) {
+  auto alive = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = alive;
+  {
+    Action action([keep = std::move(alive)] { (void)*keep; });
+    Action moved(std::move(action));
+    Action assigned;
+    assigned = std::move(moved);
+    assigned();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
 }
 
 TEST(TimerTest, FiresAtDeadline) {

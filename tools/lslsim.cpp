@@ -1,6 +1,6 @@
 // lslsim: run LSL transfer scenarios from a text description.
 //
-//   lslsim <scenario-file> [--seed N] [--sweep]
+//   lslsim <scenario-file> [--seed N] [--sweep] [--jobs N]
 //          [--metrics=<path>] [--trace=<path>] [--profile]
 //
 // Prints one result row per transfer. See src/exp/scenario.hpp for the file
@@ -12,7 +12,9 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
+#include "exp/parallel.hpp"
 #include "exp/scenario.hpp"
 #include "fault/injector.hpp"
 #include "lsl/depot.hpp"
@@ -29,12 +31,16 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: lslsim <scenario-file> [--seed N] [--sweep]\n"
+               "usage: lslsim <scenario-file> [--seed N] [--sweep] [--jobs N]\n"
                "              [--metrics=<path>] [--trace=<path>] [--profile]\n"
                "  Runs the transfers described in the scenario file over the\n"
                "  packet-level simulator and prints a result row for each.\n"
                "  --sweep re-runs every transfer at doubling sizes from 1 MiB\n"
                "  up to its declared size (a Figure 2-style curve).\n"
+               "  --jobs N runs the sweep's independent points on N worker\n"
+               "  threads (output is bitwise identical for any N; 0 = one\n"
+               "  worker per hardware thread). Ignored without --sweep: the\n"
+               "  transfers of a single run share one simulation.\n"
                "  --metrics=<path> writes a JSON snapshot of every metric.\n"
                "  --trace=<path> writes Chrome trace-event JSON (load it in\n"
                "  Perfetto or chrome://tracing).\n"
@@ -79,6 +85,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   bool sweep = false;
   bool profile = false;
+  std::size_t jobs = 1;
   const char* metrics_path = nullptr;
   const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -86,6 +93,8 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--sweep") == 0) {
       sweep = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
@@ -164,36 +173,65 @@ int main(int argc, char** argv) {
 
   if (sweep) {
     // Figure 2-style curves: re-run each declared transfer at doubling
-    // sizes up to its declared size, one fresh simulation per point.
+    // sizes up to its declared size, one fresh simulation per point. Every
+    // point is an independent trial (own simulation, seed fixed up front),
+    // so the set runs through the parallel trial engine; the tables come
+    // out identical for any --jobs value.
+    struct Point {
+      std::size_t transfer;
+      std::uint64_t size;
+    };
+    std::vector<Point> points;
+    for (std::size_t t = 0; t < scenario.transfers.size(); ++t) {
+      for (std::uint64_t size = lsl::mib(1);
+           size <= scenario.transfers[t].bytes; size *= 2) {
+        points.push_back(Point{t, size});
+      }
+    }
+    struct PointResult {
+      lsl::exp::SimHarness::TransferOutcome outcome;
+      std::size_t leaked = 0;
+      lsl::sim::KernelProfile profile;
+    };
+    lsl::exp::TrialOptions trial_options;
+    trial_options.jobs = jobs;
+    const auto measured = lsl::exp::map_trials<PointResult>(
+        points.size(), trial_options, [&](std::size_t trial) {
+          auto point = scenario;
+          point.transfers = {scenario.transfers[points[trial].transfer]};
+          point.transfers[0].bytes = points[trial].size;
+          PointResult out;
+          const auto outcomes = lsl::exp::run_scenario(
+              point, seed, lsl::SimTime::seconds(3600),
+              want_profile ? &out.profile : nullptr, &out.leaked);
+          out.outcome = outcomes.front().outcome;
+          return out;
+        });
     bool all_ok = true;
+    std::size_t cursor = 0;
     for (std::size_t t = 0; t < scenario.transfers.size(); ++t) {
       const auto& base = scenario.transfers[t];
       std::printf("# %s -> %s%s\n", base.src.c_str(), base.dst.c_str(),
                   base.via.empty() ? "" : " (via depots)");
       lsl::Table table({"size", "time", "Mbit/s"});
-      for (std::uint64_t size = lsl::mib(1); size <= base.bytes; size *= 2) {
-        auto point = scenario;
-        point.transfers = {base};
-        point.transfers[0].bytes = size;
-        lsl::sim::KernelProfile run_profile;
-        std::size_t leaked = 0;
-        const auto outcomes = lsl::exp::run_scenario(
-            point, seed, lsl::SimTime::seconds(3600),
-            want_profile ? &run_profile : nullptr, &leaked);
+      for (; cursor < points.size() && points[cursor].transfer == t;
+           ++cursor) {
+        const auto& pr = measured[cursor];
         if (want_profile) {
-          total_profile.merge_from(run_profile);
+          total_profile.merge_from(pr.profile);
         }
-        if (leaked != 0) {
-          std::fprintf(stderr, "lslsim: %zu connections leaked\n", leaked);
+        if (pr.leaked != 0) {
+          std::fprintf(stderr, "lslsim: %zu connections leaked\n",
+                       pr.leaked);
           all_ok = false;
         }
-        const auto& outcome = outcomes.front().outcome;
-        all_ok &= outcome.completed;
+        all_ok &= pr.outcome.completed;
         table.add_row(
-            {lsl::format_bytes(size),
-             outcome.completed ? outcome.elapsed.str() : "FAILED",
-             outcome.completed
-                 ? lsl::Table::num(outcome.goodput.megabits_per_second(), 2)
+            {lsl::format_bytes(points[cursor].size),
+             pr.outcome.completed ? pr.outcome.elapsed.str() : "FAILED",
+             pr.outcome.completed
+                 ? lsl::Table::num(
+                       pr.outcome.goodput.megabits_per_second(), 2)
                  : "-"});
       }
       table.print(std::cout);
