@@ -2,8 +2,20 @@
 // algorithm "can be solved quickly" (O(N log N) with sorted edges; our
 // dense-matrix variant is O(N^2) per tree, which must still be fast enough
 // to re-run at 5-minute scheduling intervals for hundreds of hosts).
+//
+// The incremental pairs measure the control-plane scaling work: tree
+// repair after bounded forecast drift vs. a full rebuild, and the
+// bitmask-overlay reroute vs. the old copy-the-matrix baseline. With
+// --json the run also emits the repair_vs_rebuild speedup records that
+// results/BENCH_sched.json tracks across PRs.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "sched/minimax.hpp"
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
@@ -82,6 +94,204 @@ void BM_MinimaxOracle(benchmark::State& state) {
 }
 BENCHMARK(BM_MinimaxOracle)->Arg(16)->Arg(64);
 
+/// Increase-only drift on n random directed edges -- under 1% of the n^2
+/// edges at every benchmarked size, the "small forecast movement between
+/// scheduling intervals" regime the repair targets. Increase-only because
+/// that is what congestion drift looks like (decreases force the rebuild
+/// fallback by design).
+void apply_drift(CostMatrix& matrix, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto n = matrix.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+    if (j >= i) {
+      ++j;
+    }
+    matrix.set_cost(i, j, matrix.cost(i, j) * rng.uniform(1.01, 1.5));
+  }
+}
+
+void BM_IncrementalRepairAfterDrift(benchmark::State& state) {
+  // The periodic rescheduler's tick: random drift rarely lands on the
+  // n-1 tree edges, so the repair usually re-settles nothing and costs
+  // O(n + changes) against the rebuild's O(n^2).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto matrix = random_matrix(n, 42);
+  // Drop the construction-time change entries; only the drift below counts.
+  matrix.compact_changes(matrix.generation());
+  const auto base = build_mmp_tree(matrix, 0, {.epsilon = 0.1});
+  const std::uint64_t before = matrix.generation();
+  apply_drift(matrix, 17);
+  const auto changes = matrix.changes_since(before);
+  std::size_t fallbacks = 0;
+  for (auto _ : state) {
+    MmpTree tree = base;  // the per-tree cost a cached slot actually pays
+    const auto outcome =
+        repair_mmp_tree(tree, matrix, changes, {.epsilon = 0.1});
+    fallbacks += outcome.repaired ? 0 : 1;
+    benchmark::DoNotOptimize(tree);
+  }
+  state.counters["fallbacks"] = static_cast<double>(fallbacks);
+}
+BENCHMARK(BM_IncrementalRepairAfterDrift)->Arg(142)->Arg(512)->Arg(1024);
+
+void BM_IncrementalRepairTreeEdges(benchmark::State& state) {
+  // Drift that does hit chosen paths: 4 tree-parent edges on top of the
+  // random drift, so whole subtrees genuinely re-settle. Run at epsilon 0
+  // (exact minimax): there repair is provably equivalent to the rebuild
+  // for any increase, while an epsilon band may re-open a previously
+  // collapsed offer and trip the conservative monotonicity fallback.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto matrix = random_matrix(n, 42);
+  matrix.compact_changes(matrix.generation());
+  const auto base = build_mmp_tree(matrix, 0, {.epsilon = 0.0});
+  const std::uint64_t before = matrix.generation();
+  apply_drift(matrix, 17);
+  for (std::size_t k = 0; k < 4; ++k) {
+    const auto v = base.order[base.order.size() - 1 - k];
+    const auto p = static_cast<std::size_t>(base.parent[v]);
+    matrix.set_cost(p, v, matrix.cost(p, v) * 1.3);
+  }
+  const auto changes = matrix.changes_since(before);
+  std::size_t fallbacks = 0;
+  std::size_t resettled = 0;
+  for (auto _ : state) {
+    MmpTree tree = base;
+    const auto outcome =
+        repair_mmp_tree(tree, matrix, changes, {.epsilon = 0.0});
+    fallbacks += outcome.repaired ? 0 : 1;
+    resettled = outcome.resettled;
+    benchmark::DoNotOptimize(tree);
+  }
+  state.counters["fallbacks"] = static_cast<double>(fallbacks);
+  state.counters["resettled"] = static_cast<double>(resettled);
+}
+BENCHMARK(BM_IncrementalRepairTreeEdges)->Arg(142)->Arg(512)->Arg(1024);
+
+void BM_FullRebuildAfterDrift(benchmark::State& state) {
+  // The pre-incremental cost of the same refresh: rebuild from scratch.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto matrix = random_matrix(n, 42);
+  apply_drift(matrix, 17);
+  for (auto _ : state) {
+    auto tree = build_mmp_tree(matrix, 0, {.epsilon = 0.1});
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_FullRebuildAfterDrift)->Arg(142)->Arg(512)->Arg(1024);
+
+void BM_RouteAvoidingMasked(benchmark::State& state) {
+  // Blacklist reroute through the bitmask overlay: no matrix copy, only
+  // the excluded nodes' subtrees re-settle.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Scheduler scheduler(random_matrix(n, 7), {.epsilon = 0.1});
+  const std::size_t src = 0;
+  const std::size_t dst = n - 1;
+  const std::vector<std::size_t> excluded = {n / 4, n / 2, 3 * n / 4};
+  (void)scheduler.route(src, dst);  // warm the cached tree
+  for (auto _ : state) {
+    auto decision = scheduler.route_avoiding(src, dst, excluded);
+    benchmark::DoNotOptimize(decision);
+  }
+}
+BENCHMARK(BM_RouteAvoidingMasked)->Arg(142)->Arg(512)->Arg(1024);
+
+void BM_RouteAvoidingMatrixCopy(benchmark::State& state) {
+  // The old reroute: copy the whole matrix, blacklist in the copy, rebuild
+  // the source tree from scratch (an n x n allocation per reroute).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto matrix = random_matrix(n, 7);
+  const std::size_t src = 0;
+  const std::vector<std::size_t> excluded = {n / 4, n / 2, 3 * n / 4};
+  for (auto _ : state) {
+    CostMatrix pruned(matrix);
+    for (const std::size_t node : excluded) {
+      pruned.exclude_node(node);
+    }
+    auto tree = build_mmp_tree(pruned, src, {.epsilon = 0.1});
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_RouteAvoidingMatrixCopy)->Arg(142)->Arg(512)->Arg(1024);
+
+/// Console output as usual, plus one JsonRecords entry per benchmark and
+/// derived repair-vs-rebuild / mask-vs-copy speedup records. All names end
+/// in _wall_seconds / _per_second / _speedup: perf-trajectory numbers, not
+/// determinism-checked ones.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(lsl::bench::JsonRecords& records)
+      : records_(records) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) {
+        continue;
+      }
+      const double seconds =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : run.real_accumulated_time;
+      records_.add(run.benchmark_name() + "_wall_seconds", seconds);
+      seconds_by_name_[run.benchmark_name()] = seconds;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  /// Mean per-iteration seconds of `name`, or 0 when it did not run.
+  [[nodiscard]] double seconds(const std::string& name) const {
+    const auto it = seconds_by_name_.find(name);
+    return it == seconds_by_name_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  lsl::bench::JsonRecords& records_;
+  std::map<std::string, double> seconds_by_name_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto opts = lsl::bench::parse_options(argc, argv);
+  // Strip the bench_common flags before google-benchmark sees argv.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if ((std::strcmp(argv[i], "--json") == 0 ||
+         std::strcmp(argv[i], "--jobs") == 0) &&
+        i + 1 < argc) {
+      ++i;
+    } else if (std::strncmp(argv[i], "--json=", 7) != 0 &&
+               std::strncmp(argv[i], "--jobs=", 7) != 0) {
+      args.push_back(argv[i]);
+    }
+  }
+  args.push_back(nullptr);
+  int bench_argc = static_cast<int>(args.size()) - 1;
+  benchmark::Initialize(&bench_argc, args.data());
+  lsl::bench::JsonRecords records("micro_scheduler");
+  RecordingReporter reporter(records);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  // Headline trajectory records: how much the incremental paths save.
+  for (const char* n : {"142", "512", "1024"}) {
+    const std::string size(n);
+    const double repair =
+        reporter.seconds("BM_IncrementalRepairAfterDrift/" + size);
+    const double rebuild =
+        reporter.seconds("BM_FullRebuildAfterDrift/" + size);
+    if (repair > 0.0 && rebuild > 0.0) {
+      records.add("repair_vs_rebuild_speedup_" + size, rebuild / repair);
+    }
+    const double masked = reporter.seconds("BM_RouteAvoidingMasked/" + size);
+    const double copied =
+        reporter.seconds("BM_RouteAvoidingMatrixCopy/" + size);
+    if (masked > 0.0 && copied > 0.0) {
+      records.add("mask_vs_copy_speedup_" + size, copied / masked);
+    }
+  }
+  return records.write(opts.json_path) ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+# Control-plane scaling sweep: a synthetic PlanetLab-style pool of ~1024
+# hosts (~512 sites). Instead of packet-level transfers, lslsim runs the
+# paper's section 4.2 speedup sweep -- NWS measurement epochs, epsilon-
+# damped MMP scheduling with parallel tree prebuilds, then Eq. 1 speedups
+# per transfer size. Equivalent to `lslsim --pool-size 1024`.
+#
+#   ./build/tools/lslsim scenarios/pool_1024.lsl --jobs 0
+#
+# epsilon is omitted so the grid's calibrated sweep epsilon applies;
+# `drift` > 0 would schedule from stale forecasts (stale-matrix drift).
+pool size=1024 iterations=2 cases=400 sizes=4

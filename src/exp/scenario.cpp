@@ -368,15 +368,53 @@ ParseResult parse_scenario(const std::string& text) {
       continue;
     }
 
+    if (directive == "pool") {
+      ScenarioPool pool;
+      for (std::size_t t = 1; t < tokens.size(); ++t) {
+        std::string key;
+        std::string value;
+        double number = 0.0;
+        if (!split_kv(tokens[t], key, value) ||
+            !parse_double(value, number)) {
+          return {std::nullopt,
+                  err_at(line_no, "bad attribute '" + tokens[t] + "'")};
+        }
+        if (key == "size") {
+          pool.size = static_cast<std::size_t>(number);
+        } else if (key == "epsilon") {
+          pool.epsilon = number;
+        } else if (key == "iterations") {
+          pool.iterations = static_cast<std::size_t>(number);
+        } else if (key == "cases") {
+          pool.max_cases = static_cast<std::size_t>(number);
+        } else if (key == "sizes") {
+          pool.max_size_exp = static_cast<int>(number);
+        } else if (key == "drift") {
+          pool.drift_sigma = number;
+        } else {
+          return {std::nullopt,
+                  err_at(line_no, "unknown pool attribute '" + key + "'")};
+        }
+      }
+      if (pool.size < 2) {
+        return {std::nullopt, err_at(line_no, "pool needs size >= 2")};
+      }
+      scenario.pool = pool;
+      continue;
+    }
+
     return {std::nullopt,
             err_at(line_no, "unknown directive '" + directive + "'")};
   }
 
-  if (scenario.hosts.size() < 2) {
-    return {std::nullopt, "scenario needs at least two hosts"};
-  }
-  if (scenario.links.empty()) {
-    return {std::nullopt, "scenario has no links"};
+  // A pool scenario synthesizes its own grid; it needs no explicit topology.
+  if (!scenario.pool.has_value()) {
+    if (scenario.hosts.size() < 2) {
+      return {std::nullopt, "scenario needs at least two hosts"};
+    }
+    if (scenario.links.empty()) {
+      return {std::nullopt, "scenario has no links"};
+    }
   }
   return {std::move(scenario), {}};
 }

@@ -37,6 +37,10 @@
 //   # retries. backoff/max_backoff in ms, stall in s.
 //   recovery retries=8 stall=10 backoff=250 max_backoff=10000 jitter=0.25
 //
+//   # alternative to an explicit topology: a synthetic PlanetLab-style pool
+//   # speedup sweep (lslsim runs run_speedup_sweep over ~size hosts)
+//   pool size=1024 epsilon=0.25 iterations=2 cases=400 sizes=4 drift=0.0
+//
 // Units: rate in Mbit/s, delay in ms (one way), queue/buffers/user in KiB,
 // size in MiB, loss as a probability, fault/churn times in seconds.
 #pragma once
@@ -94,6 +98,19 @@ struct ScenarioChurn {
   double horizon_s = 600.0;
 };
 
+/// A `pool` directive: instead of an explicit host/link topology, run a
+/// speedup sweep over a synthetic PlanetLab-style pool of roughly `size`
+/// hosts (the control-plane scaling path -- see lslsim --pool-size).
+struct ScenarioPool {
+  std::size_t size = 142;
+  /// Scheduler epsilon; negative = use the grid's calibrated sweep_epsilon.
+  double epsilon = -1.0;
+  std::size_t iterations = 2;
+  std::size_t max_cases = 400;
+  int max_size_exp = 4;       ///< transfer sizes 1 MiB << 0..max_size_exp-1
+  double drift_sigma = 0.0;   ///< stale-matrix lognormal drift
+};
+
 struct Scenario {
   std::vector<ScenarioHost> hosts;
   std::vector<ScenarioLink> links;
@@ -106,6 +123,10 @@ struct Scenario {
   /// recovery loop whenever this is set or any fault/churn exists; without
   /// a directive the loop runs detection-only (enabled = false).
   std::optional<session::RecoveryConfig> recovery;
+  /// Present when a `pool` directive appeared. A pool scenario needs no
+  /// hosts or links -- lslsim runs a synthetic-grid speedup sweep instead
+  /// of the packet-level transfer list.
+  std::optional<ScenarioPool> pool;
 };
 
 struct ParseResult {

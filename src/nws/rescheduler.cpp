@@ -7,13 +7,14 @@ namespace lsl::nws {
 Rescheduler::Rescheduler(sim::Simulator& simulator,
                          PerformanceMonitor monitor, TruthFn truth,
                          SimTime interval, sched::SchedulerOptions options,
-                         OnSchedule on_schedule)
+                         OnSchedule on_schedule, ReschedulerConfig config)
     : sim_(simulator),
       monitor_(std::move(monitor)),
       truth_(std::move(truth)),
       interval_(interval),
       options_(std::move(options)),
       on_schedule_(std::move(on_schedule)),
+      config_(config),
       timer_(simulator, [this] { tick(); }) {}
 
 void Rescheduler::start() { tick(); }
@@ -22,7 +23,18 @@ void Rescheduler::stop() { timer_.cancel(); }
 
 void Rescheduler::tick() {
   monitor_.observe_epoch(truth_);
-  current_ = std::make_unique<sched::Scheduler>(monitor_.build_matrix(), options_);
+  if (current_ == nullptr || !config_.incremental) {
+    current_ = std::make_unique<sched::Scheduler>(monitor_.build_matrix(),
+                                                  options_);
+    last_changed_edges_ = 0;
+  } else {
+    // Diff-apply the fresh forecasts: cached trees stay live and repair
+    // only their affected subtrees on next use.
+    last_changed_edges_ = current_->apply_matrix(monitor_.build_matrix());
+  }
+  if (config_.prebuild_jobs > 0) {
+    current_->prebuild_trees(config_.prebuild_jobs);
+  }
   ++rebuilds_;
   if (on_schedule_) {
     on_schedule_(*current_);

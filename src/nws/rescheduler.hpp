@@ -2,9 +2,11 @@
 // 5 minute intervals and was based on relatively current information").
 //
 // The Rescheduler owns the measure -> matrix -> schedule loop: on every
-// tick it takes one measurement epoch, rebuilds the scheduler from the
-// accumulated forecasts, and invokes a callback so the deployment can
-// install fresh route tables.
+// tick it takes one measurement epoch and refreshes the scheduler from the
+// accumulated forecasts -- by default diff-applying the new matrix onto the
+// live scheduler so its cached MMP trees repair incrementally (the tick
+// cost scales with forecast movement, not pool size) -- then invokes a
+// callback so the deployment can install fresh route tables.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +19,17 @@
 
 namespace lsl::nws {
 
+struct ReschedulerConfig {
+  /// Diff-apply each epoch's matrix onto the live scheduler (incremental
+  /// MMP tree repair) instead of constructing a fresh scheduler per tick.
+  /// Decisions are identical either way -- repair produces exactly the
+  /// rebuild's trees -- so this is purely a control-plane cost knob.
+  bool incremental = true;
+  /// Worker threads for an eager tree refresh right after each tick
+  /// (0 = lazy: trees build/repair on first use).
+  std::size_t prebuild_jobs = 0;
+};
+
 class Rescheduler {
  public:
   /// Invoked after every rebuild with the fresh scheduler.
@@ -24,7 +37,8 @@ class Rescheduler {
 
   Rescheduler(sim::Simulator& simulator, PerformanceMonitor monitor,
               TruthFn truth, SimTime interval,
-              sched::SchedulerOptions options, OnSchedule on_schedule);
+              sched::SchedulerOptions options, OnSchedule on_schedule,
+              ReschedulerConfig config = {});
 
   Rescheduler(const Rescheduler&) = delete;
   Rescheduler& operator=(const Rescheduler&) = delete;
@@ -36,6 +50,11 @@ class Rescheduler {
   /// The most recently built scheduler; null before the first tick.
   [[nodiscard]] const sched::Scheduler* current() const { return current_.get(); }
   [[nodiscard]] std::size_t rebuilds() const { return rebuilds_; }
+  /// Directed edges the last incremental tick changed (0 after a full
+  /// rebuild tick or before the first tick).
+  [[nodiscard]] std::size_t last_changed_edges() const {
+    return last_changed_edges_;
+  }
 
   /// The owned monitor (fault injection flips its measurement blackout).
   [[nodiscard]] PerformanceMonitor& monitor() { return monitor_; }
@@ -49,9 +68,11 @@ class Rescheduler {
   SimTime interval_;
   sched::SchedulerOptions options_;
   OnSchedule on_schedule_;
+  ReschedulerConfig config_;
   std::unique_ptr<sched::Scheduler> current_;
   sim::Timer timer_;
   std::size_t rebuilds_ = 0;
+  std::size_t last_changed_edges_ = 0;
 };
 
 }  // namespace lsl::nws

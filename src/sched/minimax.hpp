@@ -6,6 +6,11 @@
 // optimal for this cost (and the epsilon edge-equivalence modification damps
 // spurious relays caused by measurement noise: an edge only replaces the
 // incumbent when relax_cost * (1 + epsilon) < cost[other]).
+//
+// Trees remember their insertion order, which makes them repairable: after
+// the matrix drifts or a node is blacklisted, repair_mmp_tree re-settles
+// only the affected subtrees and replays the untouched region from the
+// recorded order, producing the exact tree a full rebuild would.
 #pragma once
 
 #include <cstdint>
@@ -23,9 +28,16 @@ struct MmpTree {
   std::vector<std::int64_t> parent;
   /// Minimax cost of the chosen path from start to v.
   std::vector<double> cost;
+  /// Tree-insertion sequence, start first; parents always precede their
+  /// children. Unreachable nodes are absent. Incremental repair replays
+  /// this order; trees assembled by hand (tests) may leave it empty, which
+  /// simply forces repair to fall back to a full rebuild.
+  std::vector<std::uint32_t> order;
   /// Relaxations suppressed by the epsilon damping: the edge was strictly
   /// better than the incumbent, but not by the required relative margin.
   /// Non-zero counts mean epsilon is actively filtering measurement noise.
+  /// After an incremental repair the count covers only the relaxations the
+  /// repair replayed, so it is not comparable to a full rebuild's count.
   std::uint64_t epsilon_collapses = 0;
 
   /// Node sequence start..dst along the tree; empty when unreachable.
@@ -40,12 +52,43 @@ struct MmpOptions {
   /// traverses intermediate node k also pays node_costs[k] in the max.
   /// Empty = hosts are free.
   std::span<const double> node_costs = {};
+  /// Exclusion overlay: when non-empty (size n), nodes with a non-zero flag
+  /// never enter the tree and are never relaxed, without copying or
+  /// mutating the matrix. The result is identical -- including the collapse
+  /// count -- to a build over a matrix copy with those nodes
+  /// exclude_node()ed. The start node must not be excluded.
+  std::span<const std::uint8_t> excluded = {};
 };
 
 /// Build the tree of minimax paths from `start` to every node (Appendix A).
 [[nodiscard]] MmpTree build_mmp_tree(const CostMatrix& matrix,
                                      std::size_t start,
                                      const MmpOptions& options = {});
+
+/// Outcome of repair_mmp_tree.
+struct RepairOutcome {
+  /// False when the repair fell back to a full rebuild (the tree is still
+  /// correct either way).
+  bool repaired = false;
+  /// Nodes re-settled: the affected region's size when repaired, n on a
+  /// full rebuild.
+  std::size_t resettled = 0;
+};
+
+/// Bring `tree` (a build_mmp_tree result for an earlier matrix state) up to
+/// date with `matrix` after the logged `changes`, in O(n * affected) time.
+/// The repaired tree has exactly the parents, costs, and insertion order a
+/// full rebuild would produce (epsilon_collapses is approximate; see
+/// MmpTree). `options` must match the ones the tree was built with, plus
+/// optionally an exclusion mask; masked nodes are treated as blacklisted
+/// without the matrix being touched (copy-free route_avoiding). Falls back
+/// to a full rebuild -- transparently, same result -- when the replay
+/// cannot be proven exact: the start node is affected, any cost decreased,
+/// the affected region spans most of the tree, or the tree has no recorded
+/// order.
+RepairOutcome repair_mmp_tree(MmpTree& tree, const CostMatrix& matrix,
+                              std::span<const CostChange> changes,
+                              const MmpOptions& options = {});
 
 /// Minimax cost of an explicit path (max over its edges and, when
 /// node_costs is given, its intermediate nodes); infinite for paths with

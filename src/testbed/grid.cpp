@@ -243,6 +243,12 @@ SyntheticGrid SyntheticGrid::planetlab(const PlanetLabConfig& config,
   return grid;
 }
 
+PlanetLabConfig scaled_planetlab_config(std::size_t pool_size) {
+  PlanetLabConfig config;
+  config.sites = std::clamp<std::size_t>(pool_size / 2, 1, 4096);
+  return config;
+}
+
 SyntheticGrid SyntheticGrid::abilene_core(const AbileneCoreConfig& config,
                                           std::uint64_t seed) {
   // Rough unit-square placement of the 11 Abilene POPs (2004 topology).

@@ -79,6 +79,12 @@ struct PlanetLabConfig {
   GridNoise noise;
 };
 
+/// A PlanetLab-style config scaled to roughly `pool_size` hosts: sites =
+/// pool_size / 2 (the 1..3 hosts/site draw averages ~2), every other knob
+/// at its 2004 default. Used by the `--pool-size` sweeps that exercise the
+/// scheduler control plane at 1000+ hosts.
+[[nodiscard]] PlanetLabConfig scaled_planetlab_config(std::size_t pool_size);
+
 struct AbileneCoreConfig {
   std::size_t universities = 10;  ///< paper: 10 U.S. universities
   std::uint64_t university_tcp_buffer = 64 * kKiB;

@@ -54,9 +54,14 @@ SweepResult run_speedup_sweep(const SyntheticGrid& grid,
           1.0 / grid.host(h).host_cap.megabits_per_second();
     }
   }
-  const sched::Scheduler scheduler(std::move(matrix), sched_options);
+  sched::Scheduler scheduler(std::move(matrix), sched_options);
 
-  // 2. Find the pairs where the scheduler picked a depot path.
+  // 2. Find the pairs where the scheduler picked a depot path. The n^2
+  // discovery loop parallelizes per source: the source trees are prebuilt
+  // (itself parallel and job-count invariant), so every worker only reads
+  // the shared scheduler, and per-source results fold back in source order
+  // -- cases and fraction_scheduled come out bitwise identical to the old
+  // serial loop for any jobs value.
   std::vector<std::size_t> endpoints = config.endpoints;
   if (endpoints.empty()) {
     endpoints.resize(grid.size());
@@ -64,24 +69,39 @@ SweepResult run_speedup_sweep(const SyntheticGrid& grid,
       endpoints[i] = i;
     }
   }
+  scheduler.prebuild_trees(config.jobs, endpoints);
   struct Case {
     std::size_t src;
     std::size_t dst;
     std::vector<std::size_t> path;
   };
+  struct Discovery {
+    std::vector<Case> cases;
+    std::size_t eligible = 0;
+  };
+  exp::TrialOptions discovery_options;
+  discovery_options.jobs = config.jobs;
+  const std::vector<Discovery> discovered = exp::map_trials<Discovery>(
+      endpoints.size(), discovery_options, [&](std::size_t trial) {
+        const std::size_t src = endpoints[trial];
+        Discovery out;
+        for (const std::size_t dst : endpoints) {
+          if (src == dst || grid.host(src).site == grid.host(dst).site) {
+            continue;
+          }
+          ++out.eligible;
+          const auto decision = scheduler.route(src, dst);
+          if (decision.uses_depots()) {
+            out.cases.push_back(Case{src, dst, decision.path});
+          }
+        }
+        return out;
+      });
   std::vector<Case> cases;
   std::size_t eligible_pairs = 0;
-  for (const std::size_t src : endpoints) {
-    for (const std::size_t dst : endpoints) {
-      if (src == dst || grid.host(src).site == grid.host(dst).site) {
-        continue;
-      }
-      ++eligible_pairs;
-      const auto decision = scheduler.route(src, dst);
-      if (decision.uses_depots()) {
-        cases.push_back(Case{src, dst, decision.path});
-      }
-    }
+  for (const Discovery& d : discovered) {
+    eligible_pairs += d.eligible;
+    cases.insert(cases.end(), d.cases.begin(), d.cases.end());
   }
   result.fraction_scheduled =
       eligible_pairs > 0

@@ -55,6 +55,32 @@ TEST(ScenarioParserTest, CommentsAndBlankLinesIgnored)
   ASSERT_TRUE(result.ok()) << result.error;
 }
 
+TEST(ScenarioParserTest, PoolDirectiveNeedsNoTopology) {
+  const auto result = parse_scenario(
+      "pool size=1024 epsilon=0.25 iterations=3 cases=200 sizes=5 "
+      "drift=0.1\n");
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_TRUE(result.scenario->pool.has_value());
+  EXPECT_EQ(result.scenario->pool->size, 1024u);
+  EXPECT_DOUBLE_EQ(result.scenario->pool->epsilon, 0.25);
+  EXPECT_EQ(result.scenario->pool->iterations, 3u);
+  EXPECT_EQ(result.scenario->pool->max_cases, 200u);
+  EXPECT_EQ(result.scenario->pool->max_size_exp, 5);
+  EXPECT_DOUBLE_EQ(result.scenario->pool->drift_sigma, 0.1);
+}
+
+TEST(ScenarioParserTest, PoolDefaultsAndValidation) {
+  const auto defaults = parse_scenario("pool\n");
+  ASSERT_TRUE(defaults.ok()) << defaults.error;
+  EXPECT_EQ(defaults.scenario->pool->size, 142u);
+  EXPECT_LT(defaults.scenario->pool->epsilon, 0.0);  // grid-calibrated
+
+  EXPECT_FALSE(parse_scenario("pool size=1\n").ok());
+  EXPECT_FALSE(parse_scenario("pool shape=ring\n").ok());
+  // Without a pool, the topology requirements still hold.
+  EXPECT_FALSE(parse_scenario("host a\nhost b\n").ok());
+}
+
 TEST(ScenarioParserTest, RejectsUnknownDirective) {
   const auto result = parse_scenario("host a\nhost b\nfrobnicate a b\n");
   ASSERT_FALSE(result.ok());

@@ -1,0 +1,346 @@
+// Property tests for the incremental scheduling control plane: tree repair
+// against full rebuilds, the exclusion-bitmask overlay against pruned-copy
+// builds, and the parallel prebuild against the lazy serial path. The
+// contract under test everywhere: the incremental/parallel paths must
+// produce exactly the trees and decisions the from-scratch paths produce.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sched/cost_matrix.hpp"
+#include "sched/minimax.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace lsl::sched {
+namespace {
+
+CostMatrix random_matrix(std::size_t n, std::uint64_t seed,
+                         bool symmetric = false) {
+  Rng rng(seed);
+  CostMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = symmetric ? i + 1 : 0; j < n; ++j) {
+      if (i == j) {
+        continue;
+      }
+      const double c = rng.uniform(1.0, 100.0);
+      m.set_cost(i, j, c);
+      if (symmetric) {
+        m.set_cost(j, i, c);
+      }
+    }
+  }
+  m.compact_changes(m.generation());
+  return m;
+}
+
+void expect_trees_equal(const MmpTree& got, const MmpTree& want,
+                        const char* what) {
+  ASSERT_EQ(got.start, want.start) << what;
+  ASSERT_EQ(got.cost, want.cost) << what;
+  ASSERT_EQ(got.parent, want.parent) << what;
+  ASSERT_EQ(got.order, want.order) << what;
+}
+
+/// Repair `tree` with everything the matrix logged after `since` and check
+/// it against a from-scratch build of the current matrix.
+void repair_and_check(MmpTree& tree, const CostMatrix& matrix,
+                      std::uint64_t since, const MmpOptions& options,
+                      const char* what) {
+  ASSERT_TRUE(matrix.changes_tracked_since(since)) << what;
+  repair_mmp_tree(tree, matrix, matrix.changes_since(since), options);
+  const MmpTree full = build_mmp_tree(matrix, tree.start, options);
+  expect_trees_equal(tree, full, what);
+}
+
+struct DriftCase {
+  std::size_t n;
+  double epsilon;
+  bool symmetric;
+  bool node_costs;
+};
+
+class RepairDriftTest : public ::testing::TestWithParam<DriftCase> {};
+
+// Randomized sequences of drift / blacklist / un-blacklist batches: after
+// every batch, an incrementally repaired tree must exactly equal a fresh
+// build (parents, costs, AND insertion order). Increase-only batches
+// usually take the repair path; decreases and un-blacklists exercise the
+// rebuild fallback -- both must land on the same tree.
+TEST_P(RepairDriftTest, RepairMatchesFullRebuildAcrossBatches) {
+  const DriftCase param = GetParam();
+  const std::size_t n = param.n;
+  CostMatrix matrix = random_matrix(n, 0xD41F7 + n, param.symmetric);
+  MmpOptions options;
+  options.epsilon = param.epsilon;
+  std::vector<double> node_costs;
+  if (param.node_costs) {
+    Rng rng(7);
+    node_costs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      node_costs.push_back(rng.uniform(0.5, 20.0));
+    }
+    options.node_costs = node_costs;
+  }
+  MmpTree tree = build_mmp_tree(matrix, 0, options);
+
+  Rng rng(0xBEEF ^ n);
+  std::vector<std::size_t> blacklisted;
+  for (int batch = 0; batch < 8; ++batch) {
+    const std::uint64_t since = matrix.generation();
+    const int kind = batch % 4;
+    if (kind == 0 || kind == 2) {
+      // Increase-only drift on random directed edges (kind 2 adds a hit on
+      // one of the tree's own parent edges so subtrees really re-settle).
+      for (std::size_t k = 0; k < n / 2; ++k) {
+        const auto i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        auto j = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+        if (j >= i) {
+          ++j;
+        }
+        matrix.set_cost(i, j, matrix.cost(i, j) * rng.uniform(1.01, 1.6));
+      }
+      if (kind == 2 && tree.order.size() > 2) {
+        const auto v = tree.order[tree.order.size() - 1];
+        const auto p = static_cast<std::size_t>(tree.parent[v]);
+        matrix.set_cost(p, v, matrix.cost(p, v) * 1.5);
+      }
+    } else if (kind == 1) {
+      // Blacklist a couple of non-root nodes.
+      for (int k = 0; k < 2; ++k) {
+        const auto victim = static_cast<std::size_t>(
+            rng.uniform_int(1, static_cast<std::int64_t>(n) - 1));
+        matrix.exclude_node(victim);
+        blacklisted.push_back(victim);
+      }
+    } else {
+      // Un-blacklist (restore finite costs = decreases: rebuild fallback)
+      // and mix in decreasing drift.
+      for (const std::size_t victim : blacklisted) {
+        for (std::size_t o = 0; o < n; ++o) {
+          if (o != victim) {
+            matrix.set_cost(victim, o, rng.uniform(1.0, 100.0));
+            matrix.set_cost(o, victim, rng.uniform(1.0, 100.0));
+          }
+        }
+      }
+      blacklisted.clear();
+      for (std::size_t k = 0; k < n / 4; ++k) {
+        const auto i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        auto j = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+        if (j >= i) {
+          ++j;
+        }
+        if (matrix.cost(i, j) != kInfiniteCost) {
+          matrix.set_cost(i, j, matrix.cost(i, j) * rng.uniform(0.5, 0.99));
+        }
+      }
+    }
+    repair_and_check(tree, matrix, since, options, "batch");
+    matrix.compact_changes(matrix.generation());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RepairDriftTest,
+    ::testing::Values(DriftCase{16, 0.10, false, false},
+                      DriftCase{16, 0.0, true, false},
+                      DriftCase{142, 0.10, false, false},
+                      DriftCase{142, 0.25, true, true},
+                      DriftCase{142, 0.0, false, false},
+                      DriftCase{512, 0.10, false, false}));
+
+TEST(RepairTest, NoChangesIsANoOp) {
+  const CostMatrix matrix = random_matrix(32, 5);
+  MmpTree tree = build_mmp_tree(matrix, 3, {.epsilon = 0.1});
+  const MmpTree before = tree;
+  const auto outcome = repair_mmp_tree(tree, matrix, {}, {.epsilon = 0.1});
+  EXPECT_TRUE(outcome.repaired);
+  EXPECT_EQ(outcome.resettled, 0u);
+  expect_trees_equal(tree, before, "no-op repair");
+}
+
+TEST(RepairTest, EmptyOrderFallsBackToRebuild) {
+  const CostMatrix matrix = random_matrix(32, 5);
+  MmpTree tree = build_mmp_tree(matrix, 0, {.epsilon = 0.1});
+  tree.order.clear();  // e.g. a tree deserialized without its order
+  const auto outcome = repair_mmp_tree(tree, matrix, {}, {.epsilon = 0.1});
+  EXPECT_FALSE(outcome.repaired);
+  expect_trees_equal(tree, build_mmp_tree(matrix, 0, {.epsilon = 0.1}),
+                     "rebuild fallback");
+}
+
+// The exclusion bitmask must behave exactly like building over a copied
+// matrix with the nodes exclude_node()ed -- including the collapse count.
+TEST(MaskedBuildTest, MaskEquivalentToPrunedCopy) {
+  for (const std::size_t n : {16u, 142u}) {
+    for (const double epsilon : {0.0, 0.1, 0.25}) {
+      const CostMatrix matrix = random_matrix(n, 0xCAFE + n);
+      Rng rng(99 * n);
+      std::vector<std::uint8_t> mask(n, 0);
+      std::vector<std::size_t> excluded;
+      for (int k = 0; k < 3; ++k) {
+        const auto v = static_cast<std::size_t>(
+            rng.uniform_int(1, static_cast<std::int64_t>(n) - 1));
+        if (mask[v] == 0) {
+          mask[v] = 1;
+          excluded.push_back(v);
+        }
+      }
+      MmpOptions options;
+      options.epsilon = epsilon;
+      options.excluded = mask;
+      const MmpTree masked = build_mmp_tree(matrix, 0, options);
+
+      CostMatrix pruned(matrix);
+      for (const std::size_t v : excluded) {
+        pruned.exclude_node(v);
+      }
+      const MmpTree copied =
+          build_mmp_tree(pruned, 0, {.epsilon = epsilon});
+      expect_trees_equal(masked, copied, "mask vs pruned copy");
+      EXPECT_EQ(masked.epsilon_collapses, copied.epsilon_collapses);
+    }
+  }
+}
+
+// route_avoiding must give the same decision as the old implementation:
+// copy the matrix, blacklist the failed depots, reroute from scratch.
+TEST(RouteAvoidingTest, MatchesMatrixCopyBaseline) {
+  const std::size_t n = 64;
+  const CostMatrix matrix = random_matrix(n, 0xF00D);
+  const Scheduler scheduler(CostMatrix(matrix), {.epsilon = 0.1});
+  Rng rng(31337);
+  for (int round = 0; round < 50; ++round) {
+    const auto src = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    auto dst = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+    if (dst >= src) {
+      ++dst;
+    }
+    std::vector<std::size_t> excluded;
+    for (int k = 0; k < round % 4; ++k) {
+      excluded.push_back(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+    }
+    const auto got = scheduler.route_avoiding(src, dst, excluded);
+
+    CostMatrix pruned(matrix);
+    for (const std::size_t v : excluded) {
+      if (v != src && v != dst && v < n) {
+        pruned.exclude_node(v);
+      }
+    }
+    const Scheduler baseline(std::move(pruned), {.epsilon = 0.1});
+    const auto want = baseline.route(src, dst);
+    EXPECT_EQ(got.path, want.path) << "round " << round;
+    EXPECT_EQ(got.scheduled_cost, want.scheduled_cost) << "round " << round;
+    EXPECT_EQ(got.direct_cost, want.direct_cost) << "round " << round;
+  }
+}
+
+// Lazy serial use and an up-front parallel prebuild must serve identical
+// trees and decisions for any job count.
+TEST(PrebuildTest, PrebuildMatchesLazySerialTrees) {
+  const std::size_t n = 96;
+  const CostMatrix matrix = random_matrix(n, 0xABBA);
+  const Scheduler lazy(CostMatrix(matrix), {.epsilon = 0.1});
+  for (const std::size_t jobs : {1u, 4u}) {
+    Scheduler pre(CostMatrix(matrix), {.epsilon = 0.1});
+    pre.prebuild_trees(jobs);
+    for (std::size_t s = 0; s < n; ++s) {
+      expect_trees_equal(pre.tree_from(s), lazy.tree_from(s), "prebuild");
+    }
+    EXPECT_EQ(pre.fraction_scheduled(), lazy.fraction_scheduled());
+  }
+}
+
+TEST(PrebuildTest, PrebuildSubsetThenMutateThenRefresh) {
+  const std::size_t n = 48;
+  CostMatrix matrix = random_matrix(n, 0x5EED);
+  Scheduler scheduler(CostMatrix(matrix), {.epsilon = 0.1});
+  const std::vector<std::size_t> sources = {0, 7, 7, 13, 0};
+  scheduler.prebuild_trees(2, sources);
+  // Drift + blacklist through the scheduler's mutation API...
+  scheduler.set_cost(1, 2, 250.0);
+  scheduler.exclude_node(5);
+  matrix.set_cost(1, 2, 250.0);
+  matrix.exclude_node(5);
+  // ...then refresh everything in parallel and compare against a fresh
+  // scheduler over the equivalent matrix.
+  scheduler.prebuild_trees(3);
+  const Scheduler fresh(std::move(matrix), {.epsilon = 0.1});
+  for (std::size_t s = 0; s < n; ++s) {
+    expect_trees_equal(scheduler.tree_from(s), fresh.tree_from(s),
+                       "post-mutation refresh");
+  }
+}
+
+TEST(ApplyMatrixTest, DiffApplyMatchesFreshScheduler) {
+  const std::size_t n = 64;
+  const CostMatrix original = random_matrix(n, 0x1DEA);
+  CostMatrix drifted(original);
+  Rng rng(4242);
+  for (std::size_t k = 0; k < 200; ++k) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+    if (j >= i) {
+      ++j;
+    }
+    drifted.set_cost(i, j, rng.uniform(1.0, 200.0));
+  }
+
+  Scheduler incremental(CostMatrix(original), {.epsilon = 0.1});
+  // Warm some cached trees so apply_matrix has real repair work to do.
+  for (std::size_t s = 0; s < n; s += 3) {
+    (void)incremental.tree_from(s);
+  }
+  const std::size_t changed = incremental.apply_matrix(drifted);
+  EXPECT_GT(changed, 0u);
+  EXPECT_LE(changed, 200u);
+
+  const Scheduler fresh(CostMatrix(drifted), {.epsilon = 0.1});
+  for (std::size_t s = 0; s < n; ++s) {
+    expect_trees_equal(incremental.tree_from(s), fresh.tree_from(s),
+                       "apply_matrix");
+  }
+  // Re-applying the same matrix is a no-op.
+  EXPECT_EQ(incremental.apply_matrix(drifted), 0u);
+}
+
+TEST(ChangeLogTest, OverflowIsDetectedAndCompactionRecovers) {
+  CostMatrix m(8);
+  m.compact_changes(m.generation());
+  const std::uint64_t since = m.generation();
+  Rng rng(1);
+  // 8n + 64 = 128 entries fit; push well past that.
+  for (int k = 0; k < 500; ++k) {
+    m.set_cost(static_cast<std::size_t>(k % 8),
+               static_cast<std::size_t>((k + 1) % 8), rng.uniform(1.0, 9.0));
+  }
+  EXPECT_FALSE(m.changes_tracked_since(since));
+  // After compacting to "now", new changes are tracked again.
+  m.compact_changes(m.generation());
+  const std::uint64_t now = m.generation();
+  m.set_cost(0, 1, 123.0);
+  ASSERT_TRUE(m.changes_tracked_since(now));
+  const auto changes = m.changes_since(now);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].from, 0u);
+  EXPECT_EQ(changes[0].to, 1u);
+  EXPECT_FALSE(changes[0].decreased);
+  EXPECT_FALSE(changes[0].node_excluded);
+}
+
+}  // namespace
+}  // namespace lsl::sched

@@ -2,15 +2,21 @@
 //
 //   lslsim <scenario-file> [--seed N] [--sweep] [--jobs N]
 //          [--metrics=<path>] [--trace=<path>] [--profile]
+//   lslsim --pool-size N [--seed N] [--jobs N] [--metrics=<path>]
 //
 // Prints one result row per transfer. See src/exp/scenario.hpp for the file
 // format, scenarios/ for ready-made examples, and docs/observability.md for
-// the metrics/trace output formats.
+// the metrics/trace output formats. With --pool-size (or a scenario `pool`
+// directive) it instead runs a synthetic PlanetLab-style speedup sweep --
+// the control-plane scaling path for 1000+ host pools.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <numeric>
 #include <sstream>
 #include <vector>
 
@@ -24,6 +30,8 @@
 #include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "tcp/connection.hpp"
+#include "testbed/grid.hpp"
+#include "testbed/sweep.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -33,6 +41,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: lslsim <scenario-file> [--seed N] [--sweep] [--jobs N]\n"
                "              [--metrics=<path>] [--trace=<path>] [--profile]\n"
+               "       lslsim --pool-size N [--seed N] [--jobs N]\n"
+               "              [--metrics=<path>]\n"
                "  Runs the transfers described in the scenario file over the\n"
                "  packet-level simulator and prints a result row for each.\n"
                "  --sweep re-runs every transfer at doubling sizes from 1 MiB\n"
@@ -44,6 +54,12 @@ void usage() {
                "  --metrics=<path> writes a JSON snapshot of every metric.\n"
                "  --trace=<path> writes Chrome trace-event JSON (load it in\n"
                "  Perfetto or chrome://tracing).\n"
+               "  --pool-size N skips the packet simulator entirely and runs\n"
+               "  the section 4.2 speedup sweep over a synthetic PlanetLab\n"
+               "  pool of ~N hosts (fixed topology seed; --seed varies the\n"
+               "  measurement sweep). Equivalent to a scenario file holding\n"
+               "  just `pool size=N`; a scenario's pool directive can also\n"
+               "  set epsilon/iterations/cases/sizes/drift.\n"
                "  --profile prints the simulation kernel's self-profile.\n"
                "  Scenarios may inject faults (fault/churn directives) and\n"
                "  enable session recovery; the status column then reports\n"
@@ -86,6 +102,7 @@ int main(int argc, char** argv) {
   bool sweep = false;
   bool profile = false;
   std::size_t jobs = 1;
+  std::size_t pool_size = 0;
   const char* metrics_path = nullptr;
   const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -95,6 +112,8 @@ int main(int argc, char** argv) {
       sweep = true;
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--pool-size") == 0 && i + 1 < argc) {
+      pool_size = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
@@ -111,7 +130,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (path == nullptr) {
+  if (path == nullptr && pool_size == 0) {
     usage();
     return 2;
   }
@@ -124,24 +143,35 @@ int main(int argc, char** argv) {
     lsl::obs::set_tracer(&recorder);
   }
 
-  std::ifstream file(path);
-  if (!file) {
-    std::fprintf(stderr, "lslsim: cannot open %s\n", path);
-    return 1;
-  }
-  std::ostringstream text;
-  text << file.rdbuf();
+  lsl::exp::Scenario scenario;
+  if (path != nullptr) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "lslsim: cannot open %s\n", path);
+      return 1;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
 
-  const auto parsed = lsl::exp::parse_scenario(text.str());
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "lslsim: %s: %s\n", path, parsed.error.c_str());
-    return 1;
+    auto parsed = lsl::exp::parse_scenario(text.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "lslsim: %s: %s\n", path, parsed.error.c_str());
+      return 1;
+    }
+    scenario = std::move(*parsed.scenario);
   }
-  const auto& scenario = *parsed.scenario;
-  std::printf("%zu hosts, %zu links, %zu transfers (seed %llu)\n\n",
-              scenario.hosts.size(), scenario.links.size(),
-              scenario.transfers.size(),
-              static_cast<unsigned long long>(seed));
+  if (pool_size > 0) {
+    if (!scenario.pool.has_value()) {
+      scenario.pool.emplace();
+    }
+    scenario.pool->size = pool_size;
+  }
+  if (!scenario.pool.has_value()) {
+    std::printf("%zu hosts, %zu links, %zu transfers (seed %llu)\n\n",
+                scenario.hosts.size(), scenario.links.size(),
+                scenario.transfers.size(),
+                static_cast<unsigned long long>(seed));
+  }
 
   // Kernel self-measurement: wall-clock sampling is enabled when the profile
   // is wanted directly (--profile) or indirectly (sim.kernel.* metrics).
@@ -170,6 +200,60 @@ int main(int argc, char** argv) {
     }
     return ok ? 0 : 1;
   };
+
+  if (scenario.pool.has_value()) {
+    // Synthetic-pool mode: no packet simulation, just the section 4.2
+    // speedup sweep at whatever scale was asked for. The pool topology is
+    // fixed (like fig09) so --seed varies only the measurement sweep and
+    // results stay comparable across pool sizes.
+    const auto& pool = *scenario.pool;
+    const auto grid = lsl::testbed::SyntheticGrid::planetlab(
+        lsl::testbed::scaled_planetlab_config(pool.size), 2004);
+    lsl::testbed::SweepConfig sweep_config;
+    sweep_config.epsilon = pool.epsilon < 0.0 ? grid.noise().sweep_epsilon
+                                              : pool.epsilon;
+    sweep_config.iterations = pool.iterations;
+    sweep_config.max_cases = pool.max_cases;
+    sweep_config.max_size_exp = pool.max_size_exp;
+    sweep_config.matrix_drift_sigma = pool.drift_sigma;
+    sweep_config.jobs = jobs;
+    std::size_t sites = 0;
+    {
+      const auto names = grid.sites();
+      std::vector<std::string> unique(names.begin(), names.end());
+      std::sort(unique.begin(), unique.end());
+      unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+      sites = unique.size();
+    }
+    std::printf("pool sweep: %zu hosts over %zu sites (seed %llu, jobs %zu)"
+                "\n\n",
+                grid.size(), sites,
+                static_cast<unsigned long long>(seed), jobs);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = lsl::testbed::run_speedup_sweep(grid, sweep_config,
+                                                        seed);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    lsl::Table table({"size", "cases", "mean speedup", "gain"});
+    for (const auto& [size, xs] : result.speedups_by_size) {
+      const double mean =
+          std::accumulate(xs.begin(), xs.end(), 0.0) /
+          static_cast<double>(xs.empty() ? 1 : xs.size());
+      table.add_row({lsl::format_bytes(size), std::to_string(xs.size()),
+                     lsl::Table::num(mean, 3),
+                     lsl::Table::num((mean - 1.0) * 100.0, 1) + "%"});
+    }
+    table.print(std::cout);
+    std::printf("\nscheduled cases: %zu (%.1f%% of eligible pairs), "
+                "mean depot hops %.2f\n",
+                result.scheduled_cases, result.fraction_scheduled * 100.0,
+                result.mean_path_hops);
+    std::fprintf(stderr, "lslsim: pool sweep took %.2fs wall "
+                 "(%zu measurements)\n",
+                 wall_s, result.total_measurements);
+    return finish(true);
+  }
 
   if (sweep) {
     // Figure 2-style curves: re-run each declared transfer at doubling
