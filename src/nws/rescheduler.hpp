@@ -23,7 +23,9 @@ struct ReschedulerConfig {
   /// Diff-apply each epoch's matrix onto the live scheduler (incremental
   /// MMP tree repair) instead of constructing a fresh scheduler per tick.
   /// Decisions are identical either way -- repair produces exactly the
-  /// rebuild's trees -- so this is purely a control-plane cost knob.
+  /// rebuild's trees or transparently falls back to one (at epsilon > 0
+  /// only decrease-only drift repairs in place; see repair_mmp_tree) --
+  /// so this is purely a control-plane cost knob.
   bool incremental = true;
   /// Worker threads for an eager tree refresh right after each tick
   /// (0 = lazy: trees build/repair on first use).

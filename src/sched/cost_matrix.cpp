@@ -104,9 +104,10 @@ void CostMatrix::compact_changes(std::uint64_t consumed) {
       change_log_.begin(), change_log_.end(), consumed,
       [](std::uint64_t gen, const CostChange& c) { return gen < c.generation; });
   change_log_.erase(change_log_.begin(), last);
-  if (untracked_below_ <= consumed) {
-    untracked_below_ = 0;
-  }
+  // Everything at or below `consumed` is gone from the log: a consumer
+  // whose snapshot predates it must fail changes_tracked_since and rebuild
+  // rather than repair from a silently truncated span.
+  untracked_below_ = std::max(untracked_below_, consumed);
 }
 
 Bandwidth CostMatrix::bandwidth(std::size_t i, std::size_t j) const {

@@ -80,7 +80,10 @@ class CostMatrix {
   [[nodiscard]] bool changes_tracked_since(std::uint64_t since) const;
 
   /// Drop log entries at or below `consumed` (every consumer caught up to
-  /// that generation); bounds log memory between consumer refreshes.
+  /// that generation); bounds log memory between consumer refreshes. A
+  /// consumer that still holds an older snapshot fails
+  /// changes_tracked_since afterwards and rebuilds -- miscomputing the
+  /// minimum consumed generation costs a rebuild, never a wrong tree.
   void compact_changes(std::uint64_t consumed);
 
   /// Node labels (host names / sites), for reporting and tree-shaping tests.
@@ -99,8 +102,8 @@ class CostMatrix {
   std::uint64_t generation_ = 0;
   /// Append-only within a generation window, sorted by generation.
   std::vector<CostChange> change_log_;
-  /// Non-zero after a log overflow: changes at or below this generation are
-  /// no longer reconstructible.
+  /// Changes at or below this generation are no longer reconstructible
+  /// (log overflow or compaction); consumers behind it must rebuild.
   std::uint64_t untracked_below_ = 0;
 };
 

@@ -138,6 +138,33 @@ RepairOutcome repair_mmp_tree(MmpTree& tree, const CostMatrix& matrix,
     return rebuild();  // no replayable insertion order
   }
 
+  // Epsilon makes relaxation history-dependent: with the damped comparison
+  // a node's final parent depends on the sequence of incumbents it held,
+  // not just on the final costs. Weakening an offer that was applied and
+  // later overwritten -- an edge increase, a blacklisted node, a mask
+  // exclusion -- rewrites the target's incumbent history, so an offer the
+  // original build epsilon-collapsed can win a full rebuild at a node no
+  // final-state seeding can identify (and a re-settled node's own cost
+  // rise weakens its overwritten offers into the stable region
+  // transitively). Only pure edge decreases are replay-exact at eps > 0:
+  // their one unsound direction -- a strengthened offer actually winning
+  // -- strictly drops a cost and trips the monotonicity fallback in
+  // step 4. Everything else rebuilds.
+  if (options.epsilon > 0.0) {
+    bool decreases_only = options.excluded.empty();
+    if (decreases_only) {
+      for (const CostChange& change : changes) {
+        if (change.node_excluded || !change.decreased) {
+          decreases_only = false;
+          break;
+        }
+      }
+    }
+    if (!decreases_only) {
+      return rebuild();
+    }
+  }
+
   // 1. Seed the affected set. An increased edge (i, j) only matters if j's
   //    chosen path used it (any other offer through it got weaker and keeps
   //    losing); a decreased edge (., j) can newly win at j; a blacklisted

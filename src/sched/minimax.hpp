@@ -83,9 +83,15 @@ struct RepairOutcome {
 /// optionally an exclusion mask; masked nodes are treated as blacklisted
 /// without the matrix being touched (copy-free route_avoiding). Falls back
 /// to a full rebuild -- transparently, same result -- when the replay
-/// cannot be proven exact: the start node is affected, any cost decreased,
-/// the affected region spans most of the tree, or the tree has no recorded
-/// order.
+/// cannot be proven exact: the start node is affected, a re-settled cost
+/// dropped below its old value, the affected region spans most of the
+/// tree, or the tree has no recorded order. At epsilon > 0 the damped
+/// relaxation makes final parents depend on each node's full incumbent
+/// history, which no final-state seeding can reconstruct, so there the
+/// incremental path is additionally restricted to pure edge decreases:
+/// any increase, blacklist, or mask exclusion rebuilds (only at
+/// epsilon == 0, where final costs are order-independent, do those repair
+/// incrementally).
 RepairOutcome repair_mmp_tree(MmpTree& tree, const CostMatrix& matrix,
                               std::span<const CostChange> changes,
                               const MmpOptions& options = {});

@@ -188,7 +188,9 @@ Scheduler::Decision Scheduler::route_avoiding(
   MmpTree patched;
   if (!changes.empty()) {
     // Copy the cached tree (O(n)) and re-settle just the subtrees hanging
-    // off the excluded nodes.
+    // off the excluded nodes. At epsilon > 0 the repair falls back to a
+    // masked from-scratch build (exclusions are not replay-exact there) --
+    // still no second matrix, just an O(n^2) relaxation pass.
     patched = *tree;
     MmpOptions mmp = mmp_options();
     mmp.excluded = mask;

@@ -104,7 +104,8 @@ class Scheduler {
   void set_cost(std::size_t i, std::size_t j, double cost);
 
   /// Blacklist `node`: every edge to or from it becomes infinite. Cached
-  /// trees repair by re-settling just the node's subtrees.
+  /// trees repair by re-settling just the node's subtrees (epsilon == 0)
+  /// or rebuild on next use (epsilon > 0; see repair_mmp_tree).
   void exclude_node(std::size_t node);
 
   /// Diff-apply a freshly measured matrix of the same size: set_cost on

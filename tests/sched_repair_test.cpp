@@ -67,9 +67,10 @@ class RepairDriftTest : public ::testing::TestWithParam<DriftCase> {};
 
 // Randomized sequences of drift / blacklist / un-blacklist batches: after
 // every batch, an incrementally repaired tree must exactly equal a fresh
-// build (parents, costs, AND insertion order). Increase-only batches
-// usually take the repair path; decreases and un-blacklists exercise the
-// rebuild fallback -- both must land on the same tree.
+// build (parents, costs, AND insertion order). At epsilon == 0 the
+// increase-only batches take the repair path; at epsilon > 0 they force
+// the rebuild fallback by design (incumbent histories are not
+// reconstructible) -- either way the result must be the rebuild's tree.
 TEST_P(RepairDriftTest, RepairMatchesFullRebuildAcrossBatches) {
   const DriftCase param = GetParam();
   const std::size_t n = param.n;
@@ -167,6 +168,94 @@ TEST(RepairTest, NoChangesIsANoOp) {
   expect_trees_equal(tree, before, "no-op repair");
 }
 
+/// A 5-node line-up where node 4's incumbent history at epsilon = 0.1 is
+/// load-bearing: the build settles 0,1,2,3 in cost order, node 1 offers 4
+/// cost 8 (applied), node 2's 7.5 collapses against it (7.5 * 1.1 >= 8),
+/// node 3's 7 wins. Final: parent[4] = 3, cost 7.
+CostMatrix epsilon_history_matrix() {
+  CostMatrix m(5);
+  m.set_cost(0, 1, 1.0);
+  m.set_cost(0, 2, 2.0);
+  m.set_cost(0, 3, 3.0);
+  m.set_cost(1, 4, 8.0);
+  m.set_cost(2, 4, 7.5);
+  m.set_cost(3, 4, 7.0);
+  m.compact_changes(m.generation());
+  return m;
+}
+
+// Raising the overwritten offer 1->4 to 50 rewrites node 4's incumbent
+// history: the rebuild applies 50, then 2's 7.5 wins outright (8.25 < 50)
+// and 3's 7 collapses against it -- parent 2, cost 7.5. No final-state
+// seeding sees this (parent[4] != 1), so at epsilon > 0 an increase must
+// force the rebuild fallback rather than keep the stale parent 3 / cost 7.
+TEST(RepairTest, EpsilonIncreaseForcesRebuildFallback) {
+  CostMatrix matrix = epsilon_history_matrix();
+  MmpTree tree = build_mmp_tree(matrix, 0, {.epsilon = 0.1});
+  ASSERT_EQ(tree.parent[4], 3);
+  ASSERT_EQ(tree.cost[4], 7.0);
+  const std::uint64_t since = matrix.generation();
+  matrix.set_cost(1, 4, 50.0);
+  const auto outcome = repair_mmp_tree(tree, matrix, matrix.changes_since(since),
+                                       {.epsilon = 0.1});
+  EXPECT_FALSE(outcome.repaired);
+  const MmpTree full = build_mmp_tree(matrix, 0, {.epsilon = 0.1});
+  EXPECT_EQ(full.parent[4], 2);
+  EXPECT_EQ(full.cost[4], 7.5);
+  expect_trees_equal(tree, full, "epsilon increase");
+}
+
+// Pure decreases stay on the incremental path at epsilon > 0: a
+// strengthened offer that actually wins strictly drops a cost and trips
+// the monotonicity fallback, so a no-drop repair is replay-exact.
+TEST(RepairTest, EpsilonDecreaseOnlyStaysIncremental) {
+  CostMatrix matrix = epsilon_history_matrix();
+  MmpTree tree = build_mmp_tree(matrix, 0, {.epsilon = 0.1});
+  const std::uint64_t since = matrix.generation();
+  // 7.3 still collapses against the replayed incumbent 8, so no cost
+  // drops and the repair may keep its fast path.
+  matrix.set_cost(2, 4, 7.3);
+  const auto outcome = repair_mmp_tree(tree, matrix, matrix.changes_since(since),
+                                       {.epsilon = 0.1});
+  EXPECT_TRUE(outcome.repaired);
+  EXPECT_EQ(outcome.resettled, 1u);
+  expect_trees_equal(tree, build_mmp_tree(matrix, 0, {.epsilon = 0.1}),
+                     "epsilon decrease");
+}
+
+// At epsilon = 0 final costs are order-independent, so increases repair
+// incrementally: an increase off the chosen paths re-settles nothing, a
+// hit on a leaf's parent edge re-settles just that leaf. Guards against
+// the epsilon gate silently widening into rebuild-everything.
+TEST(RepairTest, ExactIncreaseRepairStaysIncremental) {
+  CostMatrix matrix = random_matrix(64, 0xE95);
+  MmpTree tree = build_mmp_tree(matrix, 0, {});
+  const auto leaf = static_cast<std::size_t>(tree.order.back());
+  const auto parent = static_cast<std::size_t>(tree.parent[leaf]);
+
+  std::uint64_t since = matrix.generation();
+  // An increase on a non-parent edge into the leaf: ignorable.
+  std::size_t other = 1;
+  while (other == leaf || other == parent) {
+    ++other;
+  }
+  ASSERT_NE(tree.parent[leaf], static_cast<std::int64_t>(other));
+  matrix.set_cost(other, leaf, matrix.cost(other, leaf) * 1.5);
+  auto outcome =
+      repair_mmp_tree(tree, matrix, matrix.changes_since(since), {});
+  EXPECT_TRUE(outcome.repaired);
+  EXPECT_EQ(outcome.resettled, 0u);
+  expect_trees_equal(tree, build_mmp_tree(matrix, 0, {}), "off-tree increase");
+
+  // An increase on the leaf's own parent edge: exactly one node re-settles.
+  since = matrix.generation();
+  matrix.set_cost(parent, leaf, matrix.cost(parent, leaf) * 1.5);
+  outcome = repair_mmp_tree(tree, matrix, matrix.changes_since(since), {});
+  EXPECT_TRUE(outcome.repaired);
+  EXPECT_EQ(outcome.resettled, 1u);
+  expect_trees_equal(tree, build_mmp_tree(matrix, 0, {}), "tree-edge increase");
+}
+
 TEST(RepairTest, EmptyOrderFallsBackToRebuild) {
   const CostMatrix matrix = random_matrix(32, 5);
   MmpTree tree = build_mmp_tree(matrix, 0, {.epsilon = 0.1});
@@ -213,10 +302,15 @@ TEST(MaskedBuildTest, MaskEquivalentToPrunedCopy) {
 
 // route_avoiding must give the same decision as the old implementation:
 // copy the matrix, blacklist the failed depots, reroute from scratch.
-TEST(RouteAvoidingTest, MatchesMatrixCopyBaseline) {
+// Both epsilon regimes matter -- 0 repairs the cached tree under the
+// mask, > 0 falls back to a masked from-scratch build.
+class RouteAvoidingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RouteAvoidingTest, MatchesMatrixCopyBaseline) {
+  const double epsilon = GetParam();
   const std::size_t n = 64;
   const CostMatrix matrix = random_matrix(n, 0xF00D);
-  const Scheduler scheduler(CostMatrix(matrix), {.epsilon = 0.1});
+  const Scheduler scheduler(CostMatrix(matrix), {.epsilon = epsilon});
   Rng rng(31337);
   for (int round = 0; round < 50; ++round) {
     const auto src = static_cast<std::size_t>(
@@ -239,13 +333,16 @@ TEST(RouteAvoidingTest, MatchesMatrixCopyBaseline) {
         pruned.exclude_node(v);
       }
     }
-    const Scheduler baseline(std::move(pruned), {.epsilon = 0.1});
+    const Scheduler baseline(std::move(pruned), {.epsilon = epsilon});
     const auto want = baseline.route(src, dst);
     EXPECT_EQ(got.path, want.path) << "round " << round;
     EXPECT_EQ(got.scheduled_cost, want.scheduled_cost) << "round " << round;
     EXPECT_EQ(got.direct_cost, want.direct_cost) << "round " << round;
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, RouteAvoidingTest,
+                         ::testing::Values(0.0, 0.1));
 
 // Lazy serial use and an up-front parallel prebuild must serve identical
 // trees and decisions for any job count.
@@ -340,6 +437,24 @@ TEST(ChangeLogTest, OverflowIsDetectedAndCompactionRecovers) {
   EXPECT_EQ(changes[0].to, 1u);
   EXPECT_FALSE(changes[0].decreased);
   EXPECT_FALSE(changes[0].node_excluded);
+}
+
+// Compaction must invalidate consumers whose snapshot predates the
+// compacted span: they would otherwise pass changes_tracked_since yet
+// repair from a silently truncated log.
+TEST(ChangeLogTest, CompactionInvalidatesStaleConsumers) {
+  CostMatrix m(8);
+  m.compact_changes(m.generation());
+  const std::uint64_t stale = m.generation();
+  m.set_cost(0, 1, 5.0);
+  m.set_cost(1, 2, 6.0);
+  const std::uint64_t consumed = m.generation();
+  m.set_cost(2, 3, 7.0);
+  m.compact_changes(consumed);
+  EXPECT_FALSE(m.changes_tracked_since(stale));
+  ASSERT_TRUE(m.changes_tracked_since(consumed));
+  ASSERT_EQ(m.changes_since(consumed).size(), 1u);
+  EXPECT_EQ(m.changes_since(consumed)[0].from, 2u);
 }
 
 }  // namespace
