@@ -18,6 +18,7 @@
 
 #include "bench_common.hpp"
 #include "sched/minimax.hpp"
+#include "sched/route_advisor.hpp"
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
 
@@ -277,6 +278,64 @@ void BM_RouteAvoidingMatrixCopy(benchmark::State& state) {
 }
 BENCHMARK(BM_RouteAvoidingMatrixCopy)->Arg(142)->Arg(512)->Arg(1024);
 
+void BM_SchedulerRoute(benchmark::State& state) {
+  // A single route decision against a warm cached tree: the denominator
+  // for the advisor-overhead ratio below.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Scheduler scheduler(random_matrix(n, 7), {.epsilon = 0.1});
+  (void)scheduler.route(0, n - 1);  // warm the cached tree
+  for (auto _ : state) {
+    auto decision = scheduler.route(0, n - 1);
+    benchmark::DoNotOptimize(decision);
+  }
+}
+BENCHMARK(BM_SchedulerRoute)->Arg(142)->Arg(512)->Arg(1024);
+
+void BM_AdvisorEvaluate(benchmark::State& state) {
+  // One watched session's per-tick reroute decision: current-path cost,
+  // best-candidate route, hysteresis/dwell rule. This is what every live
+  // session pays on every rescheduler tick, so it must stay within a small
+  // constant factor of a plain route() (advisor_evaluate_vs_route_ratio).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Scheduler scheduler(random_matrix(n, 7), {.epsilon = 0.1});
+  const RouteAdvisor advisor;
+  SessionView view;
+  view.src = 0;
+  view.dst = n - 1;
+  view.current_via = {static_cast<net::NodeId>(n / 3)};
+  view.remaining_bytes = 64ull << 20;
+  (void)scheduler.route(0, n - 1);  // warm the cached tree
+  for (auto _ : state) {
+    auto advice = advisor.evaluate(scheduler, view, SimTime::seconds(100),
+                                   SimTime::zero());
+    benchmark::DoNotOptimize(advice);
+  }
+}
+BENCHMARK(BM_AdvisorEvaluate)->Arg(142)->Arg(512)->Arg(1024);
+
+void BM_AdvisorEvaluateBlacklisted(benchmark::State& state) {
+  // The same decision for a session whose recovery loop has blacklisted
+  // depots: the candidate comes from the bitmask-overlay route_avoiding.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Scheduler scheduler(random_matrix(n, 7), {.epsilon = 0.1});
+  const RouteAdvisor advisor;
+  SessionView view;
+  view.src = 0;
+  view.dst = n - 1;
+  view.current_via = {static_cast<net::NodeId>(n / 3)};
+  view.remaining_bytes = 64ull << 20;
+  view.blacklist = {static_cast<net::NodeId>(n / 4),
+                    static_cast<net::NodeId>(n / 2),
+                    static_cast<net::NodeId>(3 * n / 4)};
+  (void)scheduler.route(0, n - 1);  // warm the cached tree
+  for (auto _ : state) {
+    auto advice = advisor.evaluate(scheduler, view, SimTime::seconds(100),
+                                   SimTime::zero());
+    benchmark::DoNotOptimize(advice);
+  }
+}
+BENCHMARK(BM_AdvisorEvaluateBlacklisted)->Arg(142)->Arg(512)->Arg(1024);
+
 /// Console output as usual, plus one JsonRecords entry per benchmark and
 /// derived repair-vs-rebuild / mask-vs-copy speedup records. All names end
 /// in _wall_seconds / _per_second / _speedup: perf-trajectory numbers, not
@@ -367,6 +426,12 @@ int main(int argc, char** argv) {
         reporter.seconds("BM_RouteAvoidingMaskedExact/" + size);
     if (exact > 0.0 && copied > 0.0) {
       records.add("mask_exact_vs_copy_speedup_" + size, copied / exact);
+    }
+    const double route = reporter.seconds("BM_SchedulerRoute/" + size);
+    const double evaluate = reporter.seconds("BM_AdvisorEvaluate/" + size);
+    if (route > 0.0 && evaluate > 0.0) {
+      records.add("advisor_evaluate_vs_route_ratio_" + size,
+                  evaluate / route);
     }
   }
   return records.write(opts.json_path) ? 0 : 1;

@@ -10,6 +10,8 @@
 
 #include <cstring>
 #include <deque>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -166,9 +168,10 @@ void BM_PacketTransferPerMegabyte(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketTransferPerMegabyte);
 
-/// Console output as usual, plus one JsonRecords entry per metric. All the
-/// names end in _wall_seconds / _per_second: these are perf-trajectory
-/// numbers, not determinism-checked ones.
+/// Console output as usual, plus one JsonRecords entry per metric. The
+/// names ending in _wall_seconds / _per_second are perf-trajectory
+/// numbers; main() derives machine-independent _ratio records from them
+/// for the regression gate.
 class RecordingReporter : public benchmark::ConsoleReporter {
  public:
   explicit RecordingReporter(lsl::bench::JsonRecords& records)
@@ -184,6 +187,7 @@ class RecordingReporter : public benchmark::ConsoleReporter {
               ? run.real_accumulated_time / static_cast<double>(run.iterations)
               : run.real_accumulated_time;
       records_.add(run.benchmark_name() + "_wall_seconds", seconds);
+      seconds_by_name_[run.benchmark_name()] = seconds;
       for (const auto& [name, counter] : run.counters) {
         records_.add(run.benchmark_name() + "_" + name,
                      static_cast<double>(counter));
@@ -192,8 +196,15 @@ class RecordingReporter : public benchmark::ConsoleReporter {
     ConsoleReporter::ReportRuns(runs);
   }
 
+  /// Mean per-iteration seconds of `name`, or 0 when it did not run.
+  [[nodiscard]] double seconds(const std::string& name) const {
+    const auto it = seconds_by_name_.find(name);
+    return it == seconds_by_name_.end() ? 0.0 : it->second;
+  }
+
  private:
   lsl::bench::JsonRecords& records_;
+  std::map<std::string, double> seconds_by_name_;
 };
 
 }  // namespace
@@ -220,5 +231,33 @@ int main(int argc, char** argv) {
   RecordingReporter reporter(records);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  // Machine-independent ratios for the perf regression gate: each pairs
+  // two benches from the same run, so host speed cancels out.
+  for (const std::string size : {"1024", "65536"}) {
+    // Half the events cancelled should cost about the same as draining
+    // them all; a blowup here means dead heap entries got expensive.
+    const double plain = reporter.seconds("BM_ScheduleAndRunEvents/" + size);
+    const double heavy = reporter.seconds("BM_CancelHeavyRun/" + size);
+    if (plain > 0.0 && heavy > 0.0) {
+      records.add("cancel_heavy_vs_schedule_ratio_" + size, heavy / plain);
+    }
+  }
+  // Timer churn against a populated heap vs an empty one: the
+  // generation-counted kernel keeps this near 1.
+  const double churn = reporter.seconds("BM_TimerChurn");
+  for (const std::string pending : {"1024", "16384"}) {
+    const double loaded =
+        reporter.seconds("BM_TimerChurnPendingCancels/" + pending);
+    if (churn > 0.0 && loaded > 0.0) {
+      records.add("timer_churn_pending_vs_empty_ratio_" + pending,
+                  loaded / churn);
+    }
+  }
+  // What the inline-capture path saves over the always-allocate path.
+  const double small = reporter.seconds("BM_ActionSmallCapture/4096");
+  const double large = reporter.seconds("BM_ActionLargeCapture/4096");
+  if (small > 0.0 && large > 0.0) {
+    records.add("action_inline_vs_alloc_speedup", large / small);
+  }
   return records.write(opts.json_path) ? 0 : 1;
 }

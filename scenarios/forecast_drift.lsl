@@ -1,0 +1,40 @@
+# Forecast drift drives a mid-transfer handover: a transfer starts on the
+# best path (via depot.a), then that path's wide-area hop browns out to a
+# few percent of its rate. NWS probes measure the throttled link, the
+# forecasts drift down, and on a scheduling tick the RouteAdvisor hands
+# the live session over to depot.b -- draining to the sink's committed
+# offset and resuming there, no failure and no retry consumed.
+#
+#   lslsim scenarios/forecast_drift.lsl --seed 7
+#
+# The status column reports rerouted(xN) for the first transfer. Metrics
+# output is deterministic for a fixed seed; CI runs this twice and diffs
+# (the reroute determinism smoke).
+
+host src      site-a
+host depot.a  core-a
+host depot.b  core-b
+host sink     site-b
+
+link src     depot.a rate=100 delay=10 queue=4096 loss=1e-5
+link depot.a sink    rate=100 delay=10 queue=4096 loss=1e-5
+link src     depot.b rate=80  delay=12 queue=4096 loss=1e-5
+link depot.b sink    rate=80  delay=12 queue=4096 loss=1e-5
+link src     sink    rate=20  delay=40 queue=4096 loss=1e-5
+
+depot buffers=4096 user=8192
+pin src sink
+
+# Two seconds in, depot.a's wide-area hop collapses to 5% of its rate for
+# half a minute. Rate (unlike pure loss) is exactly what the bandwidth
+# probes see, so the forecasts -- and the advisor -- react.
+fault brownout depot.a sink at=2 for=30 loss=0 factor=0.05
+
+recovery retries=4 stall=10
+
+# Tick every second so the forecasts catch the brownout mid-transfer;
+# dwell keeps the session from flapping back when the fault heals.
+reroute interval=1 hysteresis=0.2 dwell=3 penalty=0.5 sigma=0.02
+
+transfer src sink size=48 buffers=4096 via=depot.a
+transfer src sink size=16 buffers=4096 via=depot.b

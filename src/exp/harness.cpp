@@ -119,6 +119,7 @@ void SimHarness::on_complete(const session::SessionRecord& record) {
     rel->second->notify_delivered();
     p.outcome.retries = rel->second->retries();
     p.outcome.recovered = rel->second->recovered();
+    p.outcome.reroutes = static_cast<int>(rel->second->handovers());
   }
   LSL_ASSERT(unfinished_ > 0);
   --unfinished_;
@@ -134,6 +135,7 @@ void SimHarness::on_reliable_failed(const session::SessionId& id) {
   p.outcome.failed = true;
   if (const auto rel = reliable_.find(id); rel != reliable_.end()) {
     p.outcome.retries = rel->second->retries();
+    p.outcome.reroutes = static_cast<int>(rel->second->handovers());
   }
   LSL_ASSERT(unfinished_ > 0);
   --unfinished_;

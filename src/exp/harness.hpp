@@ -56,6 +56,8 @@ class SimHarness {
     int retries = 0;
     /// Completed, but only after at least one retry.
     bool recovered = false;
+    /// Planned mid-transfer handovers taken (adaptive rerouting).
+    int reroutes = 0;
     std::uint64_t bytes = 0;
     SimTime elapsed = SimTime::zero();
     Bandwidth goodput;

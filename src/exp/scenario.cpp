@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <sstream>
 
 #include "fault/injector.hpp"
+#include "nws/rescheduler.hpp"
+#include "sched/route_advisor.hpp"
 #include "util/assert.hpp"
 
 namespace lsl::exp {
@@ -224,6 +227,13 @@ ParseResult parse_scenario(const std::string& text) {
         } else if (key == "loss" &&
                    f.kind == fault::FaultKind::kLinkBrownout) {
           f.loss = number;
+        } else if (key == "factor" &&
+                   f.kind == fault::FaultKind::kLinkBrownout) {
+          if (number <= 0.0 || number > 1.0) {
+            return {std::nullopt,
+                    err_at(line_no, "brownout factor must be in (0, 1]")};
+          }
+          f.rate_factor = number;
         } else {
           return {std::nullopt,
                   err_at(line_no, "unknown fault attribute '" + key + "'")};
@@ -309,6 +319,43 @@ ParseResult parse_scenario(const std::string& text) {
         }
       }
       scenario.recovery = config;
+      continue;
+    }
+
+    if (directive == "reroute") {
+      ScenarioReroute reroute;
+      for (std::size_t t = 1; t < tokens.size(); ++t) {
+        std::string key;
+        std::string value;
+        double number = 0.0;
+        if (!split_kv(tokens[t], key, value) ||
+            !parse_double(value, number)) {
+          return {std::nullopt,
+                  err_at(line_no, "bad attribute '" + tokens[t] + "'")};
+        }
+        if (key == "interval") {
+          reroute.interval_s = number;
+        } else if (key == "hysteresis") {
+          reroute.hysteresis = number;
+        } else if (key == "dwell") {
+          reroute.dwell_s = number;
+        } else if (key == "penalty") {
+          reroute.penalty_s = number;
+        } else if (key == "sigma") {
+          reroute.sigma = number;
+        } else if (key == "epsilon") {
+          reroute.epsilon = number;
+        } else {
+          return {std::nullopt,
+                  err_at(line_no,
+                         "unknown reroute attribute '" + key + "'")};
+        }
+      }
+      if (reroute.interval_s <= 0.0) {
+        return {std::nullopt,
+                err_at(line_no, "reroute needs positive interval")};
+      }
+      scenario.reroute = reroute;
       continue;
     }
 
@@ -419,6 +466,47 @@ ParseResult parse_scenario(const std::string& text) {
   return {std::move(scenario), {}};
 }
 
+nws::TruthFn topology_truth(net::Topology& topology) {
+  return [&topology](std::size_t from, std::size_t to) -> Bandwidth {
+    if (from == to) {
+      return Bandwidth::mbps(0);
+    }
+    // Walk the forwarding tables, bottlenecking on each hop's effective
+    // rate. route_for yields the outgoing link; the next node is the
+    // neighbour that link reaches.
+    double bottleneck_bps = std::numeric_limits<double>::infinity();
+    net::NodeId cur = static_cast<net::NodeId>(from);
+    const net::NodeId dst = static_cast<net::NodeId>(to);
+    for (std::size_t hops = 0; cur != dst; ++hops) {
+      if (hops >= topology.node_count()) {
+        return Bandwidth::bps(0);  // forwarding loop; treat as unreachable
+      }
+      net::Link* out = topology.node(cur).route_for(dst);
+      if (out == nullptr) {
+        return Bandwidth::bps(0);
+      }
+      const net::LinkConfig& config = out->config();
+      bottleneck_bps =
+          std::min(bottleneck_bps, config.rate.bits_per_second() *
+                                       (1.0 - config.loss_rate));
+      net::NodeId next = net::kInvalidNode;
+      for (net::NodeId candidate = 0; candidate < topology.node_count();
+           ++candidate) {
+        if (candidate != cur &&
+            topology.link_between(cur, candidate) == out) {
+          next = candidate;
+          break;
+        }
+      }
+      if (next == net::kInvalidNode) {
+        return Bandwidth::bps(0);
+      }
+      cur = next;
+    }
+    return Bandwidth::bps(std::max(bottleneck_bps, 0.0));
+  };
+}
+
 std::vector<ScenarioOutcome> run_scenario(
     const Scenario& scenario, std::uint64_t seed,
     SimTime per_transfer_deadline, sim::KernelProfile* profile_out,
@@ -466,6 +554,7 @@ std::vector<ScenarioOutcome> run_scenario(
       spec.at = SimTime::from_seconds(f.at_s);
       spec.duration = SimTime::from_seconds(f.for_s);
       spec.loss = f.loss;
+      spec.rate_factor = f.rate_factor;
       if (f.kind == fault::FaultKind::kDepotCrash) {
         spec.node = ids.at(f.a);
       } else if (f.kind != fault::FaultKind::kNwsBlackout) {
@@ -487,10 +576,51 @@ std::vector<ScenarioOutcome> run_scenario(
     injector.schedule(plan);
   }
 
-  // Any fault in play routes transfers through the recovery loop so
-  // failures are detected and reported instead of hanging to the deadline;
+  // Mid-transfer adaptive rerouting: an NWS measure -> schedule loop plus a
+  // RouteAdvisor that may hand live transfers over to better paths. The
+  // monitor's ground truth is the packet topology itself, so injected link
+  // faults (rate brownouts especially) drift the forecasts that drive it.
+  std::unique_ptr<sched::RouteAdvisor> advisor;
+  std::unique_ptr<nws::Rescheduler> rescheduler;
+  if (scenario.reroute.has_value()) {
+    const ScenarioReroute& rr = *scenario.reroute;
+    std::vector<std::string> sites;
+    sites.reserve(scenario.hosts.size());
+    for (const auto& host : scenario.hosts) {
+      sites.push_back(host.site);
+    }
+    sched::RouteAdvisorConfig advisor_config;
+    advisor_config.hysteresis = rr.hysteresis;
+    advisor_config.min_dwell = SimTime::from_seconds(rr.dwell_s);
+    advisor_config.switch_penalty = SimTime::from_seconds(rr.penalty_s);
+    advisor = std::make_unique<sched::RouteAdvisor>(advisor_config);
+    nws::NoiseModel noise;
+    noise.lognormal_sigma = rr.sigma;
+    sched::SchedulerOptions options;
+    options.epsilon = rr.epsilon;
+    rescheduler = std::make_unique<nws::Rescheduler>(
+        harness.simulator(),
+        nws::PerformanceMonitor(std::move(sites), noise,
+                                seed ^ 0xC2B2AE3D27D4EB4FULL),
+        topology_truth(topo), SimTime::from_seconds(rr.interval_s),
+        options, /*on_schedule=*/nullptr);
+    rescheduler->subscribe(
+        [&advisor, &harness](const sched::Scheduler& scheduler,
+                             std::size_t /*changed_edges*/) {
+          advisor->on_schedule(scheduler, harness.simulator().now());
+        });
+    injector.set_nws_control([&rescheduler](bool blackout) {
+      rescheduler->monitor().set_blackout(blackout);
+    });
+    rescheduler->start();
+  }
+
+  // Any fault (or the reroute loop) routes transfers through the recovery
+  // loop so failures are detected and reported instead of hanging to the
+  // deadline -- and so planned handovers have the resume machinery to ride;
   // retries happen only when the scenario opted in with `recovery`.
-  const bool reliably = scenario.recovery.has_value() || faulty;
+  const bool reliably =
+      scenario.recovery.has_value() || faulty || scenario.reroute.has_value();
   session::RecoveryConfig recovery;
   if (scenario.recovery.has_value()) {
     recovery = *scenario.recovery;
@@ -514,7 +644,34 @@ std::vector<ScenarioOutcome> run_scenario(
     if (reliably) {
       const auto handle =
           harness.launch_reliable(ids.at(transfer.src), spec, recovery);
+      std::uint64_t watch_token = 0;
+      if (advisor != nullptr) {
+        const session::ReliableTransfer::Ptr rt = harness.reliable(handle);
+        const net::NodeId src_id = ids.at(transfer.src);
+        const net::NodeId dst_id = spec.dst;
+        const std::uint64_t total = spec.payload_bytes;
+        watch_token = advisor->watch(
+            harness.simulator().now(),
+            [rt, src_id, dst_id, total] {
+              sched::SessionView view;
+              view.src = src_id;
+              view.dst = dst_id;
+              view.current_via = rt->current_via();
+              view.blacklist = rt->blacklist();
+              // Zero remaining bytes = skip this tick: done, draining
+              // elsewhere, or the source already finished sending.
+              view.remaining_bytes =
+                  rt->reroutable() ? total - rt->committed_offset() : 0;
+              return view;
+            },
+            [rt](const sched::RouteAdvice& advice) {
+              return rt->reroute_to(advice.new_via);
+            });
+      }
       record.outcome = harness.wait(handle, deadline);
+      if (advisor != nullptr) {
+        advisor->unwatch(watch_token);
+      }
       // Drain connection teardown so back-to-back transfers start clean.
       harness.simulator().run(harness.simulator().now() +
                               SimTime::seconds(2));
@@ -523,6 +680,9 @@ std::vector<ScenarioOutcome> run_scenario(
           harness.run_transfer(ids.at(transfer.src), spec, deadline);
     }
     outcomes.push_back(std::move(record));
+  }
+  if (rescheduler != nullptr) {
+    rescheduler->stop();
   }
   if (leaked_connections_out != nullptr) {
     // TIME_WAIT linger is 500 ms; anything alive after this drain leaked.

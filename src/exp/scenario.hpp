@@ -26,6 +26,8 @@
 //   # for a permanent fault)
 //   fault link-down ash.ucsb.edu depot.denver at=5 for=10
 //   fault brownout depot.denver bell.uiuc.edu at=5 for=10 loss=0.3
+//   # factor throttles the pair's link rate (what NWS probes measure)
+//   fault brownout depot.denver bell.uiuc.edu at=5 for=10 loss=0 factor=0.05
 //   fault depot-crash depot.denver at=5 for=10
 //   fault nws-blackout at=5 for=60
 //
@@ -36,6 +38,12 @@
 //   # failure detection (failed transfers are reported promptly) but never
 //   # retries. backoff/max_backoff in ms, stall in s.
 //   recovery retries=8 stall=10 backoff=250 max_backoff=10000 jitter=0.25
+//
+//   # mid-transfer adaptive rerouting: an NWS measure->schedule loop runs
+//   # every `interval` seconds and a RouteAdvisor may hand live transfers
+//   # over to a better path (hysteresis/dwell/penalty tune the rule;
+//   # sigma is monitor measurement noise, epsilon the scheduler damping)
+//   reroute interval=5 hysteresis=0.15 dwell=10 penalty=1 sigma=0.05
 //
 //   # alternative to an explicit topology: a synthetic PlanetLab-style pool
 //   # speedup sweep (lslsim runs run_speedup_sweep over ~size hosts)
@@ -52,6 +60,7 @@
 
 #include "exp/harness.hpp"
 #include "fault/plan.hpp"
+#include "nws/monitor.hpp"
 
 namespace lsl::exp {
 
@@ -87,6 +96,7 @@ struct ScenarioFault {
   std::string a;       ///< link endpoint, or the depot host
   std::string b;       ///< second link endpoint (link faults only)
   double loss = 0.3;   ///< brownout loss probability
+  double rate_factor = 1.0;  ///< brownout residual-rate multiplier
 };
 
 /// Seeded MTBF/MTTR crash process for one depot (see fault::ChurnSpec).
@@ -111,6 +121,18 @@ struct ScenarioPool {
   double drift_sigma = 0.0;   ///< stale-matrix lognormal drift
 };
 
+/// A `reroute` directive: run the NWS measure -> schedule loop during the
+/// scenario and let a sched::RouteAdvisor hand in-flight transfers over to
+/// a better path mid-transfer (the PR 5 tentpole, end to end).
+struct ScenarioReroute {
+  double interval_s = 5.0;   ///< rescheduler tick cadence
+  double hysteresis = 0.15;  ///< required fractional improvement
+  double dwell_s = 10.0;     ///< min time between route changes
+  double penalty_s = 1.0;    ///< fixed handover cost charged to candidates
+  double sigma = 0.05;       ///< monitor lognormal measurement noise
+  double epsilon = 0.0;      ///< scheduler edge-equivalence damping
+};
+
 struct Scenario {
   std::vector<ScenarioHost> hosts;
   std::vector<ScenarioLink> links;
@@ -123,6 +145,9 @@ struct Scenario {
   /// recovery loop whenever this is set or any fault/churn exists; without
   /// a directive the loop runs detection-only (enabled = false).
   std::optional<session::RecoveryConfig> recovery;
+  /// Present when a `reroute` directive appeared. Implies transfers run
+  /// under the recovery loop (planned handovers ride its resume machinery).
+  std::optional<ScenarioReroute> reroute;
   /// Present when a `pool` directive appeared. A pool scenario needs no
   /// hosts or links -- lslsim runs a synthetic-grid speedup sweep instead
   /// of the packet-level transfer list.
@@ -144,6 +169,13 @@ struct ScenarioOutcome {
   ScenarioTransfer transfer;
   SimHarness::TransferOutcome outcome;
 };
+
+/// Ground truth for the monitor over a packet topology: end-to-end
+/// bandwidth of (i, j) is the bottleneck effective rate -- link rate
+/// discounted by loss -- along the currently routed path, zero when no
+/// route exists. Injected link faults therefore show up in NWS probes and
+/// drift the forecasts, which is what drives the RouteAdvisor.
+[[nodiscard]] nws::TruthFn topology_truth(net::Topology& topology);
 
 /// Build the harness, run every transfer in order, return the outcomes.
 /// When `profile_out` is non-null, kernel profiling (wall-clock sampling)

@@ -52,6 +52,9 @@ void FaultInjector::apply(const FaultSpec& fault) {
     case FaultKind::kLinkBrownout:
       ++stats_.link_brownouts;
       set_duplex_loss(fault.link_a, fault.link_b, fault.loss);
+      if (fault.rate_factor < 1.0) {
+        scale_duplex_rate(fault.link_a, fault.link_b, fault.rate_factor);
+      }
       break;
     case FaultKind::kDepotCrash:
       ++stats_.depot_crashes;
@@ -74,8 +77,13 @@ void FaultInjector::heal(const FaultSpec& fault) {
   --active_;
   switch (fault.kind) {
     case FaultKind::kLinkDown:
+      restore_duplex_loss(fault.link_a, fault.link_b);
+      break;
     case FaultKind::kLinkBrownout:
       restore_duplex_loss(fault.link_a, fault.link_b);
+      if (fault.rate_factor < 1.0) {
+        restore_duplex_rate(fault.link_a, fault.link_b);
+      }
       break;
     case FaultKind::kDepotCrash:
       ++stats_.depot_restarts;
@@ -101,6 +109,29 @@ void FaultInjector::set_duplex_loss(net::NodeId a, net::NodeId b,
     }
     saved_loss_.try_emplace(link, link->config().loss_rate);
     link->set_loss_rate(loss);
+  }
+}
+
+void FaultInjector::scale_duplex_rate(net::NodeId a, net::NodeId b,
+                                      double factor) {
+  for (net::Link* link : {topo_.link_between(a, b), topo_.link_between(b, a)}) {
+    if (link == nullptr) {
+      continue;  // set_duplex_loss already warned for this pair
+    }
+    saved_rate_.try_emplace(link, link->config().rate);
+    link->set_rate(Bandwidth{link->config().rate.bits_per_second() * factor});
+  }
+}
+
+void FaultInjector::restore_duplex_rate(net::NodeId a, net::NodeId b) {
+  for (net::Link* link : {topo_.link_between(a, b), topo_.link_between(b, a)}) {
+    if (link == nullptr) {
+      continue;
+    }
+    if (const auto it = saved_rate_.find(link); it != saved_rate_.end()) {
+      link->set_rate(it->second);
+      saved_rate_.erase(it);
+    }
   }
 }
 

@@ -71,15 +71,18 @@ class FaultInjector {
   void heal(const FaultSpec& fault);
   void set_duplex_loss(net::NodeId a, net::NodeId b, double loss);
   void restore_duplex_loss(net::NodeId a, net::NodeId b);
+  void scale_duplex_rate(net::NodeId a, net::NodeId b, double factor);
+  void restore_duplex_rate(net::NodeId a, net::NodeId b);
   void note(const FaultSpec& fault, bool applied);
 
   sim::Simulator& sim_;
   net::Topology& topo_;
   DepotControl depot_control_;
   NwsControl nws_control_;
-  /// Pre-fault loss rates, saved at first application per directed link so
-  /// overlapping faults restore the true original value.
+  /// Pre-fault loss/link rates, saved at first application per directed
+  /// link so overlapping faults restore the true original value.
   std::unordered_map<net::Link*, double> saved_loss_;
+  std::unordered_map<net::Link*, Bandwidth> saved_rate_;
   int active_ = 0;
   InjectorStats stats_;
   FaultMetrics* metrics_;

@@ -20,7 +20,7 @@ namespace lsl::fault {
 
 enum class FaultKind : std::uint8_t {
   kLinkDown,      ///< 100% loss on both directions of a duplex link
-  kLinkBrownout,  ///< elevated Bernoulli loss on both directions
+  kLinkBrownout,  ///< elevated loss and/or throttled rate, both directions
   kDepotCrash,    ///< depot out of service; restarts after `duration`
   kNwsBlackout,   ///< measurement epochs suspended (forecasts go stale)
 };
@@ -36,6 +36,11 @@ struct FaultSpec {
   net::NodeId link_a = net::kInvalidNode;  ///< link faults (duplex pair)
   net::NodeId link_b = net::kInvalidNode;
   double loss = 0.3;  ///< brownout loss probability
+  /// Brownout residual-rate multiplier: the duplex pair's link rate is
+  /// scaled by this while the fault is live (1.0 = loss-only brownout).
+  /// Unlike loss, a throttled rate is what NWS bandwidth probes measure,
+  /// so rate brownouts drive the forecasts -- and the RouteAdvisor.
+  double rate_factor = 1.0;
 
   [[nodiscard]] bool permanent() const { return duration == SimTime::zero(); }
   friend bool operator==(const FaultSpec&, const FaultSpec&) = default;

@@ -43,6 +43,8 @@ RecoveryMetrics* RecoveryMetrics::get() {
     metrics.offset_probes = &reg.counter("lsl.recovery.offset_probes");
     metrics.resumed_bytes_saved =
         &reg.counter("lsl.recovery.resumed_bytes_saved");
+    metrics.planned_handovers =
+        &reg.counter("lsl.recovery.planned_handovers");
   }
   return &metrics;
 }
@@ -312,6 +314,23 @@ void ReliableTransfer::probe_finish(std::optional<std::uint64_t> offset) {
   if (offset.has_value() && *offset > committed_) {
     committed_ = std::min(*offset, total_bytes_);
   }
+  if (probe_purpose_ == ProbePurpose::kHandover) {
+    // Planned handover: the drain probe pinned down what the sink has; the
+    // rest moves over the new relay chain. Deliberately not relaunch_with --
+    // the advisor already chose the path, the provider must not override it.
+    current_via_ = handover_via_;
+    handover_via_.clear();
+    if (metrics_ != nullptr && committed_ > saved_accounted_) {
+      metrics_->resumed_bytes_saved->inc(committed_ - saved_accounted_);
+      saved_accounted_ = committed_;
+    }
+    LSL_DEBUG("recovery %s: handover %llu from offset %llu via %zu depots",
+              id_.str().c_str(), static_cast<unsigned long long>(handovers_),
+              static_cast<unsigned long long>(committed_),
+              current_via_.size());
+    launch_attempt();
+    return;
+  }
   if (probe_purpose_ == ProbePurpose::kWatchdog) {
     if (offset.has_value() && *offset > probe_watermark_) {
       // The sink consumed more bytes since the last probe; still draining.
@@ -355,6 +374,39 @@ void ReliableTransfer::relaunch_with(std::uint64_t sink_committed) {
             id_.str().c_str(), retries_,
             static_cast<unsigned long long>(committed_), current_via_.size());
   launch_attempt();
+}
+
+bool ReliableTransfer::reroute_to(const std::vector<net::NodeId>& new_via) {
+  if (!reroutable() || new_via == current_via_) {
+    return false;
+  }
+  for (const net::NodeId hop : new_via) {
+    if (std::find(blacklist_.begin(), blacklist_.end(), hop) !=
+        blacklist_.end()) {
+      return false;
+    }
+  }
+  ++handovers_;
+  if (metrics_ != nullptr) {
+    metrics_->planned_handovers->inc();
+  }
+  if (obs::TraceRecorder* tr = obs::tracer()) {
+    tr->instant(sim_.now(), "lsl", "recovery.handover", SessionIdHash{}(id_));
+  }
+  // Drain: stop feeding the old path and ask the sink how far it got. The
+  // relaunch in probe_finish resumes from that committed offset, so bytes
+  // in flight past it are the only work resent.
+  stall_timer_.cancel();
+  detach_source();
+  if (source_ != nullptr) {
+    if (tcp::Connection* conn = source_->connection()) {
+      conn->abort();
+    }
+    source_.reset();
+  }
+  handover_via_ = new_via;
+  start_probe(ProbePurpose::kHandover);
+  return true;
 }
 
 void ReliableTransfer::notify_delivered() {

@@ -14,6 +14,11 @@
 //   resume    before relaunching, the sink is probed with a kOffsetQuery and
 //             the resend starts at its committed offset, not byte 0.
 //
+// The same probe-and-resume machinery also powers *planned* handovers
+// (reroute_to): when the scheduler's advisor finds a better mid-transfer
+// path, the source drains to the sink's committed offset and splices the
+// new relay chain in -- no failure, no blacklist, no retry consumed.
+//
 // End-to-end completion is still observed at the sink depot; the deployment
 // wires its on_session_complete callback to notify_delivered().
 #pragma once
@@ -55,6 +60,7 @@ struct RecoveryMetrics {
   obs::Counter* depots_blacklisted;  ///< lsl.recovery.depots_blacklisted
   obs::Counter* offset_probes;       ///< lsl.recovery.offset_probes
   obs::Counter* resumed_bytes_saved; ///< lsl.recovery.resumed_bytes_saved
+  obs::Counter* planned_handovers;   ///< lsl.recovery.planned_handovers
 
   /// nullptr while obs::metrics_enabled() is false.
   static RecoveryMetrics* get();
@@ -85,6 +91,17 @@ class ReliableTransfer : public std::enable_shared_from_this<ReliableTransfer> {
   /// Wire the sink's completion signal here (idempotent).
   void notify_delivered();
 
+  /// Planned mid-transfer handover onto `new_via` (sched::RouteAdvisor's
+  /// apply hook). Drains the in-flight attempt to the sink's committed
+  /// offset -- the same kOffsetQuery probe failure recovery resumes with --
+  /// then relaunches on the new relay chain. Unlike failure recovery this
+  /// blacklists nothing and consumes no retry. Returns false without side
+  /// effects when the transfer cannot take the handover right now: already
+  /// done or draining elsewhere (backoff/probe in flight), the local send
+  /// has finished (remaining bytes are past the source), the via is
+  /// unchanged, or a requested hop is blacklisted.
+  bool reroute_to(const std::vector<net::NodeId>& new_via);
+
   [[nodiscard]] const SessionId& session_id() const { return id_; }
   [[nodiscard]] Outcome outcome() const { return outcome_; }
   [[nodiscard]] int retries() const { return retries_; }
@@ -97,10 +114,21 @@ class ReliableTransfer : public std::enable_shared_from_this<ReliableTransfer> {
   }
   /// The sink-committed offset the latest resume started from.
   [[nodiscard]] std::uint64_t committed_offset() const { return committed_; }
+  /// Planned handovers taken (reroute_to calls that spliced a new path).
+  [[nodiscard]] std::uint64_t handovers() const { return handovers_; }
+  /// Relay chain of the active (or pending) attempt.
+  [[nodiscard]] const std::vector<net::NodeId>& current_via() const {
+    return current_via_;
+  }
+  /// True while a reroute_to would be accepted (modulo via checks).
+  [[nodiscard]] bool reroutable() const {
+    return outcome_ == Outcome::kPending && state_ == State::kRunning &&
+           !local_send_done_;
+  }
 
  private:
   enum class State { kRunning, kBackoff, kProbing, kDone };
-  enum class ProbePurpose { kWatchdog, kRelaunch };
+  enum class ProbePurpose { kWatchdog, kRelaunch, kHandover };
 
   ReliableTransfer(tcp::TcpStack& stack, TransferSpec spec,
                    RecoveryConfig config, Rng rng, RouteProvider provider);
@@ -128,6 +156,8 @@ class ReliableTransfer : public std::enable_shared_from_this<ReliableTransfer> {
   std::uint64_t saved_accounted_ = 0;
   std::vector<net::NodeId> current_via_;
   std::vector<net::NodeId> blacklist_;
+  std::vector<net::NodeId> handover_via_;  ///< pending reroute_to target
+  std::uint64_t handovers_ = 0;
   LslSource::Ptr source_;
   bool local_send_done_ = false;
   std::uint64_t last_acked_ = 0;

@@ -70,6 +70,10 @@ class Link {
   /// Mutable loss-rate knob; experiments vary path quality mid-run.
   void set_loss_rate(double p) { config_.loss_rate = p; }
 
+  /// Mutable rate knob (brownouts throttle links mid-run). Takes effect at
+  /// the next packet's serialization; the one in service is unaffected.
+  void set_rate(Bandwidth rate) { config_.rate = rate; }
+
  private:
   void start_transmission();
   void finish_transmission();

@@ -39,7 +39,21 @@ void Rescheduler::tick() {
   if (on_schedule_) {
     on_schedule_(*current_);
   }
+  for (const auto& [token, listener] : listeners_) {
+    listener(*current_, last_changed_edges_);
+  }
   timer_.arm(interval_);
+}
+
+std::uint64_t Rescheduler::subscribe(TickListener listener) {
+  const std::uint64_t token = next_listener_token_++;
+  listeners_.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void Rescheduler::unsubscribe(std::uint64_t token) {
+  std::erase_if(listeners_,
+                [token](const auto& entry) { return entry.first == token; });
 }
 
 }  // namespace lsl::nws

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "nws/monitor.hpp"
 #include "sched/scheduler.hpp"
@@ -36,6 +38,11 @@ class Rescheduler {
  public:
   /// Invoked after every rebuild with the fresh scheduler.
   using OnSchedule = std::function<void(const sched::Scheduler&)>;
+  /// Tick fan-out: subscribers see the fresh scheduler plus how many
+  /// directed edges the tick moved (0 after a full rebuild). Live-session
+  /// consumers (sched::RouteAdvisor) hang off this.
+  using TickListener =
+      std::function<void(const sched::Scheduler&, std::size_t changed_edges)>;
 
   Rescheduler(sim::Simulator& simulator, PerformanceMonitor monitor,
               TruthFn truth, SimTime interval,
@@ -61,6 +68,11 @@ class Rescheduler {
   /// The owned monitor (fault injection flips its measurement blackout).
   [[nodiscard]] PerformanceMonitor& monitor() { return monitor_; }
 
+  /// Subscribe to matrix ticks; fired after on_schedule, in subscription
+  /// order. Returns a token for unsubscribe().
+  std::uint64_t subscribe(TickListener listener);
+  void unsubscribe(std::uint64_t token);
+
  private:
   void tick();
 
@@ -75,6 +87,9 @@ class Rescheduler {
   sim::Timer timer_;
   std::size_t rebuilds_ = 0;
   std::size_t last_changed_edges_ = 0;
+  /// Ordered so tick fan-out is deterministic across runs.
+  std::vector<std::pair<std::uint64_t, TickListener>> listeners_;
+  std::uint64_t next_listener_token_ = 1;
 };
 
 }  // namespace lsl::nws

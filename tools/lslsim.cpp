@@ -28,6 +28,7 @@
 #include "nws/monitor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sched/route_advisor.hpp"
 #include "sched/scheduler.hpp"
 #include "tcp/connection.hpp"
 #include "testbed/grid.hpp"
@@ -62,8 +63,9 @@ void usage() {
                "  set epsilon/iterations/cases/sizes/drift.\n"
                "  --profile prints the simulation kernel's self-profile.\n"
                "  Scenarios may inject faults (fault/churn directives) and\n"
-               "  enable session recovery; the status column then reports\n"
-               "  ok / recovered(xN) / FAILED per transfer. Exit status is\n"
+               "  enable session recovery and adaptive rerouting; the\n"
+               "  status column then reports ok / recovered(xN) /\n"
+               "  rerouted(xN) / FAILED per transfer. Exit status is\n"
                "  nonzero when any session fails or a connection leaks.\n"
                "  LSL_LOG=debug enables protocol traces; LSL_METRICS=off\n"
                "  disables the built-in instrumentation.\n");
@@ -77,19 +79,28 @@ void preregister_metrics() {
   (void)lsl::session::DepotMetrics::get();
   (void)lsl::session::RecoveryMetrics::get();
   (void)lsl::sched::SchedMetrics::get();
+  (void)lsl::sched::AdvisorMetrics::get();
   (void)lsl::nws::NwsMetrics::get();
   (void)lsl::fault::FaultMetrics::get();
 }
 
-/// Per-transfer status cell: ok / recovered(xN) / FAILED.
+/// Per-transfer status cell: ok / recovered(xN) / rerouted(xN) / FAILED.
+/// A transfer that both recovered and took planned handovers reports both.
 std::string status_of(const lsl::exp::SimHarness::TransferOutcome& outcome) {
   if (!outcome.completed) {
     return "FAILED";
   }
+  std::string status;
   if (outcome.recovered) {
-    return "recovered(x" + std::to_string(outcome.retries) + ")";
+    status = "recovered(x" + std::to_string(outcome.retries) + ")";
   }
-  return "ok";
+  if (outcome.reroutes > 0) {
+    if (!status.empty()) {
+      status += "+";
+    }
+    status += "rerouted(x" + std::to_string(outcome.reroutes) + ")";
+  }
+  return status.empty() ? "ok" : status;
 }
 
 }  // namespace
