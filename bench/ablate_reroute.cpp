@@ -14,6 +14,8 @@
 
 #include "bench_common.hpp"
 #include "exp/scenario.hpp"
+#include "obs/explain.hpp"
+#include "obs/span.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -89,7 +91,12 @@ exp::Scenario make_scenario(bool faulted, bool rerouting) {
   return s;
 }
 
-Trial run_trial(bool faulted, bool rerouting, std::uint64_t seed) {
+Trial run_trial(bool faulted, bool rerouting, std::uint64_t seed,
+                obs::BreakdownTotals* totals = nullptr) {
+  // Record spans for the trial and fold the per-transfer time accounting
+  // into `totals` (the JSON sidecar reports where the wall time went).
+  obs::SpanRecorder spans(0);
+  obs::ScopedSpanRecorder scope(totals != nullptr ? &spans : nullptr);
   const auto outcomes =
       exp::run_scenario(make_scenario(faulted, rerouting), seed, 600_s);
   Trial trial;
@@ -97,6 +104,11 @@ Trial run_trial(bool faulted, bool rerouting, std::uint64_t seed) {
     trial.completed = outcomes[0].outcome.completed;
     trial.mbps = outcomes[0].outcome.goodput.megabits_per_second();
     trial.reroutes = outcomes[0].outcome.reroutes;
+  }
+  if (totals != nullptr) {
+    for (const auto& b : obs::account_spans(spans.snapshot())) {
+      totals->add(b);
+    }
   }
   return trial;
 }
@@ -119,10 +131,14 @@ int main(int argc, char** argv) {
   OnlineStats clean_bw;
   int control_reroutes = 0;
   std::size_t all_completed = 0;
+  lsl::obs::BreakdownTotals on_acct;
+  lsl::obs::BreakdownTotals off_acct;
   for (std::size_t it = 0; it < iterations; ++it) {
     const std::uint64_t seed = 5000 + 13 * it;
-    const Trial on = run_trial(/*faulted=*/true, /*rerouting=*/true, seed);
-    const Trial off = run_trial(/*faulted=*/true, /*rerouting=*/false, seed);
+    const Trial on =
+        run_trial(/*faulted=*/true, /*rerouting=*/true, seed, &on_acct);
+    const Trial off =
+        run_trial(/*faulted=*/true, /*rerouting=*/false, seed, &off_acct);
     const Trial clean =
         run_trial(/*faulted=*/false, /*rerouting=*/false, seed);
     const Trial control =
@@ -170,6 +186,25 @@ int main(int argc, char** argv) {
   records.add("lost_throughput_recovered_fraction", recovered);
   records.add("control_reroutes_total", control_reroutes);
   records.add("handovers_mean", reroute_count.mean());
+  // Where the wall time went (--explain accounting, mean seconds per
+  // transfer): rerouting should trade stall/probe time for a small
+  // handover cost; without it the brownout shows up as stream time.
+  const auto per_transfer = [](const lsl::obs::BreakdownTotals& t,
+                               lsl::SimTime v) {
+    return t.transfers > 0
+               ? v.to_seconds() / static_cast<double>(t.transfers)
+               : 0.0;
+  };
+  records.add("explain_reroute_wall_s", per_transfer(on_acct, on_acct.wall));
+  records.add("explain_reroute_stream_s",
+              per_transfer(on_acct, on_acct.stream));
+  records.add("explain_reroute_handover_s",
+              per_transfer(on_acct, on_acct.handover));
+  records.add("explain_reroute_stall_s", per_transfer(on_acct, on_acct.stall));
+  records.add("explain_noreroute_wall_s",
+              per_transfer(off_acct, off_acct.wall));
+  records.add("explain_noreroute_stream_s",
+              per_transfer(off_acct, off_acct.stream));
   if (!records.write(opts.json_path)) {
     return 1;
   }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/span.hpp"
 #include "util/assert.hpp"
 
 namespace lsl::exp {
@@ -60,12 +61,18 @@ SimHarness::Handle SimHarness::launch_traced(
     net::NodeId src, const session::TransferSpec& spec,
     const std::function<void(tcp::Connection&)>& on_source_conn) {
   LSL_ASSERT_MSG(deployed_, "launch before deploy()");
-  auto source = session::LslSource::start(stack(src), spec, rng_);
+  Pending pending;
+  pending.started = sim_.now();
+  const session::TransferSpec bound = bind_session(spec, pending);
+  auto source = session::LslSource::start(stack(src), bound, rng_);
   if (on_source_conn && source->connection() != nullptr) {
     on_source_conn(*source->connection());
   }
-  Pending pending;
-  pending.started = sim_.now();
+  if (pending.session_span != 0 && source->connection() != nullptr) {
+    source->connection()->set_span_context(
+        session::SessionIdHash{}(source->session_id()), pending.session_span);
+    pending.source = source;
+  }
   pending_.emplace(source->session_id(), pending);
   ++unfinished_;
   sources_.push_back(source);  // keep alive until the harness dies
@@ -77,16 +84,33 @@ SimHarness::Handle SimHarness::launch_reliable(
     const session::RecoveryConfig& recovery,
     session::RouteProvider route_provider) {
   LSL_ASSERT_MSG(deployed_, "launch before deploy()");
-  auto transfer = session::ReliableTransfer::start(
-      stack(src), spec, recovery, rng_, std::move(route_provider));
-  const session::SessionId id = transfer->session_id();
   Pending pending;
   pending.started = sim_.now();
+  const session::TransferSpec bound = bind_session(spec, pending);
+  auto transfer = session::ReliableTransfer::start(
+      stack(src), bound, recovery, rng_, std::move(route_provider));
+  const session::SessionId id = transfer->session_id();
   pending_.emplace(id, pending);
   ++unfinished_;
   transfer->on_failed = [this, id] { on_reliable_failed(id); };
   reliable_.emplace(id, std::move(transfer));
   return Handle{id};
+}
+
+session::TransferSpec SimHarness::bind_session(
+    const session::TransferSpec& spec, Pending& pending) {
+  session::TransferSpec bound = spec;
+  if (!bound.session_id.has_value()) {
+    // The same single rng draw the endpoint would have made on our behalf.
+    bound.session_id = session::SessionId::random(rng_);
+  }
+  if (obs::SpanRecorder* sr = obs::spans()) {
+    pending.session_span =
+        sr->begin(sim_.now(), obs::SpanKind::kSession,
+                  session::SessionIdHash{}(*bound.session_id), 0, 0, "",
+                  static_cast<double>(bound.payload_bytes));
+  }
+  return bound;
 }
 
 session::ReliableTransfer::Ptr SimHarness::reliable(
@@ -121,6 +145,18 @@ void SimHarness::on_complete(const session::SessionRecord& record) {
     p.outcome.recovered = rel->second->recovered();
     p.outcome.reroutes = static_cast<int>(rel->second->handovers());
   }
+  if (p.session_span != 0) {
+    if (p.source != nullptr && p.source->connection() != nullptr) {
+      p.source->connection()->end_spans("completed");
+    }
+    p.source.reset();
+    if (obs::SpanRecorder* sr = obs::spans()) {
+      sr->end(sim_.now(), obs::SpanKind::kSession, p.session_span,
+              session::SessionIdHash{}(record.header.session_id), "completed",
+              static_cast<double>(record.bytes));
+    }
+    p.session_span = 0;
+  }
   LSL_ASSERT(unfinished_ > 0);
   --unfinished_;
 }
@@ -136,6 +172,13 @@ void SimHarness::on_reliable_failed(const session::SessionId& id) {
   if (const auto rel = reliable_.find(id); rel != reliable_.end()) {
     p.outcome.retries = rel->second->retries();
     p.outcome.reroutes = static_cast<int>(rel->second->handovers());
+  }
+  if (p.session_span != 0) {
+    if (obs::SpanRecorder* sr = obs::spans()) {
+      sr->end(sim_.now(), obs::SpanKind::kSession, p.session_span,
+              session::SessionIdHash{}(id), "failed");
+    }
+    p.session_span = 0;
   }
   LSL_ASSERT(unfinished_ > 0);
   --unfinished_;

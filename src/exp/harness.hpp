@@ -110,7 +110,20 @@ class SimHarness {
     SimTime started;
     bool done = false;
     TransferOutcome outcome;
+    std::uint64_t session_span = 0;  ///< open kSession span (0 = none)
+    /// Plain launches only: the source whose connection carries span
+    /// context, so on_complete can close conn spans before the session span
+    /// (children first). Reliable launches close theirs via the recovery
+    /// wrapper instead.
+    session::LslSource::Ptr source;
   };
+
+  /// Ensure `spec` carries a session id and open its kSession root span;
+  /// returns the bound spec. Pre-generating the id here consumes the same
+  /// rng draw LslSource/ReliableTransfer would have used, so runs with and
+  /// without span recording stay bitwise identical.
+  session::TransferSpec bind_session(const session::TransferSpec& spec,
+                                     Pending& pending);
 
   void on_complete(const session::SessionRecord& record);
   void on_reliable_failed(const session::SessionId& id);

@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
@@ -22,10 +23,48 @@ void for_each_trial(std::size_t n, const TrialOptions& options,
       options.jobs == 0 ? ThreadPool::default_jobs() : options.jobs;
   jobs = std::min(jobs, n);
   if (jobs <= 1) {
-    // The reference serial loop: no threads, no registry indirection. All
-    // parallel configurations must reproduce exactly what this produces.
+    // The reference serial loop: no threads, but the same per-trial sink
+    // scoping as the workers use. Without it, gauges would accumulate their
+    // value (and therefore their high-water mark) ACROSS trials in serial
+    // runs while parallel runs reset them per trial -- the merged output
+    // would depend on --jobs. Scoping here and merging immediately in loop
+    // order makes every jobs value reproduce this exact stream.
+    obs::Registry& parent_registry = obs::Registry::global();
+    obs::TraceRecorder* parent_tracer = obs::tracer();
+    obs::SpanRecorder* parent_spans = obs::spans();
     for (std::size_t trial = 0; trial < n; ++trial) {
-      body(trial);
+      std::unique_ptr<obs::Registry> trial_registry;
+      std::unique_ptr<obs::TraceRecorder> trial_trace;
+      std::unique_ptr<obs::SpanRecorder> trial_spans;
+      {
+        std::optional<obs::ScopedRegistry> registry_scope;
+        std::optional<obs::ScopedTracer> tracer_scope;
+        std::optional<obs::ScopedSpanRecorder> span_scope;
+        if (options.scope_metrics) {
+          trial_registry = std::make_unique<obs::Registry>();
+          registry_scope.emplace(*trial_registry);
+        }
+        if (parent_tracer != nullptr) {
+          trial_trace =
+              std::make_unique<obs::TraceRecorder>(options.trace_capacity);
+          tracer_scope.emplace(trial_trace.get());
+        }
+        if (parent_spans != nullptr) {
+          trial_spans = std::make_unique<obs::SpanRecorder>(
+              parent_spans->per_session_capacity());
+          span_scope.emplace(trial_spans.get());
+        }
+        body(trial);
+      }
+      if (trial_registry != nullptr) {
+        parent_registry.merge_from(*trial_registry);
+      }
+      if (trial_trace != nullptr) {
+        obs::append_snapshot(*parent_tracer, *trial_trace);
+      }
+      if (trial_spans != nullptr) {
+        parent_spans->append_from(*trial_spans);
+      }
     }
     return;
   }
@@ -40,13 +79,18 @@ void for_each_trial(std::size_t n, const TrialOptions& options,
   // Caller-side observability sinks, captured before workers start.
   obs::Registry& parent_registry = obs::Registry::global();
   obs::TraceRecorder* parent_tracer = obs::tracer();
+  obs::SpanRecorder* parent_spans = obs::spans();
   std::vector<std::unique_ptr<obs::Registry>> trial_registries;
   std::vector<std::unique_ptr<obs::TraceRecorder>> trial_traces;
+  std::vector<std::unique_ptr<obs::SpanRecorder>> trial_spans;
   if (options.scope_metrics) {
     trial_registries.resize(n);
   }
   if (parent_tracer != nullptr) {
     trial_traces.resize(n);
+  }
+  if (parent_spans != nullptr) {
+    trial_spans.resize(n);
   }
 
   std::atomic<std::size_t> cursor{0};
@@ -69,6 +113,7 @@ void for_each_trial(std::size_t n, const TrialOptions& options,
         // the shared registry/recorder are never touched concurrently.
         std::optional<obs::ScopedRegistry> registry_scope;
         std::optional<obs::ScopedTracer> tracer_scope;
+        std::optional<obs::ScopedSpanRecorder> span_scope;
         if (options.scope_metrics) {
           trial_registries[trial] = std::make_unique<obs::Registry>();
           registry_scope.emplace(*trial_registries[trial]);
@@ -77,6 +122,11 @@ void for_each_trial(std::size_t n, const TrialOptions& options,
           trial_traces[trial] =
               std::make_unique<obs::TraceRecorder>(options.trace_capacity);
           tracer_scope.emplace(trial_traces[trial].get());
+        }
+        if (parent_spans != nullptr) {
+          trial_spans[trial] = std::make_unique<obs::SpanRecorder>(
+              parent_spans->per_session_capacity());
+          span_scope.emplace(trial_spans[trial].get());
         }
         try {
           body(trial);
@@ -106,6 +156,9 @@ void for_each_trial(std::size_t n, const TrialOptions& options,
     }
     if (parent_tracer != nullptr && trial_traces[trial] != nullptr) {
       obs::append_snapshot(*parent_tracer, *trial_traces[trial]);
+    }
+    if (parent_spans != nullptr && trial_spans[trial] != nullptr) {
+      parent_spans->append_from(*trial_spans[trial]);
     }
   }
 }

@@ -31,8 +31,10 @@ namespace lsl::exp {
 
 struct TrialOptions {
   /// Total worker count, including the calling thread. 1 runs inline with
-  /// no threads, no registry scoping, no locking -- exactly the serial
-  /// loop. 0 means ThreadPool::default_jobs().
+  /// no threads and no locking, but still under per-trial observability
+  /// scoping (registry / trace / span sinks are reset each trial and merged
+  /// in trial order), so serial and parallel runs emit identical streams --
+  /// including gauge high-water marks. 0 means ThreadPool::default_jobs().
   std::size_t jobs = 1;
   /// Trials claimed per cursor bump (0 = pick from n and jobs).
   std::size_t chunk = 0;

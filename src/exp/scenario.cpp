@@ -656,6 +656,7 @@ std::vector<ScenarioOutcome> run_scenario(
               sched::SessionView view;
               view.src = src_id;
               view.dst = dst_id;
+              view.session_tag = session::SessionIdHash{}(rt->session_id());
               view.current_via = rt->current_via();
               view.blacklist = rt->blacklist();
               // Zero remaining bytes = skip this tick: done, draining

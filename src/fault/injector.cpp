@@ -1,5 +1,6 @@
 #include "fault/injector.hpp"
 
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -194,6 +195,24 @@ void FaultInjector::note(const FaultSpec& fault, bool applied) {
             ? fault.node
             : (fault.kind == FaultKind::kNwsBlackout ? 0 : fault.link_a);
     tr->instant(sim_.now(), "fault", name, arg);
+  }
+  if (obs::SpanRecorder* sr = obs::spans()) {
+    const char* kind_name = to_string(fault.kind);
+    const double target =
+        fault.kind == FaultKind::kDepotCrash
+            ? static_cast<double>(fault.node)
+            : static_cast<double>(fault.link_a);
+    const FaultKey key{static_cast<int>(fault.kind), fault.at.ns(), fault.node,
+                       fault.link_a, fault.link_b};
+    if (applied) {
+      fault_spans_[key] = sr->begin(sim_.now(), obs::SpanKind::kFaultWindow,
+                                    /*session=*/0, 0, 0, kind_name, target);
+    } else if (const auto it = fault_spans_.find(key);
+               it != fault_spans_.end()) {
+      sr->end(sim_.now(), obs::SpanKind::kFaultWindow, it->second,
+              /*session=*/0, kind_name, target);
+      fault_spans_.erase(it);
+    }
   }
 }
 

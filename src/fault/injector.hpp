@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <tuple>
 #include <unordered_map>
 
 #include "fault/plan.hpp"
@@ -83,6 +85,12 @@ class FaultInjector {
   /// link so overlapping faults restore the true original value.
   std::unordered_map<net::Link*, double> saved_loss_;
   std::unordered_map<net::Link*, Bandwidth> saved_rate_;
+  /// Open kFaultWindow spans, keyed by the fault's identity (the apply and
+  /// heal closures hold separate FaultSpec copies, so identity is by value:
+  /// kind, scheduled time, and target).
+  using FaultKey =
+      std::tuple<int, std::int64_t, net::NodeId, net::NodeId, net::NodeId>;
+  std::map<FaultKey, std::uint64_t> fault_spans_;
   int active_ = 0;
   InjectorStats stats_;
   FaultMetrics* metrics_;

@@ -1,8 +1,10 @@
 #include "lsl/recovery.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -62,7 +64,11 @@ ReliableTransfer::ReliableTransfer(tcp::TcpStack& stack, TransferSpec spec,
       current_via_(spec_.via),
       stall_timer_(sim_, [this] { on_stall_tick(); }, "lsl.recovery"),
       backoff_timer_(
-          sim_, [this] { start_probe(ProbePurpose::kRelaunch); },
+          sim_,
+          [this] {
+            end_backoff_span();
+            start_probe(ProbePurpose::kRelaunch);
+          },
           "lsl.recovery"),
       metrics_(RecoveryMetrics::get()) {}
 
@@ -84,6 +90,13 @@ ReliableTransfer::Ptr ReliableTransfer::start(tcp::TcpStack& stack,
                                            rng.fork(id_salt(id)),
                                            std::move(route_provider)));
   transfer->id_ = id;
+  if (obs::SpanRecorder* sr = obs::spans()) {
+    const std::uint64_t sess = SessionIdHash{}(id);
+    transfer->transfer_span_ =
+        sr->begin(stack.simulator().now(), obs::SpanKind::kTransfer, sess,
+                  sr->session_root(sess), 0, "",
+                  static_cast<double>(transfer->total_bytes_));
+  }
   transfer->launch_attempt();
   return transfer;
 }
@@ -106,6 +119,14 @@ void ReliableTransfer::launch_attempt() {
   source_->on_sent = [self] { self->local_send_done_ = true; };
   tcp::Connection* conn = source_->connection();
   LSL_ASSERT(conn != nullptr);
+  if (obs::SpanRecorder* sr = obs::spans()) {
+    attempt_span_ = sr->begin(sim_.now(), obs::SpanKind::kAttempt,
+                              span_session(), transfer_span_,
+                              last_attempt_span_, "",
+                              static_cast<double>(committed_));
+    last_attempt_span_ = attempt_span_;
+    conn->set_span_context(span_session(), attempt_span_);
+  }
   conn->on_error = [self](tcp::ConnectionError e) {
     self->on_failure(tcp::to_string(e));
   };
@@ -127,6 +148,7 @@ void ReliableTransfer::detach_source() {
   if (tcp::Connection* conn = source_->connection()) {
     conn->on_error = nullptr;
     conn->on_closed = nullptr;
+    conn->end_spans("detached");
   }
 }
 
@@ -143,6 +165,17 @@ void ReliableTransfer::on_failure(const char* reason) {
   if (obs::TraceRecorder* tr = obs::tracer()) {
     tr->instant(sim_.now(), "lsl", "recovery.failure", SessionIdHash{}(id_));
   }
+  if (obs::SpanRecorder* sr = obs::spans()) {
+    // Stall-triggered failures cover a retroactive dead-air window: the
+    // watchdog only fires after stall_timeout without progress.
+    if (std::strcmp(reason, "stall") == 0 ||
+        std::strcmp(reason, "delivery stalled") == 0) {
+      const SimTime window = std::min(config_.stall_timeout, sim_.now());
+      sr->complete(sim_.now() - window, window, obs::SpanKind::kStall,
+                   span_session(), attempt_span_, reason);
+    }
+  }
+  end_probe_span("aborted");
   stall_timer_.cancel();
   detach_source();
   if (source_ != nullptr) {
@@ -162,6 +195,7 @@ void ReliableTransfer::on_failure(const char* reason) {
       }
     }
   }
+  end_attempt_span(reason);
   if (!config_.enabled || retries_ >= config_.max_retries) {
     finish_failed();
     return;
@@ -171,6 +205,11 @@ void ReliableTransfer::on_failure(const char* reason) {
     metrics_->retries->inc();
   }
   state_ = State::kBackoff;
+  if (obs::SpanRecorder* sr = obs::spans()) {
+    backoff_span_ =
+        sr->begin(sim_.now(), obs::SpanKind::kBackoff, span_session(),
+                  transfer_span_, 0, "", static_cast<double>(retries_));
+  }
   backoff_timer_.arm(next_backoff());
 }
 
@@ -230,6 +269,17 @@ void ReliableTransfer::start_probe(ProbePurpose purpose) {
   probe_header_.reset();
   if (metrics_ != nullptr) {
     metrics_->offset_probes->inc();
+  }
+  if (obs::SpanRecorder* sr = obs::spans()) {
+    const char* why = purpose == ProbePurpose::kWatchdog   ? "watchdog"
+                      : purpose == ProbePurpose::kRelaunch ? "relaunch"
+                                                           : "handover";
+    const std::uint64_t parent = purpose == ProbePurpose::kHandover
+                                     ? handover_span_
+                                     : (attempt_span_ != 0 ? attempt_span_
+                                                           : transfer_span_);
+    probe_span_ = sr->begin(sim_.now(), obs::SpanKind::kProbe, span_session(),
+                            parent, 0, why);
   }
 
   SessionHeader request;
@@ -314,6 +364,8 @@ void ReliableTransfer::probe_finish(std::optional<std::uint64_t> offset) {
   if (offset.has_value() && *offset > committed_) {
     committed_ = std::min(*offset, total_bytes_);
   }
+  end_probe_span(offset.has_value() ? "offset" : "no-offset",
+                 static_cast<double>(committed_));
   if (probe_purpose_ == ProbePurpose::kHandover) {
     // Planned handover: the drain probe pinned down what the sink has; the
     // rest moves over the new relay chain. Deliberately not relaunch_with --
@@ -328,6 +380,12 @@ void ReliableTransfer::probe_finish(std::optional<std::uint64_t> offset) {
               id_.str().c_str(), static_cast<unsigned long long>(handovers_),
               static_cast<unsigned long long>(committed_),
               current_via_.size());
+    if (obs::SpanRecorder* sr = obs::spans()) {
+      sr->instant(sim_.now(), obs::SpanKind::kResume, span_session(),
+                  handover_span_, last_attempt_span_, "handover",
+                  static_cast<double>(committed_));
+    }
+    end_handover_span("spliced");
     launch_attempt();
     return;
   }
@@ -370,6 +428,11 @@ void ReliableTransfer::relaunch_with(std::uint64_t sink_committed) {
   if (obs::TraceRecorder* tr = obs::tracer()) {
     tr->instant(sim_.now(), "lsl", "recovery.retry", SessionIdHash{}(id_));
   }
+  if (obs::SpanRecorder* sr = obs::spans()) {
+    sr->instant(sim_.now(), obs::SpanKind::kResume, span_session(),
+                transfer_span_, last_attempt_span_, "retry",
+                static_cast<double>(committed_));
+  }
   LSL_DEBUG("recovery %s: retry %d from offset %llu via %zu depots",
             id_.str().c_str(), retries_,
             static_cast<unsigned long long>(committed_), current_via_.size());
@@ -404,6 +467,12 @@ bool ReliableTransfer::reroute_to(const std::vector<net::NodeId>& new_via) {
     }
     source_.reset();
   }
+  end_attempt_span("handover");
+  if (obs::SpanRecorder* sr = obs::spans()) {
+    handover_span_ = sr->begin(sim_.now(), obs::SpanKind::kHandover,
+                               span_session(), transfer_span_, 0, "",
+                               static_cast<double>(handovers_));
+  }
   handover_via_ = new_via;
   start_probe(ProbePurpose::kHandover);
   return true;
@@ -436,6 +505,11 @@ void ReliableTransfer::notify_delivered() {
                   SessionIdHash{}(id_));
     }
   }
+  end_probe_span("abandoned");
+  end_backoff_span();
+  end_handover_span("abandoned");
+  end_attempt_span("delivered");
+  end_transfer_span("completed");
   if (on_complete) {
     on_complete();
   }
@@ -454,8 +528,67 @@ void ReliableTransfer::finish_failed() {
   if (obs::TraceRecorder* tr = obs::tracer()) {
     tr->instant(sim_.now(), "lsl", "recovery.failed", SessionIdHash{}(id_));
   }
+  end_probe_span("aborted");
+  end_backoff_span();
+  end_handover_span("aborted");
+  end_attempt_span("failed");
+  end_transfer_span("failed");
   if (on_failed) {
     on_failed();
+  }
+}
+
+std::uint64_t ReliableTransfer::span_session() const {
+  return SessionIdHash{}(id_);
+}
+
+void ReliableTransfer::end_attempt_span(const char* reason) {
+  if (attempt_span_ != 0) {
+    if (obs::SpanRecorder* sr = obs::spans()) {
+      sr->end(sim_.now(), obs::SpanKind::kAttempt, attempt_span_,
+              span_session(), reason);
+    }
+    attempt_span_ = 0;
+  }
+}
+
+void ReliableTransfer::end_probe_span(const char* reason, double value) {
+  if (probe_span_ != 0) {
+    if (obs::SpanRecorder* sr = obs::spans()) {
+      sr->end(sim_.now(), obs::SpanKind::kProbe, probe_span_, span_session(),
+              reason, value);
+    }
+    probe_span_ = 0;
+  }
+}
+
+void ReliableTransfer::end_backoff_span() {
+  if (backoff_span_ != 0) {
+    if (obs::SpanRecorder* sr = obs::spans()) {
+      sr->end(sim_.now(), obs::SpanKind::kBackoff, backoff_span_,
+              span_session());
+    }
+    backoff_span_ = 0;
+  }
+}
+
+void ReliableTransfer::end_handover_span(const char* reason) {
+  if (handover_span_ != 0) {
+    if (obs::SpanRecorder* sr = obs::spans()) {
+      sr->end(sim_.now(), obs::SpanKind::kHandover, handover_span_,
+              span_session(), reason);
+    }
+    handover_span_ = 0;
+  }
+}
+
+void ReliableTransfer::end_transfer_span(const char* reason) {
+  if (transfer_span_ != 0) {
+    if (obs::SpanRecorder* sr = obs::spans()) {
+      sr->end(sim_.now(), obs::SpanKind::kTransfer, transfer_span_,
+              span_session(), reason);
+    }
+    transfer_span_ = 0;
   }
 }
 

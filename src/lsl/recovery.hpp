@@ -144,6 +144,16 @@ class ReliableTransfer : public std::enable_shared_from_this<ReliableTransfer> {
   void finish_failed();
   [[nodiscard]] SimTime next_backoff();
 
+  // Causal span emission (obs/span.hpp). The transfer owns one open span
+  // per layer at a time; end_*_span helpers are idempotent so every exit
+  // path (delivered, failed, handover) can close without double-ends.
+  [[nodiscard]] std::uint64_t span_session() const;
+  void end_attempt_span(const char* reason);
+  void end_probe_span(const char* reason, double value = 0.0);
+  void end_backoff_span();
+  void end_handover_span(const char* reason);
+  void end_transfer_span(const char* reason);
+
   tcp::TcpStack& stack_;
   sim::Simulator& sim_;
   TransferSpec spec_;  ///< original request (via = the preferred route)
@@ -174,6 +184,14 @@ class ReliableTransfer : public std::enable_shared_from_this<ReliableTransfer> {
   std::optional<SessionHeader> probe_header_;
   ProbePurpose probe_purpose_ = ProbePurpose::kWatchdog;
   RecoveryMetrics* metrics_ = nullptr;
+  // Open causal spans (0 = none). last_attempt_span_ threads follows-from
+  // links across retries and handovers (the failover chain).
+  std::uint64_t transfer_span_ = 0;
+  std::uint64_t attempt_span_ = 0;
+  std::uint64_t last_attempt_span_ = 0;
+  std::uint64_t probe_span_ = 0;
+  std::uint64_t backoff_span_ = 0;
+  std::uint64_t handover_span_ = 0;
 };
 
 }  // namespace lsl::session

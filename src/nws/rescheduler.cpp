@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/span.hpp"
+
 namespace lsl::nws {
 
 Rescheduler::Rescheduler(sim::Simulator& simulator,
@@ -36,6 +38,11 @@ void Rescheduler::tick() {
     current_->prebuild_trees(config_.prebuild_jobs);
   }
   ++rebuilds_;
+  if (obs::SpanRecorder* sr = obs::spans()) {
+    sr->instant(sim_.now(), obs::SpanKind::kForecastEpoch, /*session=*/0, 0, 0,
+                config_.incremental ? "incremental" : "rebuild",
+                static_cast<double>(last_changed_edges_));
+  }
   if (on_schedule_) {
     on_schedule_(*current_);
   }

@@ -1,0 +1,90 @@
+// Deterministic per-transfer time accounting over the causal span stream
+// (obs/span.hpp): `lslsim --explain` and the bench sidecars turn a span log
+// into "where did the wall time go" -- useful streaming vs. connect vs.
+// stall vs. backoff vs. handover-drain vs. retransmit-dominated.
+//
+// The accountant replays one session's events in record order through a
+// small state machine: at any instant a transfer is in exactly one mode
+// (connect / stream / probe / backoff / handover / other), and the time
+// between consecutive events is attributed to the mode in force. Two
+// retroactive corrections move already-attributed time without creating or
+// destroying any: kStall complete events shift the dead watchdog window out
+// of stream/connect into `stall`, and kRtoWait complete events shift RTO
+// dead air out of `stream` into `retransmit`. Categories therefore sum to
+// the transfer's wall time *exactly* (integer nanoseconds, no epsilon), a
+// property span_test pins.
+//
+// Everything here is a pure function of the event stream, so breakdowns
+// computed in per-trial recorders and merged in trial order are bitwise
+// identical for any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "util/time.hpp"
+
+namespace lsl::obs {
+
+/// Wall-time decomposition of one transfer (one kTransfer span).
+struct TransferBreakdown {
+  std::uint64_t session = 0;        ///< SessionIdHash of the transfer
+  std::uint64_t transfer_span = 0;  ///< span id of the kTransfer span
+  SimTime start;
+  SimTime end;
+
+  // The categories; they sum to wall() exactly.
+  SimTime connect;     ///< TCP handshakes (incl. SYN retransmit waits)
+  SimTime stream;      ///< established source connection moving payload
+  SimTime retransmit;  ///< RTO dead air inside streaming (retransmit-bound)
+  SimTime stall;       ///< watchdog windows that expired without progress
+  SimTime backoff;     ///< jittered waits between failure and re-probe
+  SimTime probe;       ///< kOffsetQuery round-trips (watchdog + relaunch)
+  SimTime handover;    ///< planned-handover drain + splice (PR 5)
+  SimTime other;       ///< bookkeeping outside any attempt
+
+  int attempts = 0;
+  int handovers = 0;
+  bool completed = false;
+  bool failed = false;  ///< neither set = still open when the log ended
+
+  [[nodiscard]] SimTime wall() const { return end - start; }
+  [[nodiscard]] SimTime categorized() const {
+    return connect + stream + retransmit + stall + backoff + probe +
+           handover + other;
+  }
+  /// The category holding the largest share (ties break in declaration
+  /// order), e.g. "stream" for a healthy transfer.
+  [[nodiscard]] const char* dominant() const;
+};
+
+/// Replays `events` (record order, as produced by SpanRecorder::snapshot or
+/// session_events) and returns one breakdown per kTransfer span, in
+/// transfer-begin order. Transfers still open at the end of the log are
+/// closed at their last event (completed == failed == false).
+[[nodiscard]] std::vector<TransferBreakdown> account_spans(
+    const std::vector<SpanEvent>& events);
+
+/// Sum of breakdowns for sweep/bench aggregation (JSON sidecar records).
+struct BreakdownTotals {
+  SimTime wall, connect, stream, retransmit, stall, backoff, probe, handover,
+      other;
+  std::uint64_t transfers = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t handovers = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+
+  void add(const TransferBreakdown& b);
+};
+
+/// Deterministic text rendering for `lslsim --explain`: one block per
+/// transfer with absolute seconds and percentage shares. `session_filter`
+/// restricts the output to one session hash (0 = all).
+[[nodiscard]] std::string render_breakdowns(
+    const std::vector<TransferBreakdown>& breakdowns,
+    std::uint64_t session_filter = 0);
+
+}  // namespace lsl::obs

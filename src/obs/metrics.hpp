@@ -124,6 +124,11 @@ class Registry {
   Gauge& gauge(std::string_view name);
   /// `bounds` is used only on first registration of `name`.
   Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  /// Histogram with `count` exponential buckets doubling from `base`
+  /// (base, 2*base, 4*base, ...): the right shape for latency-like metrics
+  /// that would clip into the top bucket of a linear layout.
+  Histogram& histogram_exp(std::string_view name, double base,
+                           std::size_t count);
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
@@ -141,6 +146,11 @@ class Registry {
   [[nodiscard]] std::string to_json() const;
   /// Aligned text table for terminal output.
   [[nodiscard]] std::string to_table() const;
+  /// Prometheus text exposition format (metric names have dots replaced by
+  /// underscores; gauges add a `<name>_high_water` series, histograms emit
+  /// cumulative `_bucket{le=...}` plus `_sum`/`_count`). Scrapeable and
+  /// diffable with standard tooling.
+  [[nodiscard]] std::string to_prom() const;
   bool write_json(const std::string& path) const;
 
   /// Registry used by all built-in instrumentation: the thread's scoped

@@ -3,6 +3,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/span.hpp"
 #include "sched/minimax.hpp"
 
 namespace lsl::sched {
@@ -125,17 +126,34 @@ std::size_t RouteAdvisor::on_schedule(const Scheduler& scheduler,
     }
     const RouteAdvice advice =
         evaluate(scheduler, view, now, watched.routed_at);
-    if (!advice.reroute()) {
-      continue;
-    }
-    if (watched.apply(advice)) {
+    bool took = false;
+    if (advice.reroute() && watched.apply(advice)) {
       // Dwell restarts only when the session actually took the handover.
       watched.routed_at = now;
       ++emitted_;
       ++applied;
+      took = true;
       if (AdvisorMetrics* metrics = AdvisorMetrics::get()) {
         metrics->reroutes_emitted->inc();
       }
+    }
+    if (obs::SpanRecorder* sr = obs::spans()) {
+      const char* rung = "keep";
+      switch (advice.action) {
+        case RouteAdvice::Action::kKeep:
+          break;
+        case RouteAdvice::Action::kHoldHysteresis:
+          rung = "hold-hysteresis";
+          break;
+        case RouteAdvice::Action::kHoldDwell:
+          rung = "hold-dwell";
+          break;
+        case RouteAdvice::Action::kReroute:
+          rung = took ? "reroute" : "reroute-rejected";
+          break;
+      }
+      sr->instant(now, obs::SpanKind::kRouteDecision, view.session_tag, 0, 0,
+                  rung, advice.current_remaining_s);
     }
   }
   return applied;

@@ -65,6 +65,9 @@ struct SessionView {
   std::uint64_t remaining_bytes = 0;
   /// Depots failure recovery has blacklisted; never reroute targets.
   std::vector<net::NodeId> blacklist;
+  /// Session correlation hash (SessionIdHash) for span emission; 0 tags the
+  /// advisor's verdict as a global context event.
+  std::uint64_t session_tag = 0;
 };
 
 /// One evaluation's outcome, with the inputs that justified it.

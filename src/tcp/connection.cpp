@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "tcp/stack.hpp"
 #include "util/log.hpp"
@@ -430,7 +431,10 @@ void Connection::on_persist() {
 void Connection::arm_rto() {
   if (flight() > 0 || state_ == TcpState::kSynSent ||
       state_ == TcpState::kSynRcvd) {
-    rto_timer_.arm_if_idle(rtt_.rto());
+    if (!rto_timer_.armed()) {
+      rto_timer_.arm(rtt_.rto());
+      rto_armed_at_ = sim_.now();
+    }
   }
 }
 
@@ -438,6 +442,7 @@ void Connection::restart_rto_if_needed() {
   rto_timer_.cancel();
   if (flight() > 0) {
     rto_timer_.arm(rtt_.rto());
+    rto_armed_at_ = sim_.now();
   }
 }
 
@@ -455,6 +460,16 @@ void Connection::on_rto() {
   if (obs::TraceRecorder* tr = obs::tracer()) {
     tr->instant(sim_.now(), "tcp", "tcp.rto", snd_una_);
   }
+  if (stream_span_ != 0 && sim_.now() > rto_armed_at_) {
+    if (obs::SpanRecorder* sr = obs::spans()) {
+      // Retroactive dead-air episode: no ACK progress from the last RTO arm
+      // to the timeout firing. --explain shifts this window from streaming
+      // into the retransmit-dominated bucket (obs/explain.cpp).
+      sr->complete(rto_armed_at_, sim_.now() - rto_armed_at_,
+                   obs::SpanKind::kRtoWait, span_session_, stream_span_,
+                   "rto");
+    }
+  }
   timing_active_ = false;  // Karn: never sample retransmitted data
   rtt_.backoff();
 
@@ -469,6 +484,7 @@ void Connection::on_rto() {
     ++stats_.retransmits;
     send_control(net::kFlagSyn, 0);
     rto_timer_.arm(rtt_.rto());
+    rto_armed_at_ = sim_.now();
     return;
   }
 
@@ -500,6 +516,7 @@ void Connection::on_rto() {
     }
   }
   rto_timer_.arm(rtt_.rto());
+  rto_armed_at_ = sim_.now();
 }
 
 // ---------------------------------------------------------------------------
@@ -529,6 +546,7 @@ void Connection::handle_packet(const net::Packet& packet) {
       if (obs::TraceRecorder* tr = obs::tracer()) {
         tr->instant(sim_.now(), "tcp", "tcp.established", local_port_);
       }
+      span_on_established();
       restart_rto_if_needed();
       send_pure_ack();
       if (on_connected) {
@@ -926,8 +944,62 @@ void Connection::advance_handshake_established() {
   if (obs::TraceRecorder* tr = obs::tracer()) {
     tr->instant(sim_.now(), "tcp", "tcp.established", local_port_);
   }
+  span_on_established();
   restart_rto_if_needed();
   stack_.deliver_accept(ConnKey{remote_node_, local_port_, remote_port_});
+}
+
+void Connection::set_span_context(std::uint64_t session,
+                                  std::uint64_t parent) {
+  span_session_ = session;
+  span_parent_ = parent;
+  obs::SpanRecorder* sr = obs::spans();
+  if (sr == nullptr) {
+    return;
+  }
+  if (state_ == TcpState::kSynSent || state_ == TcpState::kSynRcvd ||
+      state_ == TcpState::kClosed) {
+    connect_span_ = sr->begin(sim_.now(), obs::SpanKind::kConnect,
+                              span_session_, span_parent_);
+  } else if (state_ == TcpState::kEstablished) {
+    stream_span_ = sr->begin(sim_.now(), obs::SpanKind::kStream,
+                             span_session_, span_parent_);
+  }
+}
+
+void Connection::span_on_established() {
+  if (span_session_ == 0) {
+    return;
+  }
+  obs::SpanRecorder* sr = obs::spans();
+  if (sr == nullptr) {
+    return;
+  }
+  if (connect_span_ != 0) {
+    sr->end(sim_.now(), obs::SpanKind::kConnect, connect_span_,
+            span_session_, "established");
+    connect_span_ = 0;
+  }
+  stream_span_ = sr->begin(sim_.now(), obs::SpanKind::kStream, span_session_,
+                           span_parent_);
+}
+
+void Connection::end_spans(const char* reason) {
+  if (connect_span_ == 0 && stream_span_ == 0) {
+    return;
+  }
+  if (obs::SpanRecorder* sr = obs::spans()) {
+    if (connect_span_ != 0) {
+      sr->end(sim_.now(), obs::SpanKind::kConnect, connect_span_,
+              span_session_, reason);
+    }
+    if (stream_span_ != 0) {
+      sr->end(sim_.now(), obs::SpanKind::kStream, stream_span_,
+              span_session_, reason);
+    }
+  }
+  connect_span_ = 0;
+  stream_span_ = 0;
 }
 
 void Connection::on_fin_acked() {
@@ -961,6 +1033,7 @@ void Connection::become_dead() {
   if (obs::TraceRecorder* tr = obs::tracer()) {
     tr->instant(sim_.now(), "tcp", "tcp.closed", local_port_);
   }
+  end_spans(error_ != ConnectionError::kNone ? to_string(error_) : "closed");
   rto_timer_.cancel();
   persist_timer_.cancel();
   time_wait_timer_.cancel();

@@ -158,6 +158,16 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// One-line internal state summary for diagnostics.
   [[nodiscard]] std::string debug_string() const;
 
+  // ---- causal spans (obs/span.hpp) -------------------------------------
+  /// Attribute this connection's lifecycle to a session: from here on it
+  /// emits Connect / Stream spans parented under `parent` (typically the
+  /// owning attempt span) and RtoWait episodes, tagged with the session
+  /// hash. Call right after connect(); no-op while span recording is off.
+  void set_span_context(std::uint64_t session, std::uint64_t parent);
+  /// Close any span this connection opened (idempotent; become_dead calls
+  /// it with the error string, owners may call it earlier on detach).
+  void end_spans(const char* reason);
+
  private:
   friend class TcpStack;
 
@@ -203,6 +213,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void restart_rto_if_needed();
 
   void advance_handshake_established();
+  void span_on_established();
   void on_fin_acked();
   void enter_time_wait();
   void become_dead();
@@ -271,6 +282,13 @@ class Connection : public std::enable_shared_from_this<Connection> {
   ConnectionStats stats_;
   TcpMetrics* metrics_ = nullptr;  ///< shared instruments (may be null)
   std::uint64_t next_packet_uid_ = 1;
+
+  // Causal span attribution (0 = no context / span closed).
+  std::uint64_t span_session_ = 0;
+  std::uint64_t span_parent_ = 0;
+  std::uint64_t connect_span_ = 0;
+  std::uint64_t stream_span_ = 0;
+  SimTime rto_armed_at_ = SimTime::zero();
 };
 
 }  // namespace lsl::tcp

@@ -247,6 +247,76 @@ TEST(ObsMetricsTest, HistogramQuantileMatchesExactPercentile) {
   EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max());
 }
 
+TEST(ObsMetricsTest, ExponentialHistogramLayoutAndTail) {
+  obs::Registry reg;
+  // Bounds 1, 2, 4, ..., 128 plus the overflow bucket.
+  obs::Histogram& h = reg.histogram_exp("test.exp", 1.0, 8);
+  ASSERT_EQ(h.bounds().size(), 8u);
+  for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+    EXPECT_DOUBLE_EQ(h.bounds()[i], static_cast<double>(1u << i));
+  }
+  // Same name returns the same instrument regardless of constructor used.
+  EXPECT_EQ(&reg.histogram_exp("test.exp", 1.0, 8), &h);
+  EXPECT_EQ(&reg.histogram("test.exp", {}), &h);
+
+  // A heavy-tailed sample: 990 fast observations, 10 slow outliers. The
+  // tail quantiles must see the outliers even though the mean barely moves.
+  for (int i = 0; i < 990; ++i) {
+    h.observe(1.5);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.observe(100.0);
+  }
+  EXPECT_LE(h.quantile(0.90), 2.0);
+  EXPECT_GT(h.quantile(0.999), 64.0);
+  EXPECT_LE(h.quantile(0.999), 128.0);
+}
+
+TEST(ObsMetricsTest, JsonExportsTailQuantiles) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram_exp("test.latency", 1.0, 6);
+  for (int i = 0; i < 100; ++i) {
+    h.observe(static_cast<double>(i % 10) + 1.0);
+  }
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+}
+
+TEST(ObsMetricsTest, PromExportFormat) {
+  obs::Registry reg;
+  reg.counter("tcp.conn.retransmits").inc(3);
+  reg.gauge("lsl.depot.buffer_occupancy").set(4096.0);
+  reg.gauge("lsl.depot.buffer_occupancy").set(512.0);
+  obs::Histogram& h =
+      reg.histogram("tcp.conn.rtt_ms", obs::exponential_buckets(1.0, 2.0, 3));
+  h.observe(1.5);  // <= 2
+  h.observe(3.0);  // <= 4
+  h.observe(50.0);  // overflow
+  const std::string prom = reg.to_prom();
+
+  // Dotted names map to underscores, with TYPE lines per series.
+  EXPECT_NE(prom.find("# TYPE tcp_conn_retransmits counter\n"
+                      "tcp_conn_retransmits 3\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("lsl_depot_buffer_occupancy 512\n"), std::string::npos);
+  // Gauges publish their high-water mark as a companion series.
+  EXPECT_NE(prom.find("lsl_depot_buffer_occupancy_high_water 4096\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative with an +Inf terminal bucket.
+  EXPECT_NE(prom.find("# TYPE tcp_conn_rtt_ms histogram"), std::string::npos);
+  EXPECT_NE(prom.find("tcp_conn_rtt_ms_bucket{le=\"2\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tcp_conn_rtt_ms_bucket{le=\"4\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tcp_conn_rtt_ms_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tcp_conn_rtt_ms_count 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("tcp_conn_rtt_ms_sum 54.5\n"), std::string::npos);
+}
+
 TEST(ObsMetricsTest, RegistryResetKeepsRegistrations) {
   obs::Registry reg;
   reg.counter("a").inc(7);

@@ -101,6 +101,36 @@ TEST(ParallelTest, MergesPerTrialMetricsInTrialOrder) {
   }
 }
 
+TEST(ParallelTest, GaugeHighWaterResetsPerTrialAndMergesAsMax) {
+  // Regression: the serial path used to run trials directly against the
+  // caller's registry, so gauge values accumulated across trials and the
+  // merged high-water mark depended on --jobs. Every jobs value must see
+  // the per-trial peak (reset each trial), merged as the max over trials.
+  constexpr std::size_t kTrials = 12;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{8}}) {
+    obs::Registry parent;
+    {
+      obs::ScopedRegistry scope(parent);
+      exp::TrialOptions options;
+      options.jobs = jobs;
+      exp::for_each_trial(kTrials, options, [](std::size_t trial) {
+        obs::Gauge& g = obs::Registry::global().gauge("test.occupancy");
+        // Occupancy rises to a per-trial peak and drains back to zero. If
+        // trial state leaked across trials, the accumulated peak would be
+        // the sum of all trials' peaks instead of the largest one.
+        const double peak = static_cast<double>(trial % 5) + 1.0;
+        g.add(peak);
+        g.add(-peak);
+      });
+    }
+    EXPECT_DOUBLE_EQ(parent.gauge("test.occupancy").high_water(), 5.0)
+        << "jobs=" << jobs;
+    EXPECT_DOUBLE_EQ(parent.gauge("test.occupancy").value(), 0.0)
+        << "jobs=" << jobs;
+  }
+}
+
 TEST(ParallelTest, AppendsPerTrialTracesInTrialOrder) {
   constexpr std::size_t kTrials = 24;
   for (const std::size_t jobs : {std::size_t{1}, std::size_t{2},

@@ -26,7 +26,9 @@
 #include "lsl/depot.hpp"
 #include "lsl/recovery.hpp"
 #include "nws/monitor.hpp"
+#include "obs/explain.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sched/route_advisor.hpp"
 #include "sched/scheduler.hpp"
@@ -41,7 +43,9 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: lslsim <scenario-file> [--seed N] [--sweep] [--jobs N]\n"
-               "              [--metrics=<path>] [--trace=<path>] [--profile]\n"
+               "              [--metrics=<path>] [--metrics-format=json|prom]\n"
+               "              [--trace=<path>] [--spans=<path>] [--profile]\n"
+               "              [--explain[=SESSION]]\n"
                "       lslsim --pool-size N [--seed N] [--jobs N]\n"
                "              [--metrics=<path>]\n"
                "  Runs the transfers described in the scenario file over the\n"
@@ -52,9 +56,16 @@ void usage() {
                "  threads (output is bitwise identical for any N; 0 = one\n"
                "  worker per hardware thread). Ignored without --sweep: the\n"
                "  transfers of a single run share one simulation.\n"
-               "  --metrics=<path> writes a JSON snapshot of every metric.\n"
+               "  --metrics=<path> writes a snapshot of every metric;\n"
+               "  --metrics-format=prom selects the Prometheus text format\n"
+               "  instead of JSON.\n"
                "  --trace=<path> writes Chrome trace-event JSON (load it in\n"
                "  Perfetto or chrome://tracing).\n"
+               "  --spans=<path> writes the causal span stream as JSON.\n"
+               "  --explain prints a per-transfer wall-time breakdown\n"
+               "  (streaming / connect / stall / backoff / probe / handover\n"
+               "  / retransmit-dominated); --explain=SESSION limits it to\n"
+               "  one session hash (hex). Identical for any --jobs value.\n"
                "  --pool-size N skips the packet simulator entirely and runs\n"
                "  the section 4.2 speedup sweep over a synthetic PlanetLab\n"
                "  pool of ~N hosts (fixed topology seed; --seed varies the\n"
@@ -66,7 +77,9 @@ void usage() {
                "  enable session recovery and adaptive rerouting; the\n"
                "  status column then reports ok / recovered(xN) /\n"
                "  rerouted(xN) / FAILED per transfer. Exit status is\n"
-               "  nonzero when any session fails or a connection leaks.\n"
+               "  nonzero when any session fails or a connection leaks;\n"
+               "  an always-on flight recorder then dumps a post-mortem of\n"
+               "  each failed session's recent span events to stderr.\n"
                "  LSL_LOG=debug enables protocol traces; LSL_METRICS=off\n"
                "  disables the built-in instrumentation.\n");
 }
@@ -115,7 +128,11 @@ int main(int argc, char** argv) {
   std::size_t jobs = 1;
   std::size_t pool_size = 0;
   const char* metrics_path = nullptr;
+  bool metrics_prom = false;
   const char* trace_path = nullptr;
+  const char* spans_path = nullptr;
+  bool explain = false;
+  std::uint64_t explain_session = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
@@ -129,8 +146,23 @@ int main(int argc, char** argv) {
       profile = true;
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
       metrics_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--metrics-format=", 17) == 0) {
+      const char* format = argv[i] + 17;
+      if (std::strcmp(format, "prom") == 0) {
+        metrics_prom = true;
+      } else if (std::strcmp(format, "json") != 0) {
+        std::fprintf(stderr, "lslsim: unknown metrics format '%s'\n", format);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--spans=", 8) == 0) {
+      spans_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else if (std::strncmp(argv[i], "--explain=", 10) == 0) {
+      explain = true;
+      explain_session = std::strtoull(argv[i] + 10, nullptr, 16);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       usage();
       return 0;
@@ -153,6 +185,12 @@ int main(int argc, char** argv) {
   if (trace_path != nullptr) {
     lsl::obs::set_tracer(&recorder);
   }
+  // Span recording is always on: a bounded per-session flight recorder in
+  // normal runs (cheap; feeds the failure post-mortem), the full unbounded
+  // log when --explain or --spans needs complete coverage.
+  const bool full_spans = explain || spans_path != nullptr;
+  lsl::obs::SpanRecorder span_recorder(full_spans ? 0 : 64);
+  lsl::obs::set_spans(&span_recorder);
 
   lsl::exp::Scenario scenario;
   if (path != nullptr) {
@@ -192,12 +230,29 @@ int main(int argc, char** argv) {
   // Everything after the runs: kernel profile on stdout, metrics snapshot
   // and Chrome trace to their files.
   const auto finish = [&](bool ok) {
+    if (explain) {
+      const auto breakdowns =
+          lsl::obs::account_spans(span_recorder.snapshot());
+      std::printf("\n%s",
+                  lsl::obs::render_breakdowns(breakdowns, explain_session)
+                      .c_str());
+    }
     if (profile) {
       std::printf("\n%s", total_profile.str().c_str());
     }
     if (metrics_path != nullptr) {
       total_profile.export_metrics(lsl::obs::Registry::global());
-      if (!lsl::obs::Registry::global().write_json(metrics_path)) {
+      bool wrote = false;
+      if (metrics_prom) {
+        std::ofstream out(metrics_path);
+        if (out) {
+          out << lsl::obs::Registry::global().to_prom();
+          wrote = out.good();
+        }
+      } else {
+        wrote = lsl::obs::Registry::global().write_json(metrics_path);
+      }
+      if (!wrote) {
         std::fprintf(stderr, "lslsim: cannot write %s\n", metrics_path);
         ok = false;
       }
@@ -209,6 +264,35 @@ int main(int argc, char** argv) {
       }
       lsl::obs::set_tracer(nullptr);
     }
+    if (spans_path != nullptr && !span_recorder.write_json(spans_path)) {
+      std::fprintf(stderr, "lslsim: cannot write %s\n", spans_path);
+      ok = false;
+    }
+    if (!ok) {
+      // Flight-recorder post-mortem: dump the recent span history of every
+      // session that failed or never finished, failover chain included.
+      for (const std::uint64_t session : span_recorder.sessions()) {
+        bool troubled = false;
+        bool closed = false;
+        for (const auto& ev : span_recorder.session_events(session)) {
+          if (ev.kind != lsl::obs::SpanKind::kSession &&
+              ev.kind != lsl::obs::SpanKind::kTransfer) {
+            continue;
+          }
+          if (ev.phase == lsl::obs::SpanPhase::kEnd) {
+            closed = true;
+            if (std::strcmp(ev.reason, "failed") == 0) {
+              troubled = true;
+            }
+          }
+        }
+        if (troubled || !closed) {
+          std::fprintf(stderr, "%s",
+                       span_recorder.post_mortem(session).c_str());
+        }
+      }
+    }
+    lsl::obs::set_spans(nullptr);
     return ok ? 0 : 1;
   };
 
