@@ -104,6 +104,7 @@ session::TransferSpec SimHarness::bind_session(
     // The same single rng draw the endpoint would have made on our behalf.
     bound.session_id = session::SessionId::random(rng_);
   }
+  pending.outcome.session_hash = session::SessionIdHash{}(*bound.session_id);
   if (obs::SpanRecorder* sr = obs::spans()) {
     pending.session_span =
         sr->begin(sim_.now(), obs::SpanKind::kSession,

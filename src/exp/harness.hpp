@@ -61,6 +61,9 @@ class SimHarness {
     std::uint64_t bytes = 0;
     SimTime elapsed = SimTime::zero();
     Bandwidth goodput;
+    /// SessionIdHash of the bound session id -- joins this outcome to span
+    /// streams and mc::Invariants observations, which key by the same hash.
+    std::uint64_t session_hash = 0;
   };
 
   /// Handle for a launched transfer.

@@ -510,8 +510,12 @@ nws::TruthFn topology_truth(net::Topology& topology) {
 std::vector<ScenarioOutcome> run_scenario(
     const Scenario& scenario, std::uint64_t seed,
     SimTime per_transfer_deadline, sim::KernelProfile* profile_out,
-    std::size_t* leaked_connections_out) {
+    std::size_t* leaked_connections_out,
+    const std::function<void(SimHarness&)>& on_harness) {
   SimHarness harness(seed);
+  if (on_harness) {
+    on_harness(harness);
+  }
   if (profile_out != nullptr) {
     harness.simulator().set_profiling(true);
   }

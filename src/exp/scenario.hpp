@@ -54,6 +54,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -182,11 +183,14 @@ struct ScenarioOutcome {
 /// is enabled for the run and the final profile is stored there. When
 /// `leaked_connections_out` is non-null, teardown is drained after the last
 /// transfer and the number of TCP connections still alive anywhere is
-/// stored there (nonzero = a leak).
+/// stored there (nonzero = a leak). `on_harness` (when set) runs right
+/// after harness construction, before any hosts or transfers exist -- the
+/// model checker uses it to install its ChoiceHook on the simulator.
 [[nodiscard]] std::vector<ScenarioOutcome> run_scenario(
     const Scenario& scenario, std::uint64_t seed,
     SimTime per_transfer_deadline = SimTime::seconds(3600),
     sim::KernelProfile* profile_out = nullptr,
-    std::size_t* leaked_connections_out = nullptr);
+    std::size_t* leaked_connections_out = nullptr,
+    const std::function<void(SimHarness&)>& on_harness = nullptr);
 
 }  // namespace lsl::exp

@@ -1,5 +1,7 @@
 #include "fault/injector.hpp"
 
+#include <algorithm>
+
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -34,12 +36,34 @@ FaultInjector::FaultInjector(sim::Simulator& sim, net::Topology& topology)
 
 void FaultInjector::schedule(const FaultPlan& plan) {
   for (const FaultSpec& fault : plan.sorted()) {
-    sim_.schedule_at(fault.at, [this, fault] { apply(fault); }, "fault.apply");
+    // The actor tag tells a model-checking ChoiceHook which fault events
+    // commute: faults on distinct targets are independent, so the explorer
+    // never wastes runs reordering them against each other. +1 keeps node 0
+    // distinct from the "unknown" actor.
+    const std::uint32_t actor = actor_of(fault);
+    sim_.schedule_at(fault.at, [this, fault] { apply(fault); }, "fault.apply",
+                     actor);
     if (!fault.permanent()) {
       sim_.schedule_at(fault.at + fault.duration,
-                       [this, fault] { heal(fault); }, "fault.heal");
+                       [this, fault] { heal(fault); }, "fault.heal", actor);
     }
   }
+}
+
+std::uint32_t FaultInjector::actor_of(const FaultSpec& fault) {
+  switch (fault.kind) {
+    case FaultKind::kDepotCrash:
+      return fault.node + 1;
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkBrownout:
+      // Both endpoints identify the duplex pair; fold them symmetrically so
+      // the same pair always maps to the same actor, distinct from depots.
+      return ((std::min(fault.link_a, fault.link_b) + 1) << 16) ^
+             (std::max(fault.link_a, fault.link_b) + 1);
+    case FaultKind::kNwsBlackout:
+      return 0;  // global: conservatively dependent on everything
+  }
+  return 0;
 }
 
 void FaultInjector::apply(const FaultSpec& fault) {

@@ -65,6 +65,11 @@ class FaultInjector {
   /// Schedule every fault (and its heal, when transient) onto the kernel.
   void schedule(const FaultPlan& plan);
 
+  /// ChoiceHook commutativity tag for a fault's apply/heal events: faults
+  /// on distinct targets get distinct nonzero actors (they commute); global
+  /// faults (NWS blackout) get 0 (dependent on everything).
+  [[nodiscard]] static std::uint32_t actor_of(const FaultSpec& fault);
+
   [[nodiscard]] const InjectorStats& stats() const { return stats_; }
   [[nodiscard]] int active_faults() const { return active_; }
 

@@ -52,4 +52,71 @@ std::vector<FaultSpec> FaultPlan::sorted() const {
   return out;
 }
 
+std::vector<FaultPlan> perturbations(const FaultPlan& plan,
+                                     const PerturbSpec& spec) {
+  std::vector<FaultPlan> out;
+  if (spec.include_original) {
+    out.push_back(plan);
+  }
+  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+    for (const SimTime offset : spec.offsets) {
+      SimTime shifted = plan.faults[i].at + offset;
+      if (shifted < SimTime::zero()) {
+        shifted = SimTime::zero();
+      }
+      if (shifted == plan.faults[i].at) {
+        continue;  // a no-op variant (zero offset, or clamped onto original)
+      }
+      FaultPlan variant = plan;
+      variant.faults[i].at = shifted;
+      out.push_back(std::move(variant));
+    }
+  }
+  return out;
+}
+
+FaultPlan random_plan(const RandomPlanSpec& spec, Rng& rng) {
+  LSL_ASSERT_MSG(!spec.depots.empty() || !spec.links.empty(),
+                 "random_plan needs at least one fault candidate");
+  LSL_ASSERT_MSG(spec.min_faults >= 0 && spec.max_faults >= spec.min_faults,
+                 "bad fault count range");
+  FaultPlan plan;
+  const int count = static_cast<int>(
+      rng.uniform_int(spec.min_faults, spec.max_faults));
+  for (int i = 0; i < count; ++i) {
+    FaultSpec fault;
+    // Depot crashes dominate the draw when both spaces exist: they exercise
+    // the recovery protocol (blacklist, probe, resume) most directly.
+    const bool depot_fault =
+        !spec.depots.empty() &&
+        (spec.links.empty() || rng.next_double() < 0.5);
+    if (depot_fault) {
+      fault.kind = FaultKind::kDepotCrash;
+      fault.node = spec.depots[rng.pick_index(spec.depots.size())];
+    } else {
+      const auto& link = spec.links[rng.pick_index(spec.links.size())];
+      fault.link_a = link.first;
+      fault.link_b = link.second;
+      if (rng.next_double() < 0.5) {
+        fault.kind = FaultKind::kLinkDown;
+      } else {
+        fault.kind = FaultKind::kLinkBrownout;
+        fault.loss = rng.uniform(0.05, 0.5);
+        fault.rate_factor = rng.uniform(0.05, 1.0);
+      }
+    }
+    fault.at = SimTime::from_seconds(
+        rng.uniform(0.0, spec.horizon.to_seconds()));
+    const SimTime span = spec.max_duration - spec.min_duration;
+    fault.duration =
+        spec.min_duration +
+        SimTime::from_seconds(rng.uniform(0.0, span.to_seconds()));
+    if (fault.duration <= SimTime::zero()) {
+      fault.duration = SimTime::milliseconds(1);  // never permanent
+    }
+    plan.add(fault);
+  }
+  return plan;
+}
+
 }  // namespace lsl::fault

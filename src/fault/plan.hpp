@@ -69,4 +69,36 @@ struct FaultPlan {
   [[nodiscard]] bool empty() const { return faults.empty(); }
 };
 
+// ---- schedule perturbation (model checking / fuzzing) ----------------------
+
+/// Systematic single-fault time shifts: each variant moves exactly one fault
+/// by one offset, which is how the explorer probes "what if this fault had
+/// landed during the offset query / the handover drain / the backoff".
+struct PerturbSpec {
+  std::vector<SimTime> offsets;   ///< shifts applied to one fault at a time
+  bool include_original = true;   ///< variant 0 is the unmodified plan
+};
+
+/// Expand `plan` into perturbed variants: the original (optionally), then
+/// one plan per (fault, offset) pair with that fault's `at` shifted and
+/// clamped at zero. Shifts that land exactly on the original time are
+/// dropped. Deterministic; no rng involved.
+[[nodiscard]] std::vector<FaultPlan> perturbations(const FaultPlan& plan,
+                                                   const PerturbSpec& spec);
+
+/// Candidate space for seeded random fault plans (the fault fuzzer).
+struct RandomPlanSpec {
+  std::vector<net::NodeId> depots;  ///< depot-crash candidates
+  std::vector<std::pair<net::NodeId, net::NodeId>> links;  ///< link faults
+  int min_faults = 1;
+  int max_faults = 4;
+  SimTime horizon = SimTime::seconds(20);  ///< fault times drawn in [0, horizon)
+  SimTime min_duration = SimTime::milliseconds(50);
+  SimTime max_duration = SimTime::seconds(4);
+};
+
+/// Draw a random fault plan from `spec` using `rng`; identical (spec, rng
+/// state) always yields the identical plan.
+[[nodiscard]] FaultPlan random_plan(const RandomPlanSpec& spec, Rng& rng);
+
 }  // namespace lsl::fault

@@ -4,6 +4,7 @@
 #include <span>
 #include <utility>
 
+#include "mc/hooks.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -188,6 +189,10 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
 
     if (hdr_.dst == me) {
       phase_ = Phase::kDelivering;
+      // Resumable unicast deliveries write the progress ledger and account
+      // through it. Striped sessions reuse one session id across parallel
+      // byte streams, so a shared scalar offset is meaningless for them.
+      ledger_tracked_ = !(hdr_.stripe.has_value() && hdr_.stripe->count > 1);
       if (hdr_.resume_offset > 0) {
         // Resumed session: the source restarts the payload stream at our
         // committed offset, so account delivery on top of that base.
@@ -352,6 +357,8 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
   /// downstream leg is the pipeline bottleneck and backpressure has reached
   /// the upstream socket.
   void account_buffer() {
+    LSL_PROTO_CHECK(buf_base_ <= buf_high_,
+                    "relay buffer window inverted (base > high)");
     if (depot_.metrics_ != nullptr) {
       depot_.metrics_->buffer_occupancy->set(
           static_cast<double>(user_used()));
@@ -405,15 +412,41 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
       }
       payload_seen_ += r.n;
       if (phase_ == Phase::kDelivering) {
-        depot_.stats_.bytes_delivered += r.n;
-        if (depot_.metrics_ != nullptr) {
-          depot_.metrics_->bytes_delivered->inc(r.n);
-        }
-        // Live resume watermark: these bytes have reached the receiving
-        // application, so offset probes see delivery progress as it
-        // happens and a crash from here on never resends them.
-        depot_.commit_progress(hdr_.session_id, resume_base_ + payload_seen_);
+        deliver_chunk(r.n);
       }
+    }
+  }
+
+  /// Hand one drained chunk to the receiving application and account it.
+  /// Ledger-tracked deliveries are deduplicated against the committed
+  /// offset: a resumed attempt whose resume base came from a *stale* offset
+  /// probe (the race: an old relay's salvage commit lands after the probe
+  /// was answered) re-sends bytes the application already consumed, and
+  /// those must be dropped from delivery accounting, not counted twice.
+  void deliver_chunk(std::uint64_t n) {
+    const std::uint64_t hi = resume_base_ + payload_seen_;
+    std::uint64_t lo = hi - n;
+    if (ledger_tracked_) {
+      // Live resume watermark: commit before accounting so offset probes
+      // see delivery progress as it happens, and so the previous committed
+      // value bounds what of this chunk is genuinely new.
+      const std::uint64_t previous =
+          depot_.commit_progress(hdr_.session_id, hi);
+      if (!LSL_MC_MUTATION("skip_delivery_dedup")) {
+        lo = std::max(lo, std::min(previous, hi));
+      }
+    }
+    if (lo >= hi) {
+      return;  // the whole chunk was already delivered by an earlier relay
+    }
+    const std::uint64_t fresh = hi - lo;
+    depot_.stats_.bytes_delivered += fresh;
+    if (depot_.metrics_ != nullptr) {
+      depot_.metrics_->bytes_delivered->inc(fresh);
+    }
+    if (mc::ProtocolObserver* po = mc::observer();
+        po != nullptr && ledger_tracked_) {
+      po->on_deliver(SessionIdHash{}(hdr_.session_id), lo, hi);
     }
   }
 
@@ -553,7 +586,9 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
         // Keep the full total in the ledger (instead of erasing) so a late
         // offset probe reads "everything committed" and the source resends
         // nothing rather than everything.
-        depot_.commit_progress(header.session_id, bytes);
+        if (ledger_tracked_) {
+          depot_.commit_progress(header.session_id, bytes);
+        }
         up_->close();
         done();
         depot_.session_delivered(header, bytes, accepted);
@@ -599,9 +634,9 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
     if (phase_ == Phase::kDelivering) {
       // Commit whatever arrived before the failure so the source can resume
       // from here instead of byte 0; bytes still queued in the socket are
-      // salvaged first.
+      // salvaged first (deliver_chunk commits each salvaged chunk).
       drain_locally();
-      if (resume_base_ + payload_seen_ > 0) {
+      if (ledger_tracked_ && resume_base_ + payload_seen_ > 0) {
         depot_.commit_progress(hdr_.session_id, resume_base_ + payload_seen_);
       }
     }
@@ -681,6 +716,10 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
   std::uint64_t fetch_remaining_ = 0;
   SimTime accepted_at_;
   std::uint64_t user_buffer_granted_ = 0;
+  /// True for resumable unicast deliveries that account through the
+  /// progress ledger (multicast leaves and striped arrivals stay out: their
+  /// ids collide across branches/stripes, so ledger dedup would misfire).
+  bool ledger_tracked_ = false;
   bool stalled_ = false;            ///< relay buffer currently full
   SimTime stall_since_ = SimTime::zero();
   std::vector<Child> children_;
@@ -834,6 +873,10 @@ void Depot::store_session(const SessionHeader& header, std::uint64_t bytes) {
 
 std::uint64_t Depot::reserve_user_memory() {
   if (config_.total_user_memory_bytes == 0) {
+    if (mc::ProtocolObserver* po = mc::observer()) {
+      po->on_buffer(node_id(),
+                    static_cast<std::int64_t>(config_.user_buffer_bytes));
+    }
     return config_.user_buffer_bytes;  // unlimited pool
   }
   const std::uint64_t available =
@@ -846,31 +889,50 @@ std::uint64_t Depot::reserve_user_memory() {
     return 0;
   }
   user_memory_in_use_ += grant;
+  if (mc::ProtocolObserver* po = mc::observer()) {
+    po->on_buffer(node_id(), static_cast<std::int64_t>(grant));
+  }
   return grant;
 }
 
 void Depot::release_user_memory(std::uint64_t bytes) {
-  if (config_.total_user_memory_bytes == 0 || bytes == 0) {
+  if (bytes == 0) {
     return;
+  }
+  if (mc::ProtocolObserver* po = mc::observer()) {
+    po->on_buffer(node_id(), -static_cast<std::int64_t>(bytes));
+  }
+  if (config_.total_user_memory_bytes == 0) {
+    return;  // unlimited pool: no shared accounting to update
   }
   LSL_ASSERT(user_memory_in_use_ >= bytes);
   user_memory_in_use_ -= bytes;
 }
 
-void Depot::commit_progress(const SessionId& id, std::uint64_t bytes) {
+std::uint64_t Depot::commit_progress(const SessionId& id,
+                                     std::uint64_t bytes) {
   // Bounded ledger: enough for every live recovery plus a long tail of
   // completed sessions, evicted FIFO.
   constexpr std::size_t kMaxProgressEntries = 4096;
   const auto [it, inserted] = progress_.try_emplace(id, bytes);
+  std::uint64_t previous = 0;
   if (!inserted) {
+    previous = it->second;
     it->second = std::max(it->second, bytes);  // progress never regresses
-    return;
+    LSL_PROTO_CHECK(it->second >= previous,
+                    "committed offset regressed in ledger");
+  } else {
+    progress_order_.push_back(id);
+    while (progress_.size() > kMaxProgressEntries &&
+           !progress_order_.empty()) {
+      progress_.erase(progress_order_.front());
+      progress_order_.pop_front();
+    }
   }
-  progress_order_.push_back(id);
-  while (progress_.size() > kMaxProgressEntries && !progress_order_.empty()) {
-    progress_.erase(progress_order_.front());
-    progress_order_.pop_front();
+  if (mc::ProtocolObserver* po = mc::observer()) {
+    po->on_commit(SessionIdHash{}(id), previous, std::max(previous, bytes));
   }
+  return previous;
 }
 
 std::uint64_t Depot::committed_offset(const SessionId& id) const {

@@ -155,8 +155,9 @@ class Depot {
   void session_delivered(const SessionHeader& header, std::uint64_t bytes,
                          SimTime accepted_at);
   /// Record delivery progress for resume (monotonic per session, bounded
-  /// ledger with FIFO eviction).
-  void commit_progress(const SessionId& id, std::uint64_t bytes);
+  /// ledger with FIFO eviction). Returns the previous committed value (0
+  /// for a new entry) so delivery accounting can deduplicate against it.
+  std::uint64_t commit_progress(const SessionId& id, std::uint64_t bytes);
   /// Reserve relay buffer memory from the depot-wide pool; returns the
   /// granted byte count (0 when the pool cannot meet the minimum grant).
   [[nodiscard]] std::uint64_t reserve_user_memory();

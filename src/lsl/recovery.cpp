@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "mc/hooks.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
@@ -102,6 +103,11 @@ ReliableTransfer::Ptr ReliableTransfer::start(tcp::TcpStack& stack,
 }
 
 void ReliableTransfer::launch_attempt() {
+  if (mc::ProtocolObserver* po = mc::observer()) {
+    // Observation point: an attempt must never ride a blacklisted depot
+    // (mc::Invariants cross-checks via against the live blacklist).
+    po->on_attempt(SessionIdHash{}(id_), current_via_, blacklist_);
+  }
   state_ = State::kRunning;
   TransferSpec attempt = spec_;
   attempt.session_id = id_;
@@ -407,6 +413,8 @@ void ReliableTransfer::probe_finish(std::optional<std::uint64_t> offset) {
 }
 
 void ReliableTransfer::relaunch_with(std::uint64_t sink_committed) {
+  LSL_PROTO_CHECK(std::min(sink_committed, total_bytes_) >= committed_,
+                  "resume offset regressed below committed");
   committed_ = std::min(sink_committed, total_bytes_);
   if (metrics_ != nullptr && committed_ > saved_accounted_) {
     metrics_->resumed_bytes_saved->inc(committed_ - saved_accounted_);
@@ -414,6 +422,11 @@ void ReliableTransfer::relaunch_with(std::uint64_t sink_committed) {
   }
   if (provider_) {
     current_via_ = provider_(blacklist_);
+  } else if (LSL_MC_MUTATION("skip_blacklist_filter")) {
+    // Seeded bug (mutation smoke, mc_test): relaunch over the original via
+    // list without dropping blacklisted depots -- reverts the guard below
+    // so the explorer must flag the re-selection through on_attempt.
+    current_via_ = spec_.via;
   } else {
     // Default reroute: drop blacklisted depots from the requested via list,
     // degrading to the direct path when every relay has failed.

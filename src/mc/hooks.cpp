@@ -1,0 +1,43 @@
+#include "mc/hooks.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace lsl::mc {
+
+namespace {
+
+thread_local ProtocolObserver* t_observer = nullptr;
+// A handful of names at most, switched only from tests: a flat vector beats
+// any hashed container and keeps the disabled path to one empty() check.
+thread_local std::vector<std::string>* t_mutations = nullptr;
+
+}  // namespace
+
+ProtocolObserver* observer() { return t_observer; }
+
+void set_observer(ProtocolObserver* obs) { t_observer = obs; }
+
+bool mutation_enabled(std::string_view name) {
+  if (t_mutations == nullptr) {
+    return false;
+  }
+  return std::find(t_mutations->begin(), t_mutations->end(), name) !=
+         t_mutations->end();
+}
+
+void set_mutation(std::string_view name) {
+  if (t_mutations == nullptr) {
+    t_mutations = new std::vector<std::string>();
+  }
+  if (!mutation_enabled(name)) {
+    t_mutations->emplace_back(name);
+  }
+}
+
+void clear_mutations() {
+  delete t_mutations;
+  t_mutations = nullptr;
+}
+
+}  // namespace lsl::mc

@@ -1,0 +1,133 @@
+#include "mc/invariants.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lsl::mc {
+
+namespace {
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+
+std::string sid(std::uint64_t session) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(session));
+  return std::string("session ") + buf;
+}
+
+}  // namespace
+
+void Invariants::on_commit(std::uint64_t session, std::uint64_t prev,
+                           std::uint64_t next) {
+  SessionCheck& s = sessions_[session];
+  const std::uint64_t committed = std::max(prev, next);
+  if (committed < s.committed_hi) {
+    violation("committed offset regressed " + num(s.committed_hi) + " -> " +
+              num(committed) + " (" + sid(session) + ")");
+  }
+  s.committed_hi = std::max(s.committed_hi, committed);
+}
+
+void Invariants::on_deliver(std::uint64_t session, std::uint64_t lo,
+                            std::uint64_t hi) {
+  SessionCheck& s = sessions_[session];
+  if (hi <= lo) {
+    violation("empty delivery range [" + num(lo) + ", " + num(hi) + ") (" +
+              sid(session) + ")");
+    return;
+  }
+  if (lo < s.delivered_hi) {
+    violation("byte delivered twice: [" + num(lo) + ", " + num(hi) +
+              ") overlaps delivered prefix " + num(s.delivered_hi) + " (" +
+              sid(session) + ")");
+  } else if (lo > s.delivered_hi) {
+    violation("byte lost: delivery skipped [" + num(s.delivered_hi) + ", " +
+              num(lo) + ") (" + sid(session) + ")");
+  }
+  s.delivered_hi = std::max(s.delivered_hi, hi);
+  s.delivered_any = true;
+}
+
+void Invariants::on_attempt(std::uint64_t session,
+                            const std::vector<net::NodeId>& via,
+                            const std::vector<net::NodeId>& blacklist) {
+  for (const net::NodeId hop : via) {
+    if (std::find(blacklist.begin(), blacklist.end(), hop) !=
+        blacklist.end()) {
+      violation("blacklisted depot " + num(hop) +
+                " re-selected on attempt (" + sid(session) + ")");
+    }
+  }
+}
+
+void Invariants::on_buffer(net::NodeId depot, std::int64_t delta) {
+  std::int64_t& balance = buffers_[depot];
+  balance += delta;
+  if (balance < 0) {
+    violation("depot " + num(depot) + " buffer accounting went negative (" +
+              num(static_cast<std::uint64_t>(-balance)) +
+              " bytes freed beyond grants)");
+  }
+}
+
+void Invariants::note_outcome(std::uint64_t session, std::uint64_t payload,
+                              bool completed, bool failed) {
+  SessionCheck& s = sessions_[session];
+  s.noted = true;
+  s.payload = payload;
+  s.completed = completed;
+  s.failed = failed;
+}
+
+void Invariants::require(bool ok, const std::string& msg) {
+  if (!ok) {
+    violation(msg);
+  }
+}
+
+void Invariants::finalize() {
+  for (const auto& [session, s] : sessions_) {
+    if (!s.noted) {
+      continue;  // observed mid-run only (no outcome reported); no verdict
+    }
+    if (!s.completed && !s.failed) {
+      violation(sid(session) + " did not terminate (neither delivered nor "
+                "failed; committed " +
+                num(s.committed_hi) + " of " + num(s.payload) + ")");
+      continue;
+    }
+    if (s.completed) {
+      if (s.delivered_any && s.delivered_hi != s.payload) {
+        violation((s.delivered_hi < s.payload ? "byte lost: completed "
+                                              : "over-delivery: completed ") +
+                  sid(session) + " delivered " + num(s.delivered_hi) +
+                  " of " + num(s.payload));
+      }
+      if (s.committed_hi > s.payload) {
+        violation("committed offset " + num(s.committed_hi) +
+                  " beyond payload " + num(s.payload) + " (" + sid(session) +
+                  ")");
+      }
+    }
+  }
+  for (const auto& [depot, balance] : buffers_) {
+    if (balance != 0) {
+      violation("depot " + num(depot) +
+                " buffer accounting did not return to zero (" +
+                std::to_string(balance) + " bytes still reserved)");
+    }
+  }
+}
+
+void Invariants::violation(std::string msg) {
+  violations_.push_back(std::move(msg));
+}
+
+void Invariants::reset() {
+  sessions_.clear();
+  buffers_.clear();
+  violations_.clear();
+}
+
+}  // namespace lsl::mc

@@ -1,0 +1,75 @@
+// Reusable protocol-invariant suite over the observation stream.
+//
+// One Invariants instance watches a whole run (install it with
+// mc::ScopedObserver) and accumulates violations instead of aborting, so the
+// explorer can record a counterexample and keep searching, and the fuzzer
+// can report every bad seed in one pass. The checks mirror ISSUE/ROADMAP
+// language exactly:
+//   - no byte lost            (completed sessions delivered their payload)
+//   - no byte delivered twice (delivery ranges tile, never overlap)
+//   - committed offset monotone per session
+//   - blacklisted depot never re-selected within its window
+//   - every session terminates (delivered, or failed with retries spent)
+//   - depot buffer accounting returns to zero
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mc/hooks.hpp"
+
+namespace lsl::mc {
+
+class Invariants final : public ProtocolObserver {
+ public:
+  // ---- ProtocolObserver ---------------------------------------------------
+  void on_commit(std::uint64_t session, std::uint64_t prev,
+                 std::uint64_t next) override;
+  void on_deliver(std::uint64_t session, std::uint64_t lo,
+                  std::uint64_t hi) override;
+  void on_attempt(std::uint64_t session, const std::vector<net::NodeId>& via,
+                  const std::vector<net::NodeId>& blacklist) override;
+  void on_buffer(net::NodeId depot, std::int64_t delta) override;
+
+  /// Record how a transfer ended so finalize() can check termination and
+  /// byte conservation. `payload` is the bytes the transfer was asked to
+  /// move; completed/failed come from the harness outcome.
+  void note_outcome(std::uint64_t session, std::uint64_t payload,
+                    bool completed, bool failed);
+
+  /// Scenario- or test-specific extra check: records `msg` unless `ok`.
+  void require(bool ok, const std::string& msg);
+
+  /// End-of-run checks (termination, byte totals, buffer balance). Call
+  /// once after the simulation drains; incremental violations are already
+  /// recorded by then.
+  void finalize();
+
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+
+  void reset();
+
+ private:
+  struct SessionCheck {
+    std::uint64_t committed_hi = 0;
+    std::uint64_t delivered_hi = 0;  ///< contiguous delivered prefix
+    bool delivered_any = false;
+    bool noted = false;
+    std::uint64_t payload = 0;
+    bool completed = false;
+    bool failed = false;
+  };
+
+  void violation(std::string msg);
+
+  std::map<std::uint64_t, SessionCheck> sessions_;
+  std::map<net::NodeId, std::int64_t> buffers_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace lsl::mc

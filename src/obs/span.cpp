@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 namespace lsl::obs {
@@ -215,6 +216,32 @@ std::string SpanRecorder::post_mortem(std::uint64_t session) const {
     }
     out += line;
     out += "\n";
+  }
+  return out;
+}
+
+std::string post_mortem_all(const SpanRecorder& recorder, bool only_troubled) {
+  std::string out;
+  for (const std::uint64_t session : recorder.sessions()) {
+    if (only_troubled) {
+      bool troubled = false;
+      bool closed = false;
+      for (const SpanEvent& ev : recorder.session_events(session)) {
+        if (ev.kind != SpanKind::kSession && ev.kind != SpanKind::kTransfer) {
+          continue;
+        }
+        if (ev.phase == SpanPhase::kEnd) {
+          closed = true;
+          if (std::strcmp(ev.reason, "failed") == 0) {
+            troubled = true;
+          }
+        }
+      }
+      if (!troubled && closed) {
+        continue;
+      }
+    }
+    out += recorder.post_mortem(session);
   }
   return out;
 }

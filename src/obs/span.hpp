@@ -181,6 +181,13 @@ class SpanRecorder {
   std::vector<std::uint64_t> session_order_;  ///< first-seen session hashes
 };
 
+/// Concatenated post_mortem() dumps for every session held by `recorder`.
+/// With only_troubled, restricted to sessions whose kSession/kTransfer span
+/// ended "failed" or never closed at all -- the flight recorder's crash
+/// filter (lslsim on failure, the model checker on every counterexample).
+[[nodiscard]] std::string post_mortem_all(const SpanRecorder& recorder,
+                                          bool only_troubled);
+
 /// The active span recorder for this thread: a thread-scoped recorder when
 /// one is installed (see ScopedSpanRecorder), else the process-wide one;
 /// nullptr when span recording is off. Emission sites cost one null check

@@ -200,7 +200,12 @@ void Simulator::compact_heap() {
 // ---------------------------------------------------------------------------
 
 EventId Simulator::schedule_at(SimTime when, Action action,
-                               const char* category) {
+                               const char* category, std::uint32_t actor) {
+  if (choice_hook_ != nullptr && when < now_) {
+    // Slack dispatch may have advanced the clock past a time this caller
+    // captured before yielding; the event is simply due immediately.
+    when = now_;
+  }
   LSL_ASSERT_MSG(when >= now_, "cannot schedule into the past");
   std::uint64_t slot;
   if (!free_slots_.empty()) {
@@ -229,13 +234,19 @@ EventId Simulator::schedule_at(SimTime when, Action action,
   if (category != nullptr) {
     ++category_counts_[category];
   }
+  if (choice_hook_ != nullptr) {
+    if (slot_meta_.size() < slots_.size()) {
+      slot_meta_.resize(slots_.size());
+    }
+    slot_meta_[slot] = SlotMeta{category, actor};
+  }
   return id;
 }
 
 EventId Simulator::schedule_after(SimTime delay, Action action,
-                                  const char* category) {
+                                  const char* category, std::uint32_t actor) {
   LSL_ASSERT_MSG(delay >= SimTime::zero(), "negative delay");
-  return schedule_at(now_ + delay, std::move(action), category);
+  return schedule_at(now_ + delay, std::move(action), category, actor);
 }
 
 bool Simulator::cancel(EventId id) {
@@ -284,6 +295,10 @@ bool Simulator::step() {
   if (!settle_top()) {
     return false;
   }
+  if (choice_hook_ != nullptr) {
+    dispatch_choice(SimTime::max());
+    return true;
+  }
   if (profiling_) {
     const double start = wall_now();
     dispatch_top();
@@ -320,6 +335,121 @@ void Simulator::dispatch_top() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Choice-hook (model-checking) dispatch. Everything below runs only while a
+// hook is installed; the plain dispatch path above is untouched.
+
+void Simulator::set_choice_hook(ChoiceHook* hook, SimTime slack) {
+  choice_hook_ = hook;
+  choice_slack_ = slack;
+  if (hook != nullptr && slot_meta_.size() < slots_.size()) {
+    slot_meta_.resize(slots_.size());
+  }
+}
+
+ReadyEvent Simulator::view_of(const Entry& e) const {
+  ReadyEvent view;
+  view.seq = e.key >> kSlotBits;
+  view.when = e.when;
+  const std::uint64_t slot = e.key & kSlotMask;
+  if (slot < slot_meta_.size()) {
+    view.category = slot_meta_[slot].category;
+    view.actor = slot_meta_[slot].actor;
+  }
+  return view;
+}
+
+void Simulator::collect_ready(std::size_t i, SimTime window_end) {
+  if (i >= heap_.size() || heap_[i].when > window_end) {
+    return;  // the whole subtree is later than the window
+  }
+  if (entry_live(heap_[i])) {
+    ready_entries_.push_back(heap_[i]);
+  }
+  const std::size_t first_child = 4 * i + 1;
+  for (std::size_t c = first_child; c < first_child + 4; ++c) {
+    collect_ready(c, window_end);
+  }
+}
+
+void Simulator::dispatch_choice(SimTime limit) {
+  const Entry top = heap_.front();
+  SimTime window_end = top.when;
+  if (choice_slack_ > SimTime::zero()) {
+    window_end = top.when + choice_slack_;
+    if (window_end > limit) {
+      window_end = limit;
+    }
+    if (window_end < top.when) {
+      window_end = top.when;  // overflow / limit-below-top guard
+    }
+  }
+  ready_entries_.clear();
+  collect_ready(0, window_end);
+  // The top is live and inside the window, so there is at least one entry.
+  std::sort(ready_entries_.begin(), ready_entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.before(b); });
+  // Bound what the hook sees: beyond ~16 concurrent candidates the branch
+  // factor is noise, and later events stay available at the next step.
+  constexpr std::size_t kMaxReadySet = 16;
+  if (ready_entries_.size() > kMaxReadySet) {
+    ready_entries_.resize(kMaxReadySet);
+  }
+  std::size_t pick = 0;
+  if (ready_entries_.size() > 1) {
+    ready_view_.clear();
+    for (const Entry& e : ready_entries_) {
+      ready_view_.push_back(view_of(e));
+    }
+    pick = choice_hook_->choose(ready_view_);
+    LSL_ASSERT_MSG(pick < ready_entries_.size(), "choice out of range");
+  }
+  const Entry chosen = ready_entries_[pick];
+  const ReadyEvent fired = view_of(chosen);
+  dispatch_entry(chosen);
+  choice_hook_->dispatched(fired);
+}
+
+void Simulator::dispatch_entry(const Entry& e) {
+  // Locate the entry; with no slack it is at or near the top. A linear scan
+  // is fine on this path -- hook-mode runs trade throughput for coverage.
+  std::size_t idx = 0;
+  while (idx < heap_.size() && heap_[idx].key != e.key) {
+    ++idx;
+  }
+  LSL_ASSERT_MSG(idx < heap_.size(), "chosen entry vanished from heap");
+  if (idx == heap_.size() - 1) {
+    heap_.pop_back();
+  } else {
+    heap_[idx] = heap_.back();
+    heap_.pop_back();
+    // The replacement came from a leaf: it can belong below or (when idx is
+    // in a different subtree) above its new position.
+    if (idx > 0 && heap_[idx].before(heap_[(idx - 1) / 4])) {
+      sift_up(idx);
+    } else {
+      sift_down(idx);
+    }
+  }
+  const std::uint64_t slot = e.key & kSlotMask;
+  if (e.when > now_) {
+    // Slack dispatch can fire events out of timestamp order; the clock only
+    // ever moves forward, so a late-fired earlier event runs "now".
+    now_ = e.when;
+  }
+  ++events_executed_;
+  Action& action = action_of(slot);
+  const std::uint64_t enclosing = dispatching_key_;
+  dispatching_key_ = e.key;
+  action();
+  dispatching_key_ = enclosing;
+  if (slots_[slot].key == e.key) {
+    retire_slot(slot);
+    --live_events_;
+    action.reset();
+  }
+}
+
 std::uint64_t Simulator::run(SimTime limit) {
   stop_requested_ = false;
   const SimTime run_start = now_;
@@ -331,7 +461,11 @@ std::uint64_t Simulator::run(SimTime limit) {
       now_ = limit;
       break;
     }
-    dispatch_top();
+    if (choice_hook_ != nullptr) {
+      dispatch_choice(limit);
+    } else {
+      dispatch_top();
+    }
     ++executed;
   }
   if (profiling_) {

@@ -74,6 +74,36 @@ struct KernelProfile {
   void merge_from(const KernelProfile& other);
 };
 
+/// One schedulable event as shown to a ChoiceHook: enough identity to
+/// reason about commutativity (actor), report (category), and replay (seq).
+struct ReadyEvent {
+  std::uint64_t seq = 0;  ///< global schedule order, unique per event
+  SimTime when = SimTime::zero();
+  const char* category = nullptr;  ///< static tag passed to schedule_at
+  /// Commutativity tag: two events with different nonzero actors are
+  /// independent (their dispatch order cannot matter); actor 0 means
+  /// "unknown", which is conservatively dependent on everything.
+  std::uint32_t actor = 0;
+};
+
+/// Model-checking hook (see src/mc/): when installed, the kernel stops at
+/// each dispatch, enumerates every live event inside the ready window
+/// (equal timestamps, widened by an optional slack), and asks the hook
+/// which one fires next. The no-hook dispatch path is untouched.
+class ChoiceHook {
+ public:
+  virtual ~ChoiceHook() = default;
+
+  /// Pick the next event to fire from `ready` (size >= 2, sorted by the
+  /// kernel's deterministic (when, seq) order; index 0 is what the plain
+  /// kernel would run). Called only when the window holds several events.
+  virtual std::size_t choose(const std::vector<ReadyEvent>& ready) = 0;
+
+  /// Observes every event dispatched while the hook is installed, including
+  /// forced singleton windows that never reach choose().
+  virtual void dispatched(const ReadyEvent& fired) { (void)fired; }
+};
+
 /// Single-threaded discrete-event simulator. Each instance is confined to
 /// one thread; the parallel trial engine (exp/parallel.hpp) runs one
 /// Simulator per trial, never sharing one across threads.
@@ -91,12 +121,15 @@ class Simulator {
 
   /// Schedule `action` to run at absolute time `when` (>= now). `category`
   /// is an optional static-string tag counted in the kernel profile.
+  /// `actor` is the ChoiceHook commutativity tag (ignored without a hook).
   EventId schedule_at(SimTime when, Action action,
-                      const char* category = nullptr);
+                      const char* category = nullptr,
+                      std::uint32_t actor = 0);
 
   /// Schedule `action` to run `delay` from now (delay >= 0).
   EventId schedule_after(SimTime delay, Action action,
-                         const char* category = nullptr);
+                         const char* category = nullptr,
+                         std::uint32_t actor = 0);
 
   /// Cancel a pending event. Returns false if it already ran or was
   /// cancelled. O(1): the slot's generation is bumped so the heap entry is
@@ -123,6 +156,16 @@ class Simulator {
   /// reads per event are measurable on micro-benchmarks).
   void set_profiling(bool enabled) { profiling_ = enabled; }
   [[nodiscard]] bool profiling() const { return profiling_; }
+
+  /// Install (or with nullptr, remove) a model-checking choice hook. While
+  /// installed, dispatch enumerates the ready window -- all live events at
+  /// the top timestamp, widened to [top, top + slack] when slack > 0 -- and
+  /// lets the hook reorder it. Scheduling into the past is clamped to now()
+  /// in hook mode, since slack dispatch may run an event after a time it
+  /// used to compute an absolute deadline. Not for the perf path: each
+  /// dispatch walks the heap top to collect the window.
+  void set_choice_hook(ChoiceHook* hook, SimTime slack = SimTime::zero());
+  [[nodiscard]] ChoiceHook* choice_hook() const { return choice_hook_; }
 
   [[nodiscard]] KernelProfile profile() const;
 
@@ -200,6 +243,20 @@ class Simulator {
   /// clock, and run its action.
   void dispatch_top();
 
+  // ---- choice-hook (model checking) slow path ----------------------------
+  /// Collect every live entry in heap_[i]'s subtree with when <= window_end
+  /// into ready_entries_. The heap invariant (child.when >= parent.when)
+  /// prunes whole subtrees, so this costs O(5k) for k in-window events --
+  /// k is 1 almost everywhere, so hook-mode dispatch stays near O(pop).
+  void collect_ready(std::size_t i, SimTime window_end);
+  /// Hook-mode dispatch: enumerate the ready window, let the hook pick,
+  /// fire the pick. settle_top() must have returned true.
+  void dispatch_choice(SimTime limit);
+  /// Remove `e` (which must be live) from anywhere in the heap and run its
+  /// action, advancing the clock monotonically to e.when.
+  void dispatch_entry(const Entry& e);
+  [[nodiscard]] ReadyEvent view_of(const Entry& e) const;
+
   static constexpr std::size_t kActionChunkShift = 10;
   static constexpr std::size_t kActionChunkSize = 1ULL << kActionChunkShift;
 
@@ -217,6 +274,19 @@ class Simulator {
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
   bool stop_requested_ = false;
+
+  // Choice-hook state. slot_meta_ is a side table (category, actor) written
+  // only while a hook is installed, so the no-hook schedule path never pays
+  // for it; events scheduled before installation read as {nullptr, 0}.
+  struct SlotMeta {
+    const char* category = nullptr;
+    std::uint32_t actor = 0;
+  };
+  ChoiceHook* choice_hook_ = nullptr;
+  SimTime choice_slack_ = SimTime::zero();
+  std::vector<SlotMeta> slot_meta_;
+  std::vector<Entry> ready_entries_;     ///< dispatch_choice scratch
+  std::vector<ReadyEvent> ready_view_;   ///< dispatch_choice scratch
 
   // Kernel self-measurement (see KernelProfile).
   bool profiling_ = false;

@@ -33,3 +33,13 @@ namespace lsl::detail {
       ::lsl::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
     }                                                             \
   } while (false)
+
+// Protocol invariants on warm paths (per-chunk ledger writes, buffer
+// accounting). Unlike LSL_ASSERT these compile away under NDEBUG: the same
+// facts are re-checked out-of-line by mc::Invariants in every build, so
+// Release keeps its throughput and Debug gets the early abort.
+#ifdef NDEBUG
+#define LSL_PROTO_CHECK(expr, msg) ((void)0)
+#else
+#define LSL_PROTO_CHECK(expr, msg) LSL_ASSERT_MSG(expr, msg)
+#endif

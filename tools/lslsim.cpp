@@ -23,6 +23,7 @@
 #include "exp/parallel.hpp"
 #include "exp/scenario.hpp"
 #include "fault/injector.hpp"
+#include "mc/fuzzer.hpp"
 #include "lsl/depot.hpp"
 #include "lsl/recovery.hpp"
 #include "nws/monitor.hpp"
@@ -73,6 +74,20 @@ void usage() {
                "  just `pool size=N`; a scenario's pool directive can also\n"
                "  set epsilon/iterations/cases/sizes/drift.\n"
                "  --profile prints the simulation kernel's self-profile.\n"
+               "  --verify[=RUNS] model-checks the scenario instead of\n"
+               "  running it once: DFS over event interleavings (fault vs\n"
+               "  timer orderings, probe-reply timing, reroute decisions)\n"
+               "  asserting the protocol invariants; nonzero exit and a\n"
+               "  counterexample trace file on violation. --verify-depth=N,\n"
+               "  --verify-slack=US (reorder events within US microseconds),\n"
+               "  --verify-perturb=S1,S2,... (also try each fault shifted by\n"
+               "  those seconds) widen the search; --verify-trace=<path>\n"
+               "  sets the artifact path (default lslverify.trace).\n"
+               "  --verify-replay=P1,P2,... re-executes one recorded choice\n"
+               "  trace (a counterexample's replay picks) deterministically.\n"
+               "  --fuzz-faults N runs the scenario under N random fault\n"
+               "  schedules (seeds seed..seed+N-1) checking the same\n"
+               "  invariants; nonzero exit lists the violating seeds.\n"
                "  Scenarios may inject faults (fault/churn directives) and\n"
                "  enable session recovery and adaptive rerouting; the\n"
                "  status column then reports ok / recovered(xN) /\n"
@@ -133,6 +148,14 @@ int main(int argc, char** argv) {
   const char* spans_path = nullptr;
   bool explain = false;
   std::uint64_t explain_session = 0;
+  bool verify = false;
+  std::uint64_t verify_runs = 48;
+  std::size_t verify_depth = 24;
+  std::uint64_t verify_slack_us = 0;
+  const char* verify_perturb = nullptr;
+  const char* verify_trace_path = "lslverify.trace";
+  const char* verify_replay = nullptr;
+  std::uint64_t fuzz_runs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
@@ -163,6 +186,23 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--explain=", 10) == 0) {
       explain = true;
       explain_session = std::strtoull(argv[i] + 10, nullptr, 16);
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    } else if (std::strncmp(argv[i], "--verify=", 9) == 0) {
+      verify = true;
+      verify_runs = std::strtoull(argv[i] + 9, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--verify-depth=", 15) == 0) {
+      verify_depth = std::strtoull(argv[i] + 15, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--verify-slack=", 15) == 0) {
+      verify_slack_us = std::strtoull(argv[i] + 15, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--verify-perturb=", 17) == 0) {
+      verify_perturb = argv[i] + 17;
+    } else if (std::strncmp(argv[i], "--verify-trace=", 15) == 0) {
+      verify_trace_path = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--verify-replay=", 16) == 0) {
+      verify_replay = argv[i] + 16;
+    } else if (std::strcmp(argv[i], "--fuzz-faults") == 0 && i + 1 < argc) {
+      fuzz_runs = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       usage();
       return 0;
@@ -215,6 +255,97 @@ int main(int argc, char** argv) {
     }
     scenario.pool->size = pool_size;
   }
+
+  if (verify || verify_replay != nullptr || fuzz_runs > 0) {
+    if (scenario.pool.has_value() || scenario.hosts.empty()) {
+      std::fprintf(stderr,
+                   "lslsim: --verify / --fuzz-faults need an explicit "
+                   "host/link scenario\n");
+      return 2;
+    }
+    // The model checker drives the kernel through many runs; silence the
+    // outer flight recorder (counterexample replays install their own).
+    lsl::obs::ScopedSpanRecorder quiet(nullptr);
+
+    if (fuzz_runs > 0) {
+      const auto result =
+          lsl::mc::fuzz_fault_schedules(scenario, seed, fuzz_runs, {});
+      std::printf("%s\n", result.str().c_str());
+      return result.ok() ? 0 : 1;
+    }
+
+    if (verify_replay != nullptr) {
+      std::vector<std::size_t> picks;
+      for (const char* p = verify_replay; *p != '\0';) {
+        char* end = nullptr;
+        picks.push_back(std::strtoull(p, &end, 10));
+        p = (end != nullptr && *end == ',') ? end + 1 : (end ? end : p + 1);
+      }
+      lsl::mc::ExplorerOptions opts;
+      opts.slack = lsl::SimTime::microseconds(
+          static_cast<std::int64_t>(verify_slack_us));
+      lsl::mc::Explorer explorer(lsl::mc::scenario_fn(scenario, seed), opts);
+      const auto run = explorer.replay(picks);
+      std::printf("replay: %llu events, schedule hash %016llx, "
+                  "%zu choice points, %zu violation(s)\n",
+                  static_cast<unsigned long long>(run.events),
+                  static_cast<unsigned long long>(run.schedule_hash),
+                  run.trace.size(), run.violations.size());
+      for (const std::string& v : run.violations) {
+        std::printf("  violation: %s\n", v.c_str());
+      }
+      return run.violations.empty() ? 0 : 1;
+    }
+
+    lsl::mc::VerifyOptions vopts;
+    vopts.explorer.max_runs = verify_runs;
+    vopts.explorer.max_depth = verify_depth;
+    vopts.explorer.slack = lsl::SimTime::microseconds(
+        static_cast<std::int64_t>(verify_slack_us));
+    if (verify_perturb != nullptr) {
+      for (const char* p = verify_perturb; *p != '\0';) {
+        char* end = nullptr;
+        vopts.perturb_offsets.push_back(
+            lsl::SimTime::from_seconds(std::strtod(p, &end)));
+        p = (end != nullptr && *end == ',') ? end + 1 : (end ? end : p + 1);
+      }
+    }
+    const auto result = lsl::mc::verify_scenario(scenario, seed, vopts);
+    std::printf("%s\n", result.stats.str().c_str());
+    if (result.ok()) {
+      std::printf("verification passed: 0 violations over %zu variant(s)\n",
+                  result.variant_labels.size());
+      return 0;
+    }
+    std::ofstream trace_out(verify_trace_path);
+    trace_out << "lslsim --verify counterexample trace\n"
+              << "scenario: " << (path != nullptr ? path : "<none>")
+              << "\nseed: " << seed << "\n"
+              << result.stats.str() << "\n\n";
+    for (const auto& vce : result.counterexamples) {
+      const std::string& label = result.variant_labels[vce.variant];
+      trace_out << "=== counterexample (variant " << vce.variant << ": "
+                << label << ") ===\n"
+                << "replay: --verify-replay="
+                << (vce.ce.picks_csv().empty() ? "<default schedule>"
+                                               : vce.ce.picks_csv())
+                << "\n"
+                << vce.ce.str() << "\n"
+                << vce.ce.post_mortem << "\n";
+      std::fprintf(stderr,
+                   "lslsim: invariant violation (variant %zu: %s):\n",
+                   vce.variant, label.c_str());
+      for (const std::string& v : vce.ce.run.violations) {
+        std::fprintf(stderr, "  %s\n", v.c_str());
+      }
+    }
+    std::fprintf(stderr,
+                 "lslsim: verification FAILED: %zu counterexample(s); "
+                 "trace written to %s\n",
+                 result.counterexamples.size(), verify_trace_path);
+    return 1;
+  }
+
   if (!scenario.pool.has_value()) {
     std::printf("%zu hosts, %zu links, %zu transfers (seed %llu)\n\n",
                 scenario.hosts.size(), scenario.links.size(),
@@ -271,26 +402,10 @@ int main(int argc, char** argv) {
     if (!ok) {
       // Flight-recorder post-mortem: dump the recent span history of every
       // session that failed or never finished, failover chain included.
-      for (const std::uint64_t session : span_recorder.sessions()) {
-        bool troubled = false;
-        bool closed = false;
-        for (const auto& ev : span_recorder.session_events(session)) {
-          if (ev.kind != lsl::obs::SpanKind::kSession &&
-              ev.kind != lsl::obs::SpanKind::kTransfer) {
-            continue;
-          }
-          if (ev.phase == lsl::obs::SpanPhase::kEnd) {
-            closed = true;
-            if (std::strcmp(ev.reason, "failed") == 0) {
-              troubled = true;
-            }
-          }
-        }
-        if (troubled || !closed) {
-          std::fprintf(stderr, "%s",
-                       span_recorder.post_mortem(session).c_str());
-        }
-      }
+      std::fprintf(stderr, "%s",
+                   lsl::obs::post_mortem_all(span_recorder,
+                                             /*only_troubled=*/true)
+                       .c_str());
     }
     lsl::obs::set_spans(nullptr);
     return ok ? 0 : 1;
