@@ -54,6 +54,11 @@ struct BenchOptions {
   /// When non-empty, write {bench, metric, value} records here at the
   /// bench's discretion (--json <file> / LSL_BENCH_JSON).
   std::string json_path;
+  /// Measurement fidelity for benches that sweep (--fidelity=... /
+  /// LSL_BENCH_FIDELITY): "analytic" (default), "flow", or "packet". The
+  /// sweep benches map this onto testbed::SweepFidelity; other benches
+  /// ignore it. See docs/flow_fidelity.md.
+  std::string fidelity = "analytic";
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -63,6 +68,9 @@ inline BenchOptions parse_options(int argc, char** argv) {
   }
   if (const char* v = std::getenv("LSL_BENCH_JSON")) {
     opts.json_path = v;
+  }
+  if (const char* v = std::getenv("LSL_BENCH_FIDELITY")) {
+    opts.fidelity = v;
   }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -75,7 +83,19 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opts.json_path = argv[++i];
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       opts.json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--fidelity") == 0 && i + 1 < argc) {
+      opts.fidelity = argv[++i];
+    } else if (std::strncmp(argv[i], "--fidelity=", 11) == 0) {
+      opts.fidelity = argv[i] + 11;
     }
+  }
+  if (opts.fidelity != "analytic" && opts.fidelity != "flow" &&
+      opts.fidelity != "packet") {
+    std::fprintf(stderr,
+                 "bench: unknown fidelity '%s' (analytic|flow|packet), "
+                 "using analytic\n",
+                 opts.fidelity.c_str());
+    opts.fidelity = "analytic";
   }
   return opts;
 }

@@ -7,8 +7,16 @@
 
 namespace lsl::exp {
 
-SimHarness::SimHarness(std::uint64_t seed)
-    : rng_(seed), topo_(std::make_unique<net::Topology>(sim_, seed ^ 0xA5A5)) {}
+SimHarness::SimHarness(std::uint64_t seed, Fidelity fidelity)
+    : rng_(seed),
+      fidelity_(fidelity),
+      topo_(std::make_unique<net::Topology>(sim_, seed ^ 0xA5A5)) {
+  if (fidelity_ == Fidelity::kFlow) {
+    // Before any links exist: Topology then binds every future link to the
+    // fluid engine as it is added.
+    topo_->enable_fluid();
+  }
+}
 
 net::NodeId SimHarness::add_host(std::string name, std::string site) {
   LSL_ASSERT_MSG(!deployed_, "cannot add hosts after deploy()");

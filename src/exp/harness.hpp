@@ -21,9 +21,17 @@
 
 namespace lsl::exp {
 
+/// Data-plane fidelity for a harness run. kPacket simulates every segment;
+/// kFlow carries payload on the fluid engine (flow::FluidNetwork) while
+/// control packets (SYN/FIN/RST/window updates) still ride the packet
+/// machinery, so sessions, recovery, rerouting, and fault injection behave
+/// identically at either fidelity. See docs/flow_fidelity.md.
+enum class Fidelity { kPacket, kFlow };
+
 class SimHarness {
  public:
-  explicit SimHarness(std::uint64_t seed);
+  explicit SimHarness(std::uint64_t seed,
+                      Fidelity fidelity = Fidelity::kPacket);
 
   SimHarness(const SimHarness&) = delete;
   SimHarness& operator=(const SimHarness&) = delete;
@@ -45,6 +53,7 @@ class SimHarness {
   [[nodiscard]] session::Depot& depot(net::NodeId id);
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] std::size_t host_count() const { return stacks_.size(); }
+  [[nodiscard]] Fidelity fidelity() const { return fidelity_; }
 
   // ---- transfers ----------------------------------------------------------
   struct TransferOutcome {
@@ -133,6 +142,7 @@ class SimHarness {
 
   sim::Simulator sim_;
   Rng rng_;
+  Fidelity fidelity_ = Fidelity::kPacket;
   std::unique_ptr<net::Topology> topo_;
   std::vector<std::unique_ptr<tcp::TcpStack>> stacks_;
   std::vector<std::unique_ptr<session::Depot>> depots_;

@@ -10,6 +10,7 @@
 #include "nws/rescheduler.hpp"
 #include "sched/route_advisor.hpp"
 #include "util/assert.hpp"
+#include "util/log.hpp"
 
 namespace lsl::exp {
 
@@ -450,6 +451,23 @@ ParseResult parse_scenario(const std::string& text) {
       continue;
     }
 
+    if (directive == "fidelity") {
+      if (tokens.size() != 2) {
+        return {std::nullopt,
+                err_at(line_no, "fidelity needs exactly one of packet|flow")};
+      }
+      if (tokens[1] == "packet") {
+        scenario.fidelity = Fidelity::kPacket;
+      } else if (tokens[1] == "flow") {
+        scenario.fidelity = Fidelity::kFlow;
+      } else {
+        return {std::nullopt,
+                err_at(line_no,
+                       "unknown fidelity '" + tokens[1] + "' (packet|flow)")};
+      }
+      continue;
+    }
+
     return {std::nullopt,
             err_at(line_no, "unknown directive '" + directive + "'")};
   }
@@ -512,7 +530,8 @@ std::vector<ScenarioOutcome> run_scenario(
     SimTime per_transfer_deadline, sim::KernelProfile* profile_out,
     std::size_t* leaked_connections_out,
     const std::function<void(SimHarness&)>& on_harness) {
-  SimHarness harness(seed);
+  SimHarness harness(seed,
+                     scenario.fidelity.value_or(Fidelity::kPacket));
   if (on_harness) {
     on_harness(harness);
   }
@@ -693,6 +712,14 @@ std::vector<ScenarioOutcome> run_scenario(
     // TIME_WAIT linger is 500 ms; anything alive after this drain leaked.
     harness.simulator().run(harness.simulator().now() + SimTime::seconds(5));
     *leaked_connections_out = harness.open_connection_count();
+    if (*leaked_connections_out > 0) {
+      for (net::NodeId id = 0; id < harness.host_count(); ++id) {
+        harness.stack(id).for_each_connection([id](tcp::Connection& conn) {
+          LSL_WARN("leaked connection on node %u: %s", id,
+                   conn.debug_string().c_str());
+        });
+      }
+    }
   }
   if (profile_out != nullptr) {
     *profile_out = harness.simulator().profile();

@@ -49,6 +49,12 @@
 //   # speedup sweep (lslsim runs run_speedup_sweep over ~size hosts)
 //   pool size=1024 epsilon=0.25 iterations=2 cases=400 sizes=4 drift=0.0
 //
+//   # data-plane fidelity: `packet` (default) simulates every segment;
+//   # `flow` carries payload on the fluid engine -- same sessions, depots,
+//   # recovery, and rerouting, at a fraction of the event count. In pool
+//   # scenarios this selects simulated (rather than analytic) measurement.
+//   fidelity flow
+//
 // Units: rate in Mbit/s, delay in ms (one way), queue/buffers/user in KiB,
 // size in MiB, loss as a probability, fault/churn times in seconds.
 #pragma once
@@ -153,6 +159,10 @@ struct Scenario {
   /// hosts or links -- lslsim runs a synthetic-grid speedup sweep instead
   /// of the packet-level transfer list.
   std::optional<ScenarioPool> pool;
+  /// Present when a `fidelity` directive appeared; run_scenario defaults to
+  /// packet fidelity otherwise. Pool sweeps read this too: unset means
+  /// analytic measurement, set means per-case simulation at that fidelity.
+  std::optional<Fidelity> fidelity;
 };
 
 struct ParseResult {

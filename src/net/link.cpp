@@ -4,12 +4,45 @@
 
 #include <utility>
 
+#include "flow/fluid.hpp"
 #include "util/log.hpp"
 
 namespace lsl::net {
 
 Link::Link(sim::Simulator& simulator, LinkConfig config, Rng rng)
     : sim_(simulator), config_(config), rng_(rng) {}
+
+void Link::set_loss_rate(double p) {
+  config_.loss_rate = p;
+  sync_fluid();
+}
+
+void Link::set_rate(Bandwidth rate) {
+  config_.rate = rate;
+  sync_fluid();
+}
+
+double Link::fluid_capacity_bps() const {
+  // Headers ride every packet: at the default MSS a 1500-byte frame carries
+  // 1460 payload bytes, so goodput is rate * mss / (mss + overhead). The
+  // fluid engine shares this payload capacity directly (it never sees
+  // headers), matching what a saturating TCP flow achieves in packet mode.
+  constexpr double kDefaultMss = 1460.0;
+  return config_.rate.bits_per_second() * kDefaultMss /
+         (kDefaultMss + kPacketOverheadBytes);
+}
+
+void Link::bind_fluid(flow::FluidNetwork* net, std::uint32_t fluid_id) {
+  fluid_ = net;
+  fluid_id_ = fluid_id;
+  sync_fluid();
+}
+
+void Link::sync_fluid() {
+  if (fluid_ != nullptr) {
+    fluid_->set_link(fluid_id_, fluid_capacity_bps(), config_.loss_rate);
+  }
+}
 
 void Link::enqueue(Packet packet) {
   const std::uint64_t size = packet.wire_bytes();

@@ -11,6 +11,10 @@
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
+namespace lsl::flow {
+class FluidNetwork;
+}  // namespace lsl::flow
+
 namespace lsl::net {
 
 struct LinkConfig {
@@ -68,15 +72,26 @@ class Link {
   [[nodiscard]] std::uint64_t queued_bytes() const { return queued_bytes_; }
 
   /// Mutable loss-rate knob; experiments vary path quality mid-run.
-  void set_loss_rate(double p) { config_.loss_rate = p; }
+  void set_loss_rate(double p);
 
   /// Mutable rate knob (brownouts throttle links mid-run). Takes effect at
   /// the next packet's serialization; the one in service is unaffected.
-  void set_rate(Bandwidth rate) { config_.rate = rate; }
+  void set_rate(Bandwidth rate);
+
+  /// Mirror this link into the fluid engine: set_rate / set_loss_rate keep
+  /// the fluid link's capacity and loss in sync from now on.
+  void bind_fluid(flow::FluidNetwork* net, std::uint32_t fluid_id);
+  [[nodiscard]] std::uint32_t fluid_link_id() const { return fluid_id_; }
+
+  /// Payload goodput this link sustains at the default MSS: the raw rate
+  /// discounted by per-packet header overhead. This is the capacity the
+  /// fluid engine shares among flows.
+  [[nodiscard]] double fluid_capacity_bps() const;
 
  private:
   void start_transmission();
   void finish_transmission();
+  void sync_fluid();
 
   sim::Simulator& sim_;
   LinkConfig config_;
@@ -86,6 +101,8 @@ class Link {
   std::uint64_t queued_bytes_ = 0;
   bool transmitting_ = false;
   LinkStats stats_;
+  flow::FluidNetwork* fluid_ = nullptr;
+  std::uint32_t fluid_id_ = 0;
 };
 
 }  // namespace lsl::net

@@ -4,12 +4,15 @@
 #include <queue>
 #include <utility>
 
+#include "flow/fluid.hpp"
 #include "util/assert.hpp"
 
 namespace lsl::net {
 
 Topology::Topology(sim::Simulator& simulator, std::uint64_t seed)
     : sim_(simulator), link_rng_(seed) {}
+
+Topology::~Topology() = default;
 
 NodeId Topology::add_node(std::string name, std::string site) {
   const auto id = static_cast<NodeId>(nodes_.size());
@@ -27,6 +30,11 @@ std::size_t Topology::add_link(NodeId a, NodeId b, const LinkConfig& config) {
   Node* receiver = nodes_[b].get();
   link->set_deliver([receiver](Packet p) { receiver->handle_packet(std::move(p)); });
   adjacency_[a].push_back(Edge{b, link});
+  if (fluid_ != nullptr) {
+    const auto fid =
+        fluid_->add_link(link->fluid_capacity_bps(), config.loss_rate);
+    link->bind_fluid(fluid_.get(), fid);
+  }
   return index;
 }
 
@@ -100,6 +108,68 @@ NodeId Topology::find(const std::string& name) const {
   }
   LSL_ASSERT_MSG(false, "node name not found");
   return kInvalidNode;
+}
+
+void Topology::enable_fluid() {
+  if (fluid_ != nullptr) {
+    return;
+  }
+  fluid_ = std::make_unique<flow::FluidNetwork>(sim_);
+  for (const auto& link : links_) {
+    const auto fid = fluid_->add_link(link->fluid_capacity_bps(),
+                                      link->config().loss_rate);
+    link->bind_fluid(fluid_.get(), fid);
+  }
+}
+
+void Topology::set_protocol_handle(NodeId id, ProtocolStack* stack) {
+  LSL_ASSERT(id < nodes_.size());
+  if (protocol_handles_.size() < nodes_.size()) {
+    protocol_handles_.resize(nodes_.size(), nullptr);
+  }
+  protocol_handles_[id] = stack;
+}
+
+ProtocolStack* Topology::protocol_handle(NodeId id) const {
+  if (id >= protocol_handles_.size()) {
+    return nullptr;
+  }
+  return protocol_handles_[id];
+}
+
+Topology::FluidPathInfo Topology::fluid_path(NodeId src, NodeId dst) const {
+  FluidPathInfo info;
+  if (fluid_ == nullptr || src >= nodes_.size() || dst >= nodes_.size()) {
+    return info;
+  }
+  if (src == dst) {
+    info.found = true;
+    return info;
+  }
+  constexpr std::uint64_t kMtuBytes = 1500;
+  NodeId cur = src;
+  while (cur != dst) {
+    Link* out = nodes_[cur]->route_for(dst);
+    if (out == nullptr) {
+      return FluidPathInfo{};
+    }
+    NodeId next = kInvalidNode;
+    for (const Edge& e : adjacency_[cur]) {
+      if (e.link == out) {
+        next = e.to;
+        break;
+      }
+    }
+    if (next == kInvalidNode || info.links.size() >= nodes_.size()) {
+      return FluidPathInfo{};  // broken table or routing loop
+    }
+    info.links.push_back(out->fluid_link_id());
+    info.latency += out->config().propagation_delay;
+    info.serialization += out->config().rate.transmit_time(kMtuBytes);
+    cur = next;
+  }
+  info.found = true;
+  return info;
 }
 
 void Topology::send(Packet packet) {

@@ -18,12 +18,28 @@
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
+namespace lsl::flow {
+class FluidNetwork;
+}  // namespace lsl::flow
+
 namespace lsl::net {
+
+/// Marker base for per-node protocol stacks (tcp::TcpStack). The topology
+/// keeps a NodeId -> stack registry so the fluid data plane can rendezvous
+/// with the peer endpoint object without routing a packet.
+class ProtocolStack {
+ public:
+  virtual ~ProtocolStack() = default;
+
+ protected:
+  ProtocolStack() = default;
+};
 
 class Topology {
  public:
   /// `seed` drives per-link loss sampling streams.
   Topology(sim::Simulator& simulator, std::uint64_t seed);
+  ~Topology();
 
   Topology(const Topology&) = delete;
   Topology& operator=(const Topology&) = delete;
@@ -58,6 +74,35 @@ class Topology {
   /// Inject a packet at its source node (entry point used by TCP stacks).
   void send(Packet packet);
 
+  // ---- fluid (flow-level) fidelity ------------------------------------
+  /// Switch the data plane to the fluid engine: every link (existing and
+  /// future) is mirrored as a fluid link, and TCP connections move their
+  /// payload onto fluid flows while control segments keep riding packets.
+  /// Idempotent; call before traffic starts.
+  void enable_fluid();
+
+  /// The fluid engine, or nullptr while running at packet fidelity.
+  [[nodiscard]] flow::FluidNetwork* fluid() { return fluid_.get(); }
+
+  /// Register / look up the protocol stack attached to a node.
+  void set_protocol_handle(NodeId id, ProtocolStack* stack);
+  [[nodiscard]] ProtocolStack* protocol_handle(NodeId id) const;
+
+  struct FluidPathInfo {
+    bool found = false;
+    /// Fluid link ids along the forwarding-table walk, in hop order.
+    std::vector<std::uint32_t> links;
+    /// Total propagation delay along the path.
+    SimTime latency = SimTime::zero();
+    /// Total store-and-forward serialization of one full-MTU packet.
+    SimTime serialization = SimTime::zero();
+  };
+
+  /// Walk the current forwarding tables from src towards dst and report the
+  /// fluid links plus one-way timing. found=false when no route exists (or
+  /// fluid mode is off); src==dst yields an empty, zero-latency path.
+  [[nodiscard]] FluidPathInfo fluid_path(NodeId src, NodeId dst) const;
+
  private:
   struct Edge {
     NodeId to;
@@ -69,6 +114,8 @@ class Topology {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::vector<Edge>> adjacency_;
+  std::unique_ptr<flow::FluidNetwork> fluid_;
+  std::vector<ProtocolStack*> protocol_handles_;
 };
 
 }  // namespace lsl::net

@@ -53,6 +53,8 @@ const char* to_string(ConnectionError e) {
       return "connect-timeout";
     case ConnectionError::kReset:
       return "reset";
+    case ConnectionError::kRetransmitTimeout:
+      return "retransmit-timeout";
   }
   return "?";
 }
@@ -216,6 +218,21 @@ RecvBuffer::ReadResult Connection::read(std::uint64_t max) {
   auto r = recv_buf_.read(max);
   stats_.bytes_read += r.n;
   if (r.n > 0) {
+    if (fluid_admit_pending() && recv_buf_.readable() > 0) {
+      // Held fluid chunks became readable mid-read. Notify from a fresh
+      // event: the caller's read loop may already have decided it drained
+      // the buffer and would otherwise never come back for them.
+      auto self = shared_from_this();
+      sim_.schedule_after(
+          SimTime::zero(),
+          [self] {
+            if (self->state_ != TcpState::kDead && self->on_readable &&
+                self->recv_buf_.readable() > 0) {
+              self->on_readable();
+            }
+          },
+          "net.fluid.deliver");
+    }
     maybe_send_window_update();
   }
   if (at_eof() && !eof_delivered_) {
@@ -360,6 +377,28 @@ void Connection::try_send() {
     return;
   }
 
+  if (stack_.fluid_mode() && ensure_fluid_channel()) {
+    fluid_pump();
+    // The FIN rides a real packet, emitted once the last payload byte has
+    // fully left the sender. It can race the final fluid delivery, but the
+    // receiver holds an early FIN until rcv_nxt reaches it
+    // (maybe_accept_pending_fin), exactly as with reordered packets.
+    if (fin_pending_ && !fin_sent_ && fluid_offered_ == send_buf_.end() &&
+        fluid_transmitted_ == send_buf_.end()) {
+      send_control(net::kFlagFin, fin_wire_);
+      snd_nxt_ = fin_wire_ + 1;
+      snd_max_ = std::max(snd_max_, snd_nxt_);
+      fin_sent_ = true;
+      if (state_ == TcpState::kEstablished) {
+        state_ = TcpState::kFinWait1;
+      } else if (state_ == TcpState::kCloseWait) {
+        state_ = TcpState::kLastAck;
+      }
+      arm_rto();
+    }
+    return;
+  }
+
   {
     const std::uint64_t window = usable_window();
     while (snd_nxt_ < stream_data_end_wire()) {
@@ -417,7 +456,7 @@ void Connection::try_send() {
 }
 
 void Connection::on_persist() {
-  if (state_ == TcpState::kDead) {
+  if (state_ == TcpState::kDead || fluid_data_plane()) {
     return;
   }
   if (snd_wnd_ == 0 && flight() == 0 && snd_nxt_ < stream_data_end_wire()) {
@@ -485,6 +524,29 @@ void Connection::on_rto() {
     send_control(net::kFlagSyn, 0);
     rto_timer_.arm(rtt_.rto());
     rto_armed_at_ = sim_.now();
+    return;
+  }
+
+  if (++data_retries_ > opts_.max_data_retries) {
+    // No ACK progress across max_data_retries consecutive timeouts: the
+    // peer vanished without a RST reaching us. Give up so the connection
+    // (and whatever session holds it) can fail over instead of leaking.
+    error_ = ConnectionError::kRetransmitTimeout;
+    become_dead();
+    return;
+  }
+
+  if (fluid_data_plane()) {
+    // Payload needs no retransmission (fluid flows are lossless); the only
+    // wire sequence in flight is the FIN.
+    if (fin_sent_ && !fin_acked_) {
+      ++stats_.retransmits;
+      send_control(net::kFlagFin, fin_wire_);
+      snd_nxt_ = fin_wire_ + 1;
+      snd_max_ = std::max(snd_max_, snd_nxt_);
+      rto_timer_.arm(rtt_.rto());
+      rto_armed_at_ = sim_.now();
+    }
     return;
   }
 
@@ -634,6 +696,44 @@ void Connection::process_ack(const net::Packet& packet) {
     return;  // acks data never sent
   }
 
+  if (fluid_data_plane()) {
+    // Packets carry no payload on the fluid plane, so an arriving ACK is
+    // either a window update (re-opens a pump stalled on the peer's buffer)
+    // or the FIN acknowledgment. The congestion machinery below must not
+    // run: the peer's pure ACKs would read as duplicates and fake a loss
+    // episode.
+    snd_wnd_ = h.wnd;
+    if (ack > snd_una_) {
+      snd_una_ = ack;
+      data_retries_ = 0;
+      snd_nxt_ = std::max(snd_nxt_, snd_una_);
+      const std::uint64_t data_acked =
+          std::min(ack > 0 ? ack - 1 : 0, send_buf_.end());
+      const std::uint64_t before = send_buf_.head();
+      if (data_acked > before) {
+        send_buf_.release_through(data_acked);
+        stats_.bytes_acked += data_acked - before;
+        fluid_acked_ = std::max(fluid_acked_, data_acked);
+        if (on_ack_advance) {
+          on_ack_advance(sim_.now(), send_buf_.head());
+        }
+      }
+      if (fin_sent_ && !fin_acked_ && snd_una_ > fin_wire_) {
+        fin_acked_ = true;
+        on_fin_acked();
+        if (state_ == TcpState::kDead) {
+          return;
+        }
+      }
+      restart_rto_if_needed();
+      if (on_writable && send_buf_.free_space() > 0 && !fin_pending_) {
+        on_writable();
+      }
+    }
+    try_send();
+    return;
+  }
+
   const bool is_dup = ack == snd_una_ && snd_nxt_ > snd_una_ &&
                       packet.payload_bytes == 0 && !h.has(net::kFlagFin) &&
                       h.wnd == snd_wnd_ && snd_wnd_ > 0;
@@ -651,6 +751,7 @@ void Connection::process_ack(const net::Packet& packet) {
   if (ack > snd_una_) {
     const std::uint64_t newly = ack - snd_una_;
     snd_una_ = ack;
+    data_retries_ = 0;
     // After an RTO rewound snd_nxt, a cumulative ACK for data the receiver
     // already held out-of-order can overtake the send frontier.
     snd_nxt_ = std::max(snd_nxt_, snd_una_);
@@ -1034,6 +1135,7 @@ void Connection::become_dead() {
     tr->instant(sim_.now(), "tcp", "tcp.closed", local_port_);
   }
   end_spans(error_ != ConnectionError::kNone ? to_string(error_) : "closed");
+  fluid_teardown();
   rto_timer_.cancel();
   persist_timer_.cancel();
   time_wait_timer_.cancel();
@@ -1045,6 +1147,216 @@ void Connection::become_dead() {
   if (on_closed) {
     on_closed();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fluid data plane
+
+bool Connection::ensure_fluid_channel() {
+  if (fluid_data_plane()) {
+    return true;
+  }
+  if (fluid_checked_) {
+    return false;
+  }
+  fluid_checked_ = true;
+  flow::FluidNetwork* fnet = stack_.topology().fluid();
+  if (fnet == nullptr) {
+    return false;
+  }
+  const auto fwd = stack_.topology().fluid_path(local_node_, remote_node_);
+  const auto rev = stack_.topology().fluid_path(remote_node_, local_node_);
+  if (!fwd.found || !rev.found) {
+    return false;
+  }
+  auto* peer_stack = dynamic_cast<TcpStack*>(
+      stack_.topology().protocol_handle(remote_node_));
+  if (peer_stack == nullptr) {
+    return false;
+  }
+  const auto peer = peer_stack->find_connection(
+      ConnKey{local_node_, remote_port_, local_port_});
+  if (peer == nullptr) {
+    return false;
+  }
+  fluid_peer_ = peer;
+  fluid_fwd_latency_ = fwd.latency + fwd.serialization;
+  fluid_rev_latency_ = rev.latency;
+  fluid_window_ = std::max<std::uint64_t>(
+      1, std::min(opts_.send_buffer_bytes, peer->opts_.recv_buffer_bytes));
+
+  flow::FluidFlowSpec spec;
+  spec.path = std::vector<flow::FluidLinkId>(fwd.links.begin(),
+                                             fwd.links.end());
+  // Base RTT as a data segment experiences it: forward propagation plus
+  // store-and-forward serialization, then the ACK's return propagation.
+  spec.rtt = std::max(fwd.latency + fwd.serialization + rev.latency,
+                      SimTime::microseconds(1));
+  spec.window_bytes = fluid_window_;
+  spec.mss = opts_.mss;
+  spec.initial_cwnd_segments = opts_.initial_cwnd_segments;
+  fluid_flow_ = fnet->start_flow(std::move(spec));
+  return fluid_data_plane();
+}
+
+void Connection::fluid_pump() {
+  flow::FluidNetwork* fnet = stack_.topology().fluid();
+  if (fnet == nullptr || !fnet->alive(fluid_flow_)) {
+    return;
+  }
+  // Chunks large enough to amortize marker events, small enough that two of
+  // them fit under the unacked cap so the engine never drains between offers.
+  const std::uint64_t quantum =
+      std::clamp<std::uint64_t>(fluid_window_, 64 * kKiB, 4 * kMiB);
+  // The engine's rate cap (window/RTT) already models the ACK clock, so the
+  // pump must not serialize on acknowledgements a second time: with two
+  // windows offered-but-unacked the next chunk is always queued before the
+  // engine drains the current one, while acks (one reverse latency behind
+  // delivery) free the budget in time to keep transmission continuous. A
+  // momentary overshoot of the peer's buffer is held in its pending queue,
+  // so this bound is about engine-side state, not delivery safety.
+  const std::uint64_t inflight_limit = 2 * fluid_window_;
+  while (true) {
+    const std::uint64_t avail = send_buf_.end() - fluid_offered_;
+    if (avail == 0) {
+      break;
+    }
+    const std::uint64_t inflight = fluid_offered_ - fluid_acked_;
+    if (inflight >= inflight_limit) {
+      break;
+    }
+    const std::uint64_t n =
+        std::min({avail, quantum, inflight_limit - inflight});
+    fluid_offered_ += n;
+    snd_max_ = std::max(snd_max_, 1 + fluid_offered_);
+    stats_.bytes_sent += n;
+    fnet->add_bytes(fluid_flow_, n);
+    auto self = shared_from_this();
+    fnet->notify_at(fluid_flow_, fluid_offered_,
+                    [self, end = fluid_offered_] {
+                      self->on_fluid_transmitted(end);
+                    });
+  }
+}
+
+void Connection::on_fluid_transmitted(std::uint64_t end_offset) {
+  if (state_ == TcpState::kDead) {
+    return;
+  }
+  const std::uint64_t begin = fluid_transmitted_;
+  if (end_offset <= begin) {
+    return;
+  }
+  fluid_transmitted_ = end_offset;
+  if (const auto peer = fluid_peer_.lock()) {
+    auto content = send_buf_.content_slice(begin, end_offset - begin);
+    auto self = shared_from_this();
+    sim_.schedule_after(
+        fluid_fwd_latency_,
+        [self, peer, begin, end_offset, c = std::move(content)]() mutable {
+          peer->fluid_deliver(begin, end_offset - begin, std::move(c), self);
+        },
+        "net.fluid.deliver");
+  }
+  // The engine is lossless and the delivery closure owns the bytes now, so
+  // the send buffer reopens at transmit-complete. Releasing only on acks
+  // would serialize refills on whole-chunk round trips; at packet fidelity
+  // acks stream back per segment and refill the buffer continuously.
+  if (end_offset > send_buf_.head()) {
+    send_buf_.release_through(end_offset);
+    if (on_writable && send_buf_.free_space() > 0 && !fin_pending_) {
+      on_writable();
+    }
+  }
+  try_send();  // emits the FIN once the last byte has left
+}
+
+void Connection::fluid_deliver(std::uint64_t offset, std::uint64_t len,
+                               std::vector<std::byte> content,
+                               const Ptr& sender) {
+  if (state_ == TcpState::kDead || !syn_rcvd_) {
+    return;  // receiver gone: bytes vanish, the sender's watchdog decides
+  }
+  fluid_pending_.push_back(FluidPending{offset, len, std::move(content),
+                                        sender});
+  if (fluid_admit_pending() && on_readable && recv_buf_.readable() > 0) {
+    on_readable();
+  }
+}
+
+bool Connection::fluid_admit_pending() {
+  bool advanced = false;
+  Ptr acker;
+  while (!fluid_pending_.empty()) {
+    auto& p = fluid_pending_.front();
+    const auto res = recv_buf_.on_segment(
+        p.offset, p.len, std::span<const std::byte>(p.content));
+    advanced = advanced || res.advanced;
+    if (res.accepted > 0) {
+      acker = p.sender;
+    }
+    if (res.accepted < p.len) {
+      // Receive buffer full: hold the tail until the application reads.
+      // The sender's ack budget stalls with it, which is what throttles
+      // the flow -- no bytes are ever dropped on the fluid plane.
+      p.offset += res.accepted;
+      p.len -= res.accepted;
+      p.content.erase(p.content.begin(),
+                      p.content.begin() +
+                          static_cast<std::ptrdiff_t>(std::min<std::uint64_t>(
+                              res.accepted, p.content.size())));
+      break;
+    }
+    fluid_pending_.pop_front();
+  }
+  if (advanced) {
+    rcv_nxt_wire_ = 1 + recv_buf_.rcv_nxt();
+    stats_.bytes_received = recv_buf_.rcv_nxt();
+    maybe_accept_pending_fin();
+  }
+  if (acker != nullptr) {
+    // Report the in-order frontier back after the reverse path's latency --
+    // the fluid stand-in for the ACK clock (never lost, never duplicated).
+    const std::uint64_t ack_data = recv_buf_.rcv_nxt();
+    sim_.schedule_after(
+        acker->fluid_rev_latency_,
+        [acker, ack_data] { acker->fluid_handle_ack(ack_data); },
+        "net.fluid.ack");
+  }
+  return advanced;
+}
+
+void Connection::fluid_handle_ack(std::uint64_t ack_data) {
+  if (state_ == TcpState::kDead || ack_data <= fluid_acked_) {
+    return;
+  }
+  stats_.bytes_acked += ack_data - fluid_acked_;
+  fluid_acked_ = ack_data;
+  data_retries_ = 0;
+  snd_una_ = std::max(snd_una_, 1 + ack_data);
+  snd_nxt_ = std::max(snd_nxt_, snd_una_);
+  snd_max_ = std::max(snd_max_, snd_nxt_);
+  if (ack_data > send_buf_.head()) {
+    send_buf_.release_through(ack_data);  // markers normally release first
+  }
+  if (on_ack_advance) {
+    on_ack_advance(sim_.now(), fluid_acked_);
+  }
+  if (on_writable && send_buf_.free_space() > 0 && !fin_pending_) {
+    on_writable();
+  }
+  try_send();
+}
+
+void Connection::fluid_teardown() {
+  fluid_pending_.clear();  // drops the sender refs held for pending acks
+  if (!fluid_data_plane()) {
+    return;
+  }
+  if (flow::FluidNetwork* fnet = stack_.topology().fluid()) {
+    fnet->end_flow(fluid_flow_);
+  }
+  fluid_flow_ = flow::kInvalidFluidFlow;
 }
 
 }  // namespace lsl::tcp

@@ -14,11 +14,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "flow/fluid.hpp"
 #include "net/packet.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
@@ -53,8 +56,9 @@ enum class TcpState {
 /// before on_closed. Local abort() is not an error (the application asked).
 enum class ConnectionError {
   kNone = 0,
-  kConnectTimeout,  ///< handshake exhausted max_syn_retries
-  kReset,           ///< peer sent RST
+  kConnectTimeout,     ///< handshake exhausted max_syn_retries
+  kReset,              ///< peer sent RST
+  kRetransmitTimeout,  ///< data/FIN retransmits exhausted max_data_retries
 };
 
 [[nodiscard]] const char* to_string(ConnectionError e);
@@ -218,6 +222,34 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void enter_time_wait();
   void become_dead();
 
+  // ---- fluid data plane ------------------------------------------------
+  // When the topology runs at flow fidelity, payload bytes ride a fluid
+  // flow instead of data segments: the pump offers window-sized chunks to
+  // the fluid engine, transmit-completion markers schedule deliveries into
+  // the peer's receive buffer after the path's one-way latency, and
+  // deliveries schedule rate-less "ACK" callbacks that release the send
+  // buffer. Packets still carry SYN/FIN/RST and window updates, so
+  // handshake loss, resets, and teardown behave exactly as at packet
+  // fidelity.
+  [[nodiscard]] bool fluid_data_plane() const {
+    return fluid_flow_ != flow::kInvalidFluidFlow;
+  }
+  /// Lazily create the fluid flow + peer binding; false when unavailable
+  /// (packet fidelity, no route, or peer endpoint gone).
+  bool ensure_fluid_channel();
+  void fluid_pump();
+  void on_fluid_transmitted(std::uint64_t end_offset);
+  /// Receiver side: admit [offset, offset+len) into the receive buffer (or
+  /// hold it in the pending queue while the buffer is full).
+  void fluid_deliver(std::uint64_t offset, std::uint64_t len,
+                     std::vector<std::byte> content, const Ptr& sender);
+  /// Move held chunks into the receive buffer as space opens; returns
+  /// whether the in-order frontier advanced. Schedules cumulative acks.
+  bool fluid_admit_pending();
+  /// Sender side: cumulative in-order receive frontier reported back.
+  void fluid_handle_ack(std::uint64_t ack_data);
+  void fluid_teardown();
+
   [[nodiscard]] std::uint64_t flight() const { return snd_nxt_ - snd_una_; }
   [[nodiscard]] std::uint64_t usable_window() const;
   [[nodiscard]] std::uint64_t advertised_window() const;
@@ -278,6 +310,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   sim::Timer delack_timer_;
   int unacked_segments_ = 0;  ///< data segments since the last ACK we sent
   int syn_retries_ = 0;
+  int data_retries_ = 0;  ///< consecutive RTOs with no ACK progress
 
   ConnectionStats stats_;
   TcpMetrics* metrics_ = nullptr;  ///< shared instruments (may be null)
@@ -289,6 +322,26 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::uint64_t connect_span_ = 0;
   std::uint64_t stream_span_ = 0;
   SimTime rto_armed_at_ = SimTime::zero();
+
+  // Fluid data plane (all zero/invalid at packet fidelity).
+  struct FluidPending {
+    std::uint64_t offset = 0;
+    std::uint64_t len = 0;
+    std::vector<std::byte> content;
+    Ptr sender;  ///< kept alive until its bytes are admitted and acked
+  };
+
+  flow::FluidFlowId fluid_flow_ = flow::kInvalidFluidFlow;
+  bool fluid_checked_ = false;  ///< channel setup attempted (and failed)
+  std::weak_ptr<Connection> fluid_peer_;
+  SimTime fluid_fwd_latency_ = SimTime::zero();  ///< transmit end -> delivery
+  SimTime fluid_rev_latency_ = SimTime::zero();  ///< delivery -> ack
+  std::uint64_t fluid_window_ = 0;  ///< min(send buffer, peer recv buffer)
+  std::uint64_t fluid_offered_ = 0;      ///< bytes handed to the engine
+  std::uint64_t fluid_transmitted_ = 0;  ///< bytes whose markers fired
+  std::uint64_t fluid_acked_ = 0;        ///< bytes released by acks
+  /// Receiver side: arrived chunks waiting for receive-buffer space.
+  std::deque<FluidPending> fluid_pending_;
 };
 
 }  // namespace lsl::tcp

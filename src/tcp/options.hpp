@@ -41,6 +41,12 @@ struct TcpOptions {
   /// retransmissions; the connection dies and on_closed fires.
   int max_syn_retries = 6;
 
+  /// Give up after this many consecutive retransmission timeouts with no
+  /// ACK progress (RFC 1122's R2 in spirit); the connection dies with
+  /// kRetransmitTimeout. Bounds teardown when the peer vanishes without a
+  /// RST reaching us -- crashed host, partitioned link.
+  int max_data_retries = 10;
+
   /// Nagle's algorithm (RFC 896): hold sub-MSS segments while unacked data
   /// is in flight, coalescing small writes. Off by default: bulk transfers
   /// never produce runts mid-stream and benches want minimum latency.

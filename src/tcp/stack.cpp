@@ -11,6 +11,7 @@ TcpStack::TcpStack(net::Topology& topology, net::NodeId node)
     : topology_(topology), node_(node) {
   topology_.node(node).set_local_deliver(
       [this](net::Packet p) { on_packet(std::move(p)); });
+  topology_.set_protocol_handle(node, this);
 }
 
 void TcpStack::listen(net::Port port, AcceptFn on_accept, TcpOptions options) {
@@ -60,8 +61,24 @@ void TcpStack::on_packet(net::Packet packet) {
       return;
     }
   }
-  // No connection, no listener: drop silently (RSTs for stray segments are
-  // immaterial to the studied dynamics).
+  if (!packet.tcp.has(net::kFlagRst) && !packet.tcp.has(net::kFlagSyn)) {
+    // A non-SYN segment for a connection we no longer track: answer with a
+    // RST so the sender learns its peer is gone (a LAST_ACK endpoint whose
+    // final ACK was lost would otherwise retransmit its FIN until the
+    // give-up limit -- the peer left TIME_WAIT long ago and only this
+    // reset can release it promptly). Bare SYNs still time out through
+    // max_syn_retries: connection-refused semantics are exercised by the
+    // recovery tests and stay unchanged.
+    net::Packet rst;
+    rst.src = node_;
+    rst.dst = packet.src;
+    rst.tcp.src_port = packet.tcp.dst_port;
+    rst.tcp.dst_port = packet.tcp.src_port;
+    rst.tcp.seq = packet.tcp.ack;
+    rst.tcp.flags = net::kFlagRst;
+    emit(std::move(rst));
+    return;
+  }
   LSL_TRACE("tcp node %u: dropping stray segment on port %u", node_,
             packet.tcp.dst_port);
 }

@@ -22,7 +22,7 @@ struct ConnKey {
   friend auto operator<=>(const ConnKey&, const ConnKey&) = default;
 };
 
-class TcpStack {
+class TcpStack : public net::ProtocolStack {
  public:
   using AcceptFn = std::function<void(Connection::Ptr)>;
 
@@ -48,6 +48,24 @@ class TcpStack {
   [[nodiscard]] net::Topology& topology() { return topology_; }
   [[nodiscard]] sim::Simulator& simulator() { return topology_.simulator(); }
   [[nodiscard]] std::size_t open_connections() const { return conns_.size(); }
+
+  /// True when the topology runs the fluid data plane (payload bytes ride
+  /// fluid flows; packets carry only connection control).
+  [[nodiscard]] bool fluid_mode() { return topology_.fluid() != nullptr; }
+
+  /// Endpoint lookup for the fluid data plane's peer rendezvous.
+  [[nodiscard]] Connection::Ptr find_connection(const ConnKey& key) {
+    const auto it = conns_.find(key);
+    return it != conns_.end() ? it->second : nullptr;
+  }
+
+  /// Diagnostics: visit every tracked connection (leak post-mortems).
+  template <typename Fn>
+  void for_each_connection(Fn&& fn) {
+    for (auto& [key, conn] : conns_) {
+      fn(*conn);
+    }
+  }
 
  private:
   friend class Connection;

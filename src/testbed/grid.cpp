@@ -141,15 +141,14 @@ Bandwidth SyntheticGrid::loaded_cap(const HostProfile& host, Rng& trial) const {
                          std::max(factor, 0.05));
 }
 
-flow::ConnectionParams SyntheticGrid::direct_params(std::size_t a,
-                                                    std::size_t b,
-                                                    std::uint64_t bytes,
-                                                    Rng& trial) const {
+PairRealization SyntheticGrid::realize_direct(std::size_t a, std::size_t b,
+                                              std::uint64_t bytes,
+                                              Rng& trial) const {
   LSL_ASSERT(a < hosts_.size() && b < hosts_.size());
-  flow::ConnectionParams params;
-  params.rtt = rtt(a, b);
-  params.loss_rate = loss(a, b);
-  params.window_bytes = std::min(hosts_[a].tcp_buffer, hosts_[b].tcp_buffer);
+  PairRealization real;
+  real.rtt = rtt(a, b);
+  real.loss_rate = loss(a, b);
+  real.window_bytes = std::min(hosts_[a].tcp_buffer, hosts_[b].tcp_buffer);
 
   const double cross = trial.lognormal(0.0, noise_.path_sigma);
   double mbps = base_path_bw(a, b).megabits_per_second() / std::max(cross, 0.2);
@@ -160,11 +159,11 @@ flow::ConnectionParams SyntheticGrid::direct_params(std::size_t a,
       mbps = std::min(mbps, noise_.rate_limit.megabits_per_second());
     }
   }
-  params.bottleneck = Bandwidth::mbps(std::max(mbps, 0.05));
-  return params;
+  real.bottleneck = Bandwidth::mbps(std::max(mbps, 0.05));
+  return real;
 }
 
-std::vector<flow::ConnectionParams> SyntheticGrid::relay_params(
+std::vector<PairRealization> SyntheticGrid::realize_relay_hops(
     const std::vector<std::size_t>& path, std::uint64_t bytes,
     Rng& trial) const {
   LSL_ASSERT(path.size() >= 2);
@@ -179,12 +178,12 @@ std::vector<flow::ConnectionParams> SyntheticGrid::relay_params(
     }
     cap_mbps[i] = cap;
   }
-  std::vector<flow::ConnectionParams> hops;
+  std::vector<PairRealization> hops;
   hops.reserve(path.size() - 1);
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     const std::size_t a = path[i];
     const std::size_t b = path[i + 1];
-    flow::ConnectionParams hop;
+    PairRealization hop;
     hop.rtt = rtt(a, b);
     hop.loss_rate = loss(a, b);
     hop.window_bytes = std::min(hosts_[a].tcp_buffer, hosts_[b].tcp_buffer);
@@ -201,6 +200,26 @@ std::vector<flow::ConnectionParams> SyntheticGrid::relay_params(
     hops.push_back(hop);
   }
   return hops;
+}
+
+flow::ConnectionParams SyntheticGrid::direct_params(std::size_t a,
+                                                    std::size_t b,
+                                                    std::uint64_t bytes,
+                                                    Rng& trial) const {
+  return realize_direct(a, b, bytes, trial).connection_params();
+}
+
+std::vector<flow::ConnectionParams> SyntheticGrid::relay_params(
+    const std::vector<std::size_t>& path, std::uint64_t bytes,
+    Rng& trial) const {
+  const std::vector<PairRealization> hops =
+      realize_relay_hops(path, bytes, trial);
+  std::vector<flow::ConnectionParams> out;
+  out.reserve(hops.size());
+  for (const PairRealization& hop : hops) {
+    out.push_back(hop.connection_params());
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------

@@ -102,6 +102,32 @@ struct AbileneCoreConfig {
   GridNoise noise;
 };
 
+/// One realized pair (direct path or relay hop): the single source of
+/// truth both measurement fidelities consume. The analytic model reads it
+/// as flow::ConnectionParams (via connection_params()); the simulated
+/// fidelities materialize it as a link whose rate/delay/loss and endpoint
+/// TCP buffers carry the same numbers (testbed/materialize.hpp). Keeping
+/// one struct means the analytic and simulated sweeps cannot silently
+/// drift onto different network parameters.
+struct PairRealization {
+  SimTime rtt = SimTime::milliseconds(50);
+  double loss_rate = 0.0;
+  /// Realized path capacity: base bandwidth under cross traffic, clipped
+  /// by both hosts' loaded caps (and rate limits past the threshold).
+  Bandwidth bottleneck = Bandwidth::mbps(100);
+  /// Effective window: min of the two hosts' TCP buffers.
+  std::uint64_t window_bytes = 64 * kKiB;
+
+  [[nodiscard]] flow::ConnectionParams connection_params() const {
+    flow::ConnectionParams params;
+    params.rtt = rtt;
+    params.bottleneck = bottleneck;
+    params.window_bytes = window_bytes;
+    params.loss_rate = loss_rate;
+    return params;
+  }
+};
+
 class SyntheticGrid {
  public:
   SyntheticGrid(std::vector<HostProfile> hosts, GridNoise noise,
@@ -134,15 +160,28 @@ class SyntheticGrid {
   [[nodiscard]] nws::TruthFn truth() const;
 
   // ---- per-trial realizations ----------------------------------------------
-  /// Parameters of one direct TCP transfer of `bytes` from a to b right now
-  /// (samples load and cross-traffic noise from `trial`).
+  /// Realize one direct transfer of `bytes` from a to b right now (samples
+  /// load and cross-traffic noise from `trial`). Source of truth for both
+  /// the analytic model and the simulated fidelities.
+  [[nodiscard]] PairRealization realize_direct(std::size_t a, std::size_t b,
+                                               std::uint64_t bytes,
+                                               Rng& trial) const;
+
+  /// Realize every hop of one relayed transfer along `path` (node sequence
+  /// source..sink). One load sample per participating host, reused across
+  /// its hops; non-core depots pay the relay-efficiency factor.
+  [[nodiscard]] std::vector<PairRealization> realize_relay_hops(
+      const std::vector<std::size_t>& path, std::uint64_t bytes,
+      Rng& trial) const;
+
+  /// Adapter: realize_direct() as analytic-model connection parameters.
+  /// Draws from `trial` exactly as realize_direct does.
   [[nodiscard]] flow::ConnectionParams direct_params(std::size_t a,
                                                      std::size_t b,
                                                      std::uint64_t bytes,
                                                      Rng& trial) const;
 
-  /// Hop parameters of one relayed transfer along `path` (node sequence
-  /// source..sink).
+  /// Adapter: realize_relay_hops() as analytic-model hop parameters.
   [[nodiscard]] std::vector<flow::ConnectionParams> relay_params(
       const std::vector<std::size_t>& path, std::uint64_t bytes,
       Rng& trial) const;

@@ -64,4 +64,44 @@ Materialized materialize_hosts(const SyntheticGrid& grid,
   return out;
 }
 
+net::LinkConfig realized_link_config(const PairRealization& hop) {
+  net::LinkConfig link;
+  link.rate = hop.bottleneck;
+  link.propagation_delay = hop.rtt / 2;
+  link.loss_rate = hop.loss_rate;
+  link.queue_capacity_bytes = mib(1);
+  return link;
+}
+
+Materialized materialize_path(const SyntheticGrid& grid,
+                              const std::vector<std::size_t>& path,
+                              const std::vector<PairRealization>& hops,
+                              std::uint64_t seed, exp::Fidelity fidelity) {
+  LSL_ASSERT_MSG(path.size() >= 2, "need at least two hosts");
+  LSL_ASSERT_MSG(hops.size() + 1 == path.size(),
+                 "one realization per hop of the path");
+  Materialized out;
+  out.harness = std::make_unique<exp::SimHarness>(seed, fidelity);
+  auto& h = *out.harness;
+
+  for (const std::size_t host : path) {
+    out.nodes.push_back(
+        h.add_host(grid.host(host).name, grid.host(host).site));
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    h.add_link(out.nodes[i], out.nodes[i + 1], realized_link_config(hops[i]));
+  }
+
+  h.deploy([&](net::NodeId node) {
+    session::DepotConfig cfg;
+    // node ids are assigned in path order, so node indexes `path` directly.
+    const auto& profile = grid.host(path[node]);
+    cfg.tcp = tcp::TcpOptions{}.with_buffers(profile.tcp_buffer);
+    cfg.user_buffer_bytes = 16 * kMiB;
+    return cfg;
+  });
+  // A chain has a unique route between every pair; no pinning needed.
+  return out;
+}
+
 }  // namespace lsl::testbed

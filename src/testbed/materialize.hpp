@@ -31,4 +31,20 @@ struct Materialized {
     const SyntheticGrid& grid, const std::vector<std::size_t>& hosts,
     std::uint64_t seed);
 
+/// The link a PairRealization materializes as: rate = realized bottleneck,
+/// one-way delay = rtt/2, the pair's loss rate, 1 MiB of queue. The hop's
+/// window_bytes is carried separately, by the endpoints' TCP buffers.
+[[nodiscard]] net::LinkConfig realized_link_config(const PairRealization& hop);
+
+/// Build a chain topology along `path` (grid indices, source..sink) where
+/// hop i carries `hops[i]` -- the same per-trial realization the analytic
+/// model would consume -- at the requested fidelity. Depots run on every
+/// node with 16 MiB user buffers and the host's own TCP buffer, so each
+/// hop's connection window min(send, recv buffer) equals the realization's
+/// window_bytes. Used by the simulated sweep fidelities to measure a case.
+[[nodiscard]] Materialized materialize_path(
+    const SyntheticGrid& grid, const std::vector<std::size_t>& path,
+    const std::vector<PairRealization>& hops, std::uint64_t seed,
+    exp::Fidelity fidelity);
+
 }  // namespace lsl::testbed

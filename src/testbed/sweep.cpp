@@ -5,6 +5,7 @@
 
 #include "exp/parallel.hpp"
 #include "nws/monitor.hpp"
+#include "testbed/materialize.hpp"
 #include "util/assert.hpp"
 
 namespace lsl::testbed {
@@ -140,9 +141,37 @@ SweepResult run_speedup_sweep(const SyntheticGrid& grid,
   };
   exp::TrialOptions trial_options;
   trial_options.jobs = config.jobs;
-  // The flow-model measurement phase touches no built-in instrumentation;
-  // skip the per-trial registry copies.
+  // The measurement phase touches no built-in instrumentation (simulated
+  // fidelities build private harnesses); skip per-trial registry copies.
   trial_options.scope_metrics = false;
+  const bool simulated = config.fidelity != SweepFidelity::kAnalytic;
+  const exp::Fidelity sim_fidelity = config.fidelity == SweepFidelity::kFlow
+                                         ? exp::Fidelity::kFlow
+                                         : exp::Fidelity::kPacket;
+  // Run one transfer of `size` bytes along a materialized chain; returns
+  // achieved bandwidth in bit/s (0 on a deadline miss, which only a
+  // pathological realization can produce at this deadline).
+  const auto simulate_chain =
+      [&](const std::vector<std::size_t>& path,
+          const std::vector<PairRealization>& hops, std::uint64_t size,
+          std::uint64_t sim_seed) -> double {
+    Materialized m =
+        materialize_path(grid, path, hops, sim_seed, sim_fidelity);
+    session::TransferSpec spec;
+    spec.dst = m.nodes.back();
+    for (std::size_t i = 1; i + 1 < m.nodes.size(); ++i) {
+      spec.via.push_back(m.nodes[i]);
+    }
+    spec.payload_bytes = size;
+    spec.tcp =
+        tcp::TcpOptions{}.with_buffers(grid.host(path.front()).tcp_buffer);
+    const auto outcome = m.harness->run_transfer(m.nodes.front(), spec,
+                                                 SimTime::seconds(86400));
+    if (!outcome.completed || outcome.elapsed <= SimTime::zero()) {
+      return 0.0;
+    }
+    return static_cast<double>(size) * 8.0 / outcome.elapsed.to_seconds();
+  };
   const std::vector<CaseResult> measured = exp::map_trials<CaseResult>(
       cases.size(), trial_options, [&](std::size_t trial) {
         const auto& c = cases[trial];
@@ -154,22 +183,39 @@ SweepResult run_speedup_sweep(const SyntheticGrid& grid,
           double direct_bw_sum = 0.0;
           double sched_bw_sum = 0.0;
           for (std::size_t it = 0; it < config.iterations; ++it) {
-            // Direct measurement.
+            // One realization per mode, shared verbatim by every fidelity:
+            // the analytic model consumes it as ConnectionParams, the
+            // simulated back ends materialize it as a chain topology.
             const auto direct =
-                grid.direct_params(c.src, c.dst, size, case_rng);
-            const SimTime t_direct = flow::transfer_time(direct, size);
-            direct_bw_sum +=
-                static_cast<double>(size) * 8.0 / t_direct.to_seconds();
-            // Scheduled (LSL) measurement.
-            const auto hops = grid.relay_params(c.path, size, case_rng);
-            flow::RelayPathParams path_params;
-            path_params.hops = hops;
-            const SimTime t_sched =
-                flow::relay_transfer_time(path_params, size);
-            sched_bw_sum +=
-                static_cast<double>(size) * 8.0 / t_sched.to_seconds();
+                grid.realize_direct(c.src, c.dst, size, case_rng);
+            const auto hops =
+                grid.realize_relay_hops(c.path, size, case_rng);
+            if (simulated) {
+              const std::uint64_t sim_seed = case_rng.next_u64();
+              direct_bw_sum += simulate_chain({c.src, c.dst}, {direct},
+                                              size, sim_seed);
+              sched_bw_sum +=
+                  simulate_chain(c.path, hops, size, sim_seed ^ 0x5C5C);
+            } else {
+              const SimTime t_direct =
+                  flow::transfer_time(direct.connection_params(), size);
+              direct_bw_sum +=
+                  static_cast<double>(size) * 8.0 / t_direct.to_seconds();
+              std::vector<flow::ConnectionParams> hop_params;
+              hop_params.reserve(hops.size());
+              for (const PairRealization& hop : hops) {
+                hop_params.push_back(hop.connection_params());
+              }
+              flow::RelayPathParams path_params;
+              path_params.hops = hop_params;
+              const SimTime t_sched =
+                  flow::relay_transfer_time(path_params, size);
+              sched_bw_sum +=
+                  static_cast<double>(size) * 8.0 / t_sched.to_seconds();
+            }
           }
-          out.speedup_by_size.push_back(sched_bw_sum / direct_bw_sum);
+          out.speedup_by_size.push_back(
+              direct_bw_sum > 0.0 ? sched_bw_sum / direct_bw_sum : 0.0);
         }
         return out;
       });

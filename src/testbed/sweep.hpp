@@ -16,6 +16,15 @@
 
 namespace lsl::testbed {
 
+/// How the measurement phase times each transfer. kAnalytic evaluates the
+/// closed-form flow model (the paper's 362k-measurement sweep runs in
+/// seconds). kFlow and kPacket materialize every (case, size, iteration,
+/// mode) as a small chain topology carrying the same PairRealization and
+/// run the transfer through the full LSL session machinery at that
+/// fidelity -- orders of magnitude slower, but cross-validates the
+/// analytic numbers end to end (see docs/flow_fidelity.md).
+enum class SweepFidelity { kAnalytic, kFlow, kPacket };
+
 struct SweepConfig {
   /// Transfer sizes: 2^n MB for n in [0, max_size_exp).
   int max_size_exp = 7;
@@ -41,6 +50,10 @@ struct SweepConfig {
   /// see docs/performance.md for the determinism contract. 0 = one worker
   /// per hardware thread.
   std::size_t jobs = 1;
+  /// Measurement back end (analytic model, fluid simulation, or packet
+  /// simulation). Monitor/scheduler/discovery phases are identical across
+  /// fidelities; only the per-case timing differs.
+  SweepFidelity fidelity = SweepFidelity::kAnalytic;
 };
 
 struct SweepResult {

@@ -229,13 +229,81 @@ INSTANTIATE_TEST_SUITE_P(
                        1.8},
         ValidationCase{"loss_2e4_rtt46", 400, 23_ms, 2e-4, mib(8), mib(32),
                        1.8},
-        ValidationCase{"loss_1e3_rtt46", 400, 23_ms, 1e-3, mib(8), mib(16),
+        // Large enough that the steady loss-limited regime dominates; a
+        // 16 MiB transfer here rides the slow-start overshoot parked in
+        // the deep queue and finishes ~2x faster than Mathis steady state.
+        ValidationCase{"loss_1e3_rtt46", 400, 23_ms, 1e-3, mib(8), mib(64),
                        1.8},
         ValidationCase{"small_transfer_rtt_bound", 100, 40_ms, 0.0, mib(1),
                        kib(256), 1.6}),
     [](const ::testing::TestParamInfo<ValidationCase>& info) {
       return info.param.label;
     });
+
+// ---------------------------------------------------------------------------
+// Calibration goldens: pin the model's constants against the packet stack.
+// If one of these fails after a congestion-control or recovery change,
+// re-fit (bulk transfers over lossy WANs; implied C = rate * rtt * sqrt(p)
+// / (mss * 8)) and update kMathisConstant -- do not loosen the bounds.
+
+TEST(CalibrationGolden, MathisConstantMatchesPacketStack) {
+  // Loss-limited regime: 50 Mbps / 30 ms RTT / 1e-3 loss with windows well
+  // above the loss-limited operating point, so the Mathis cap binds.
+  net::LinkConfig link;
+  link.rate = Bandwidth::mbps(50);
+  link.propagation_delay = 15_ms;
+  link.queue_capacity_bytes = kib(256);
+  link.loss_rate = 1e-3;
+  double sum_bps = 0.0;
+  int runs = 0;
+  for (const std::uint64_t seed : {11, 23, 47}) {
+    testing::TwoNodeNet net(link, seed);
+    const auto r = testing::run_bulk_transfer(
+        net.sim, *net.stack_a, *net.stack_b, mib(16),
+        tcp::TcpOptions{}.with_buffers(kib(256)), SimTime::seconds(3600));
+    ASSERT_TRUE(r.completed);
+    sum_bps += r.goodput.bits_per_second();
+    ++runs;
+  }
+  const double measured = sum_bps / runs;
+  const double implied_c =
+      measured * 0.030 * std::sqrt(1e-3) / (1460.0 * 8.0);
+  EXPECT_NEAR(implied_c, kMathisConstant, 0.45)
+      << "packet stack drifted from the pinned Mathis constant; re-fit";
+
+  ConnectionParams params;
+  params.rtt = 30_ms;
+  params.bottleneck = Bandwidth::mbps(50 * 1460.0 / 1500.0);
+  params.window_bytes = kib(256);
+  params.loss_rate = 1e-3;
+  const double predicted = steady_rate(params).bits_per_second();
+  EXPECT_GT(predicted / measured, 0.70);
+  EXPECT_LT(predicted / measured, 1.45);
+}
+
+TEST(CalibrationGolden, SlowStartRampMatchesPacketStack) {
+  // Ramp-dominated transfer: 512 KiB over a clean 100 Mbps / 60 ms RTT
+  // path finishes inside slow start, so the model's doubling ramp is the
+  // entire prediction.
+  net::LinkConfig link;
+  link.rate = Bandwidth::mbps(100);
+  link.propagation_delay = 30_ms;
+  link.queue_capacity_bytes = mib(1);
+  testing::TwoNodeNet net(link, /*seed=*/7);
+  const auto r = testing::run_bulk_transfer(
+      net.sim, *net.stack_a, *net.stack_b, kib(512),
+      tcp::TcpOptions{}.with_buffers(mib(4)), SimTime::seconds(600));
+  ASSERT_TRUE(r.completed);
+
+  ConnectionParams params;
+  params.rtt = 60_ms;
+  params.bottleneck = Bandwidth::mbps(100 * 1460.0 / 1500.0);
+  params.window_bytes = mib(4);
+  const double ratio = transfer_time(params, kib(512)).to_seconds() /
+                       r.elapsed.to_seconds();
+  EXPECT_GT(ratio, 0.70);
+  EXPECT_LT(ratio, 1.40);
+}
 
 }  // namespace
 }  // namespace lsl::flow

@@ -42,6 +42,92 @@ TEST(MaterializeTest, PacketTransferCompletesOnMaterializedPair) {
   EXPECT_EQ(r.bytes, mib(1));
 }
 
+TEST(MaterializeTest, ParamAdaptersShareOneSourceOfTruth) {
+  // Regression for fidelity drift: the analytic adapters must be pure
+  // projections of the same PairRealization the simulators materialize, and
+  // both must consume the rng stream identically.
+  const auto grid = SyntheticGrid::planetlab(PlanetLabConfig{}, 2004);
+  const std::uint64_t size = mib(4);
+
+  Rng a(99);
+  Rng b(99);
+  const auto realized = grid.realize_direct(2, 31, size, a);
+  const auto params = grid.direct_params(2, 31, size, b);
+  EXPECT_EQ(realized.rtt, params.rtt);
+  EXPECT_DOUBLE_EQ(realized.loss_rate, params.loss_rate);
+  EXPECT_DOUBLE_EQ(realized.bottleneck.bits_per_second(),
+                   params.bottleneck.bits_per_second());
+  EXPECT_EQ(realized.window_bytes, params.window_bytes);
+  // Identical rng consumption: the next draw must agree.
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+
+  Rng c(7);
+  Rng d(7);
+  const std::vector<std::size_t> path{2, 10, 31};
+  const auto hops = grid.realize_relay_hops(path, size, c);
+  const auto hop_params = grid.relay_params(path, size, d);
+  ASSERT_EQ(hops.size(), hop_params.size());
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const auto projected = hops[i].connection_params();
+    EXPECT_EQ(projected.rtt, hop_params[i].rtt);
+    EXPECT_DOUBLE_EQ(projected.bottleneck.bits_per_second(),
+                     hop_params[i].bottleneck.bits_per_second());
+    EXPECT_EQ(projected.window_bytes, hop_params[i].window_bytes);
+  }
+  EXPECT_EQ(c.next_u64(), d.next_u64());
+}
+
+TEST(MaterializeTest, MaterializedPathMirrorsRealizations) {
+  // The simulated topology must carry exactly the realized hop parameters:
+  // link rate = bottleneck, one-way delay = rtt/2, loss carried over, and
+  // the per-host TCP buffers bound the window at the realized value.
+  const auto grid = SyntheticGrid::planetlab(PlanetLabConfig{}, 2004);
+  const std::vector<std::size_t> path{4, 12, 40};
+  Rng trial(11);
+  const auto hops = grid.realize_relay_hops(path, mib(4), trial);
+  ASSERT_EQ(hops.size(), 2u);
+
+  for (const auto fidelity : {exp::Fidelity::kPacket, exp::Fidelity::kFlow}) {
+    auto m = materialize_path(grid, path, hops, 13, fidelity);
+    ASSERT_EQ(m.nodes.size(), 3u);
+    auto& topo = m.harness->topology();
+    EXPECT_EQ((topo.fluid() != nullptr), fidelity == exp::Fidelity::kFlow);
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      net::Link* link = topo.link_between(m.nodes[i], m.nodes[i + 1]);
+      ASSERT_NE(link, nullptr);
+      EXPECT_DOUBLE_EQ(link->config().rate.bits_per_second(),
+                       hops[i].bottleneck.bits_per_second());
+      EXPECT_EQ(link->config().propagation_delay, hops[i].rtt / 2);
+      EXPECT_DOUBLE_EQ(link->config().loss_rate, hops[i].loss_rate);
+    }
+  }
+}
+
+TEST(MaterializeTest, FluidPathTransferTracksRealizedBottleneck) {
+  const auto grid = SyntheticGrid::planetlab(PlanetLabConfig{}, 2004);
+  const std::vector<std::size_t> path{4, 12, 40};
+  Rng trial(11);
+  const auto hops = grid.realize_relay_hops(path, mib(4), trial);
+  auto m = materialize_path(grid, path, hops, 13, exp::Fidelity::kFlow);
+
+  session::TransferSpec spec;
+  spec.dst = m.nodes.back();
+  spec.via.push_back(m.nodes[1]);
+  spec.payload_bytes = mib(4);
+  spec.tcp = tcp::TcpOptions{}.with_buffers(grid.host(4).tcp_buffer);
+  const auto r = m.harness->run_transfer(m.nodes.front(), spec, 3600_s);
+  ASSERT_TRUE(r.completed);
+  const double floor_bps = std::min(hops[0].bottleneck.bits_per_second(),
+                                    hops[1].bottleneck.bits_per_second());
+  // Goodput can beat the end-to-end floor (the depot pipelines the legs)
+  // but cannot exceed the faster leg.
+  EXPECT_LE(r.goodput.bits_per_second(),
+            std::max(hops[0].bottleneck.bits_per_second(),
+                     hops[1].bottleneck.bits_per_second()) *
+                1.05);
+  EXPECT_GT(r.goodput.bits_per_second(), 0.05 * floor_bps);
+}
+
 TEST(MaterializeTest, FlowModelAgreesWithPacketExecutionOnScheduledCases) {
   // End-to-end: measure, schedule, pick depot-routed cases, then execute
   // each on the packet simulator and compare against the flow model's

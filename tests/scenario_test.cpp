@@ -81,6 +81,31 @@ TEST(ScenarioParserTest, PoolDefaultsAndValidation) {
   EXPECT_FALSE(parse_scenario("host a\nhost b\n").ok());
 }
 
+TEST(ScenarioParserTest, ParsesFidelityDirective) {
+  const auto flow = parse_scenario(std::string(kValid) + "fidelity flow\n");
+  ASSERT_TRUE(flow.ok()) << flow.error;
+  ASSERT_TRUE(flow.scenario->fidelity.has_value());
+  EXPECT_EQ(*flow.scenario->fidelity, Fidelity::kFlow);
+
+  const auto packet = parse_scenario(std::string(kValid) + "fidelity packet\n");
+  ASSERT_TRUE(packet.ok()) << packet.error;
+  ASSERT_TRUE(packet.scenario->fidelity.has_value());
+  EXPECT_EQ(*packet.scenario->fidelity, Fidelity::kPacket);
+
+  // Unset means packet for scenarios (analytic for pool sweeps).
+  const auto unset = parse_scenario(kValid);
+  ASSERT_TRUE(unset.ok());
+  EXPECT_FALSE(unset.scenario->fidelity.has_value());
+}
+
+TEST(ScenarioParserTest, RejectsBadFidelity) {
+  EXPECT_FALSE(
+      parse_scenario(std::string(kValid) + "fidelity hybrid\n").ok());
+  EXPECT_FALSE(parse_scenario(std::string(kValid) + "fidelity\n").ok());
+  EXPECT_FALSE(
+      parse_scenario(std::string(kValid) + "fidelity flow packet\n").ok());
+}
+
 TEST(ScenarioParserTest, RejectsUnknownDirective) {
   const auto result = parse_scenario("host a\nhost b\nfrobnicate a b\n");
   ASSERT_FALSE(result.ok());
@@ -143,6 +168,29 @@ TEST(ScenarioRunnerTest, RunsTransfersInOrder) {
   // The relayed transfer (25 ms direct vs 10+10 legs) should not be slower
   // by much; both completed is the hard requirement here.
   EXPECT_GT(outcomes[1].outcome.goodput.bits_per_second(), 0.0);
+}
+
+TEST(ScenarioRunnerTest, FlowFidelityCompletesSameTransfers) {
+  const auto parsed = parse_scenario(std::string(kValid) + "fidelity flow\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const auto outcomes = run_scenario(*parsed.scenario, /*seed=*/3);
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const auto& [transfer, outcome] : outcomes) {
+    EXPECT_TRUE(outcome.completed) << transfer.src << "->" << transfer.dst;
+    EXPECT_EQ(outcome.bytes, 2 * kMiB);
+    EXPECT_GT(outcome.goodput.bits_per_second(), 0.0);
+  }
+}
+
+TEST(ScenarioRunnerTest, FlowFidelityIsDeterministic) {
+  const auto parsed = parse_scenario(std::string(kValid) + "fidelity flow\n");
+  ASSERT_TRUE(parsed.ok());
+  const auto a = run_scenario(*parsed.scenario, 7);
+  const auto b = run_scenario(*parsed.scenario, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].outcome.elapsed, b[i].outcome.elapsed);
+  }
 }
 
 TEST(ScenarioRunnerTest, DeterministicForSeed) {

@@ -44,11 +44,12 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: lslsim <scenario-file> [--seed N] [--sweep] [--jobs N]\n"
+               "              [--fidelity=packet|flow]\n"
                "              [--metrics=<path>] [--metrics-format=json|prom]\n"
                "              [--trace=<path>] [--spans=<path>] [--profile]\n"
                "              [--explain[=SESSION]]\n"
                "       lslsim --pool-size N [--seed N] [--jobs N]\n"
-               "              [--metrics=<path>]\n"
+               "              [--fidelity=packet|flow] [--metrics=<path>]\n"
                "  Runs the transfers described in the scenario file over the\n"
                "  packet-level simulator and prints a result row for each.\n"
                "  --sweep re-runs every transfer at doubling sizes from 1 MiB\n"
@@ -57,6 +58,14 @@ void usage() {
                "  threads (output is bitwise identical for any N; 0 = one\n"
                "  worker per hardware thread). Ignored without --sweep: the\n"
                "  transfers of a single run share one simulation.\n"
+               "  --fidelity=flow carries transfer payload on the fluid\n"
+               "  (flow-level) engine instead of simulating every packet --\n"
+               "  same sessions, depots, recovery, and rerouting, far fewer\n"
+               "  events (see docs/flow_fidelity.md). Default: packet, or\n"
+               "  the scenario's own `fidelity` directive. In pool mode the\n"
+               "  sweep normally uses the analytic model; --fidelity=flow\n"
+               "  or =packet runs each measurement on the simulator at that\n"
+               "  fidelity instead (much slower; small pools only).\n"
                "  --metrics=<path> writes a snapshot of every metric;\n"
                "  --metrics-format=prom selects the Prometheus text format\n"
                "  instead of JSON.\n"
@@ -142,6 +151,7 @@ int main(int argc, char** argv) {
   bool profile = false;
   std::size_t jobs = 1;
   std::size_t pool_size = 0;
+  const char* fidelity_arg = nullptr;
   const char* metrics_path = nullptr;
   bool metrics_prom = false;
   const char* trace_path = nullptr;
@@ -165,6 +175,14 @@ int main(int argc, char** argv) {
       jobs = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--pool-size") == 0 && i + 1 < argc) {
       pool_size = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strncmp(argv[i], "--fidelity=", 11) == 0) {
+      fidelity_arg = argv[i] + 11;
+      if (std::strcmp(fidelity_arg, "packet") != 0 &&
+          std::strcmp(fidelity_arg, "flow") != 0) {
+        std::fprintf(stderr, "lslsim: unknown fidelity '%s' (packet|flow)\n",
+                     fidelity_arg);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
@@ -254,6 +272,11 @@ int main(int argc, char** argv) {
       scenario.pool.emplace();
     }
     scenario.pool->size = pool_size;
+  }
+  if (fidelity_arg != nullptr) {
+    scenario.fidelity = std::strcmp(fidelity_arg, "flow") == 0
+                            ? lsl::exp::Fidelity::kFlow
+                            : lsl::exp::Fidelity::kPacket;
   }
 
   if (verify || verify_replay != nullptr || fuzz_runs > 0) {
@@ -427,6 +450,14 @@ int main(int argc, char** argv) {
     sweep_config.max_size_exp = pool.max_size_exp;
     sweep_config.matrix_drift_sigma = pool.drift_sigma;
     sweep_config.jobs = jobs;
+    // Unset: the analytic flow model (the paper's sweep). A fidelity
+    // directive or --fidelity flag runs every measurement on the simulator
+    // at that fidelity instead.
+    if (scenario.fidelity.has_value()) {
+      sweep_config.fidelity = *scenario.fidelity == lsl::exp::Fidelity::kFlow
+                                  ? lsl::testbed::SweepFidelity::kFlow
+                                  : lsl::testbed::SweepFidelity::kPacket;
+    }
     std::size_t sites = 0;
     {
       const auto names = grid.sites();
@@ -435,10 +466,16 @@ int main(int argc, char** argv) {
       unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
       sites = unique.size();
     }
-    std::printf("pool sweep: %zu hosts over %zu sites (seed %llu, jobs %zu)"
-                "\n\n",
+    const char* measurement =
+        sweep_config.fidelity == lsl::testbed::SweepFidelity::kAnalytic
+            ? "analytic"
+            : (sweep_config.fidelity == lsl::testbed::SweepFidelity::kFlow
+                   ? "flow"
+                   : "packet");
+    std::printf("pool sweep: %zu hosts over %zu sites (seed %llu, jobs %zu, "
+                "%s measurement)\n\n",
                 grid.size(), sites,
-                static_cast<unsigned long long>(seed), jobs);
+                static_cast<unsigned long long>(seed), jobs, measurement);
     const auto t0 = std::chrono::steady_clock::now();
     const auto result = lsl::testbed::run_speedup_sweep(grid, sweep_config,
                                                         seed);
