@@ -595,7 +595,7 @@ class Depot::Relay : public std::enable_shared_from_this<Depot::Relay> {
         break;
       }
       case Phase::kStoring:
-        depot_.store_session(hdr_, payload_seen_);
+        depot_.schedule_store(hdr_, payload_seen_);
         up_->close();
         done();
         break;
@@ -746,6 +746,12 @@ void Depot::shutdown() {
   for (const auto& relay : relays) {
     relay->abort_session();
   }
+  // In-flight deferred stores die with the process: a crashed depot never
+  // parks the payload it was about to store.
+  for (const sim::EventId id : pending_stores_) {
+    stack_.simulator().cancel(id);
+  }
+  pending_stores_.clear();
   store_.clear();
   store_order_.clear();
   store_bytes_used_ = 0;
@@ -766,6 +772,9 @@ void Depot::restart() {
 Depot::~Depot() {
   for (auto& relay : relays_) {
     relay->detach_callbacks();
+  }
+  for (const sim::EventId id : pending_stores_) {
+    stack_.simulator().cancel(id);
   }
   if (running_) {
     stack_.stop_listening(kLslPort);
@@ -869,6 +878,24 @@ void Depot::store_session(const SessionHeader& header, std::uint64_t bytes) {
   store_[header.session_id] = {header, bytes};
   store_bytes_used_ += bytes;
   ++stats_.sessions_stored;
+}
+
+void Depot::schedule_store(const SessionHeader& header, std::uint64_t bytes) {
+  // Actor tag: stores/evictions on distinct depots commute; stores on the
+  // same depot contend for the same FIFO store and must stay dependent.
+  // The high bit keeps the tag disjoint from the fault injector's depot
+  // actors (node + 1), so a crash and a store on the same node still
+  // interleave. +1 keeps node 0 distinct from the "unknown" actor.
+  const std::uint32_t actor = 0x80000000u | (node_id() + 1);
+  auto slot = std::make_shared<sim::EventId>();
+  *slot = stack_.simulator().schedule_after(
+      SimTime::zero(),
+      [this, header, bytes, slot] {
+        std::erase(pending_stores_, *slot);
+        store_session(header, bytes);
+      },
+      "depot.store", actor);
+  pending_stores_.push_back(*slot);
 }
 
 std::uint64_t Depot::reserve_user_memory() {

@@ -27,6 +27,7 @@
 #include "lsl/header.hpp"
 #include "lsl/route_table.hpp"
 #include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
 #include "tcp/stack.hpp"
 #include "util/units.hpp"
 
@@ -150,6 +151,11 @@ class Depot {
   void relay_done(Relay* relay);
   /// Park an async session, evicting the oldest entries past the cap.
   void store_session(const SessionHeader& header, std::uint64_t bytes);
+  /// Defer store_session to its own simulator event (zero delay) carrying a
+  /// per-depot mc actor tag, so a model-checking ChoiceHook can interleave
+  /// store/eviction orderings across depots. Pending events are cancelled on
+  /// shutdown (a crashed depot parks nothing).
+  void schedule_store(const SessionHeader& header, std::uint64_t bytes);
   /// Account one finished local delivery; aggregates striped sessions and
   /// fires on_session_complete when the whole session has arrived.
   void session_delivered(const SessionHeader& header, std::uint64_t bytes,
@@ -176,6 +182,8 @@ class Depot {
       store_;
   std::deque<SessionId> store_order_;
   std::uint64_t store_bytes_used_ = 0;
+  /// Deferred store_session events not yet fired (see schedule_store).
+  std::vector<sim::EventId> pending_stores_;
   /// Partially arrived striped sessions: id -> (bytes so far, stripes left,
   /// earliest accept time).
   struct PartialStripes {

@@ -1,0 +1,284 @@
+#include "sched/route_snapshot.hpp"
+
+#include <algorithm>
+
+#include "sched/minimax.hpp"
+#include "sched/scheduler.hpp"
+#include "util/assert.hpp"
+
+namespace lsl::sched {
+
+std::shared_ptr<const RouteSnapshot> RouteSnapshot::build(
+    const ShardLayout& layout,
+    std::span<const std::unique_ptr<Scheduler>> shards,
+    const CostMatrix& matrix, double epsilon, std::uint64_t epoch) {
+  LSL_ASSERT(shards.size() == layout.shard_count);
+  auto snap = std::shared_ptr<RouteSnapshot>(new RouteSnapshot());
+  snap->epoch_ = epoch;
+  snap->layout_ = layout;
+
+  const std::size_t shard_count = layout.shard_count;
+  snap->block_offset_.resize(shard_count + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    snap->block_offset_[s] = total;
+    total += layout.shard_size(s) * layout.shard_size(s);
+  }
+  snap->block_offset_[shard_count] = total;
+  snap->slot_.resize(total);
+
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t ns = layout.shard_size(s);
+    const std::uint32_t* member = layout.shard_members(s);
+    const std::size_t base = snap->block_offset_[s];
+    LSL_ASSERT(shards[s]->matrix().size() == ns);
+    for (std::size_t ls = 0; ls < ns; ++ls) {
+      const MmpTree& tree = shards[s]->tree_from(ls);
+      Slot* row = snap->slot_.data() + base + ls * ns;
+      for (std::size_t v = 0; v < ns; ++v) {
+        row[v].cost = tree.cost[v];
+        row[v].parent = static_cast<std::int32_t>(tree.parent[v]);
+        row[v].first_hop = kNoRoute;
+      }
+      // First hop toward v: replay the insertion order (parents precede
+      // children), seeding the root's direct children with themselves.
+      row[ls].first_hop = member[ls];
+      for (const std::uint32_t v : tree.order) {
+        if (v == ls) {
+          continue;
+        }
+        const auto p = static_cast<std::size_t>(tree.parent[v]);
+        row[v].first_hop = p == ls ? member[v] : row[p].first_hop;
+      }
+    }
+  }
+
+  // Gateway overlay: minimax trees over the gateways' direct edges in the
+  // full matrix, one per source shard, damped with the same epsilon the
+  // shard schedulers use.
+  snap->overlay_cost_.assign(shard_count * shard_count, kInfiniteCost);
+  snap->overlay_parent_.assign(shard_count * shard_count, -1);
+  snap->overlay_first_.assign(shard_count * shard_count, -1);
+  if (shard_count > 1) {
+    CostMatrix overlay(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      for (std::size_t j = 0; j < shard_count; ++j) {
+        if (i != j) {
+          overlay.set_cost(i, j,
+                           matrix.cost(layout.gateway[i], layout.gateway[j]));
+        }
+      }
+    }
+    MmpOptions options;
+    options.epsilon = epsilon;
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const MmpTree tree = build_mmp_tree(overlay, s, options);
+      double* cost = snap->overlay_cost_.data() + s * shard_count;
+      std::int32_t* parent = snap->overlay_parent_.data() + s * shard_count;
+      std::int32_t* first = snap->overlay_first_.data() + s * shard_count;
+      for (std::size_t v = 0; v < shard_count; ++v) {
+        cost[v] = tree.cost[v];
+        parent[v] = static_cast<std::int32_t>(tree.parent[v]);
+      }
+      first[s] = static_cast<std::int32_t>(s);
+      for (const std::uint32_t v : tree.order) {
+        if (v == s) {
+          continue;
+        }
+        const auto p = static_cast<std::size_t>(tree.parent[v]);
+        first[v] = p == s ? static_cast<std::int32_t>(v) : first[p];
+      }
+    }
+  } else {
+    snap->overlay_cost_[0] = 0.0;
+    snap->overlay_parent_[0] = 0;
+    snap->overlay_first_[0] = 0;
+  }
+  return snap;
+}
+
+RouteAnswer RouteSnapshot::lookup(const RouteQuery& query) const {
+  RouteAnswer answer;
+  const std::size_t n = layout_.host_count;
+  if (query.src >= n || query.dst >= n) {
+    return answer;
+  }
+  if (query.src == query.dst) {
+    answer.cost = 0.0;
+    answer.next_hop = query.dst;
+    return answer;
+  }
+  const std::size_t s = layout_.shard_of[query.src];
+  const std::size_t d = layout_.shard_of[query.dst];
+  if (s == d) {
+    const Slot& slot = slot_[slot_index(s, query.src, query.dst)];
+    if (slot.cost == kInfiniteCost) {
+      return answer;
+    }
+    answer.cost = slot.cost;
+    answer.next_hop = slot.first_hop;
+    answer.relayed = answer.next_hop != query.dst ? 1 : 0;
+    return answer;
+  }
+  const std::uint32_t gw_s = layout_.gateway[s];
+  const std::uint32_t gw_d = layout_.gateway[d];
+  const double c_home =
+      query.src == gw_s ? 0.0 : slot_[slot_index(s, query.src, gw_s)].cost;
+  const double c_over = overlay_cost_[s * layout_.shard_count + d];
+  const double c_dst =
+      query.dst == gw_d ? 0.0 : slot_[slot_index(d, gw_d, query.dst)].cost;
+  if (c_home == kInfiniteCost || c_over == kInfiniteCost ||
+      c_dst == kInfiniteCost) {
+    return answer;
+  }
+  answer.cost = std::max(c_home, std::max(c_over, c_dst));
+  if (query.src != gw_s) {
+    answer.next_hop = slot_[slot_index(s, query.src, gw_s)].first_hop;
+  } else {
+    const std::int32_t g1 = overlay_first_[s * layout_.shard_count + d];
+    answer.next_hop = layout_.gateway[static_cast<std::size_t>(g1)];
+  }
+  // The only non-relayed inter-shard route is gateway-to-gateway over a
+  // direct overlay edge.
+  answer.relayed =
+      (query.src == gw_s && query.dst == gw_d &&
+       overlay_first_[s * layout_.shard_count + d] ==
+           static_cast<std::int32_t>(d))
+          ? 0
+          : 1;
+  return answer;
+}
+
+void RouteSnapshot::prefetch(const RouteQuery& query) const {
+  const std::size_t n = layout_.host_count;
+  if (query.src >= n || query.dst >= n || query.src == query.dst) {
+    return;
+  }
+  const std::size_t s = layout_.shard_of[query.src];
+  const std::size_t d = layout_.shard_of[query.dst];
+  if (s == d) {
+    __builtin_prefetch(&slot_[slot_index(s, query.src, query.dst)]);
+    return;
+  }
+  __builtin_prefetch(&slot_[slot_index(s, query.src, layout_.gateway[s])]);
+  __builtin_prefetch(&slot_[slot_index(d, layout_.gateway[d], query.dst)]);
+}
+
+void RouteSnapshot::lookup_batch(std::span<const RouteQuery> queries,
+                                 std::span<RouteAnswer> answers) const {
+  LSL_ASSERT(answers.size() >= queries.size());
+  // Chunked software pipeline: issue the next chunk's slot prefetches
+  // while answering the current one, so the random block reads overlap
+  // instead of serializing on cache misses.
+  constexpr std::size_t kChunk = 16;
+  const std::size_t count = queries.size();
+  for (std::size_t i = 0; i < std::min(kChunk, count); ++i) {
+    prefetch(queries[i]);
+  }
+  for (std::size_t base = 0; base < count; base += kChunk) {
+    const std::size_t end = std::min(base + kChunk, count);
+    for (std::size_t i = end; i < std::min(end + kChunk, count); ++i) {
+      prefetch(queries[i]);
+    }
+    for (std::size_t i = base; i < end; ++i) {
+      answers[i] = lookup(queries[i]);
+    }
+  }
+}
+
+bool RouteSnapshot::append_leg(std::size_t s, std::uint32_t a, std::uint32_t b,
+                               std::vector<std::size_t>& out) const {
+  const std::size_t ns = layout_.shard_size(s);
+  const std::uint32_t* member = layout_.shard_members(s);
+  const std::size_t base =
+      block_offset_[s] + layout_.local_index[a] * ns;
+  const std::size_t la = layout_.local_index[a];
+  std::size_t lv = layout_.local_index[b];
+  if (lv != la && slot_[base + lv].parent < 0) {
+    return false;
+  }
+  std::vector<std::size_t> leg;
+  while (lv != la) {
+    leg.push_back(member[lv]);
+    lv = static_cast<std::size_t>(slot_[base + lv].parent);
+  }
+  if (out.empty()) {
+    out.push_back(a);
+  }
+  for (std::size_t i = leg.size(); i-- > 0;) {
+    out.push_back(leg[i]);
+  }
+  return true;
+}
+
+ResolvedRoute RouteSnapshot::resolve(std::size_t src, std::size_t dst) const {
+  ResolvedRoute route;
+  const std::size_t n = layout_.host_count;
+  if (src >= n || dst >= n) {
+    return route;
+  }
+  if (src == dst) {
+    route.path = {src};
+    route.cost = 0.0;
+    return route;
+  }
+  const std::size_t s = layout_.shard_of[src];
+  const std::size_t d = layout_.shard_of[dst];
+  if (s == d) {
+    if (!append_leg(s, static_cast<std::uint32_t>(src),
+                    static_cast<std::uint32_t>(dst), route.path)) {
+      return route;
+    }
+    route.cost = slot_[slot_index(s, static_cast<std::uint32_t>(src),
+                                  static_cast<std::uint32_t>(dst))]
+                     .cost;
+    return route;
+  }
+  const std::uint32_t gw_s = layout_.gateway[s];
+  const std::uint32_t gw_d = layout_.gateway[d];
+  // Home leg src -> gateway, the overlay gateway chain, then the
+  // destination leg gateway -> dst; junction nodes appear exactly once.
+  if (!append_leg(s, static_cast<std::uint32_t>(src), gw_s, route.path)) {
+    return route;
+  }
+  std::vector<std::size_t> chain;  // shard indices d .. s (exclusive)
+  std::size_t g = d;
+  while (g != s) {
+    chain.push_back(g);
+    const std::int32_t p = overlay_parent_[s * layout_.shard_count + g];
+    if (p < 0) {
+      route.path.clear();
+      return route;
+    }
+    g = static_cast<std::size_t>(p);
+  }
+  for (std::size_t i = chain.size(); i-- > 0;) {
+    route.path.push_back(layout_.gateway[chain[i]]);
+  }
+  if (gw_d != dst) {
+    std::vector<std::size_t> leg;
+    if (!append_leg(d, gw_d, static_cast<std::uint32_t>(dst), leg)) {
+      route.path.clear();
+      return route;
+    }
+    route.path.insert(route.path.end(), leg.begin() + 1, leg.end());
+  }
+  const double c_home =
+      src == gw_s
+          ? 0.0
+          : slot_[slot_index(s, static_cast<std::uint32_t>(src), gw_s)].cost;
+  const double c_over = overlay_cost_[s * layout_.shard_count + d];
+  const double c_dst =
+      dst == gw_d
+          ? 0.0
+          : slot_[slot_index(d, gw_d, static_cast<std::uint32_t>(dst))].cost;
+  if (c_home == kInfiniteCost || c_over == kInfiniteCost ||
+      c_dst == kInfiniteCost) {
+    route.path.clear();
+    return route;
+  }
+  route.cost = std::max(c_home, std::max(c_over, c_dst));
+  return route;
+}
+
+}  // namespace lsl::sched

@@ -1,0 +1,76 @@
+#include "sched/shard.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace lsl::sched {
+
+ShardLayout ShardLayout::build(const CostMatrix& matrix, std::size_t shards) {
+  const std::size_t n = matrix.size();
+  LSL_ASSERT_MSG(n > 0, "cannot shard an empty pool");
+  const std::size_t count = std::max<std::size_t>(1, std::min(shards, n));
+
+  ShardLayout layout;
+  layout.host_count = n;
+  layout.shard_count = count;
+  layout.shard_of.resize(n);
+  layout.local_index.resize(n);
+  layout.members.reserve(n);
+  layout.member_offset.resize(count + 1, 0);
+  layout.gateway.resize(count);
+
+  // Contiguous blocks: shard s covers [s * n / count, (s + 1) * n / count).
+  // Every shard gets floor(n / count) or one more; no shard is empty.
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::size_t lo = s * n / count;
+    const std::size_t hi = (s + 1) * n / count;
+    layout.member_offset[s] = static_cast<std::uint32_t>(lo);
+    for (std::size_t h = lo; h < hi; ++h) {
+      layout.shard_of[h] = static_cast<std::uint32_t>(s);
+      layout.local_index[h] = static_cast<std::uint32_t>(h - lo);
+      layout.members.push_back(static_cast<std::uint32_t>(h));
+    }
+  }
+  layout.member_offset[count] = static_cast<std::uint32_t>(n);
+
+  // Gateway election: the member with the lowest mean finite direct cost to
+  // the whole pool (both directions), i.e. the shard's best-connected host.
+  // Hosts with no finite edges at all lose to anyone with connectivity;
+  // ties break to the lowest host id, so the choice is deterministic.
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::size_t lo = layout.member_offset[s];
+    const std::size_t hi = layout.member_offset[s + 1];
+    std::size_t best = lo;
+    double best_mean = kInfiniteCost;
+    for (std::size_t h = lo; h < hi; ++h) {
+      double sum = 0.0;
+      std::size_t finite = 0;
+      const double* out = matrix.row(h);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == h) {
+          continue;
+        }
+        if (out[j] != kInfiniteCost) {
+          sum += out[j];
+          ++finite;
+        }
+        const double in = matrix.cost(j, h);
+        if (in != kInfiniteCost) {
+          sum += in;
+          ++finite;
+        }
+      }
+      const double mean =
+          finite > 0 ? sum / static_cast<double>(finite) : kInfiniteCost;
+      if (mean < best_mean) {
+        best_mean = mean;
+        best = h;
+      }
+    }
+    layout.gateway[s] = static_cast<std::uint32_t>(best);
+  }
+  return layout;
+}
+
+}  // namespace lsl::sched

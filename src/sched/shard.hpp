@@ -1,0 +1,51 @@
+// Host-pool sharding for the route service.
+//
+// A ShardLayout partitions the host pool into `shard_count` contiguous,
+// near-equal index blocks. Each shard elects one *gateway depot* -- the
+// best-connected member host -- and inter-shard routes are composed as
+//   src -> home-shard gateway -> dst-shard gateway -> dst,
+// with the middle leg routed over a small gateway-overlay graph. The
+// layout is a pure function of (matrix, shard_count), so every consumer
+// (writer rebuilding snapshots, readers resolving routes, tests) derives
+// the identical partition.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sched/cost_matrix.hpp"
+
+namespace lsl::sched {
+
+struct ShardLayout {
+  std::size_t host_count = 0;
+  std::size_t shard_count = 0;
+  /// host -> owning shard.
+  std::vector<std::uint32_t> shard_of;
+  /// host -> index within its shard's member list.
+  std::vector<std::uint32_t> local_index;
+  /// Flattened member lists: shard s owns global host ids
+  /// members[member_offset[s] .. member_offset[s + 1]).
+  std::vector<std::uint32_t> members;
+  std::vector<std::uint32_t> member_offset;  ///< shard_count + 1 entries
+  /// shard -> global host id of its gateway depot.
+  std::vector<std::uint32_t> gateway;
+
+  [[nodiscard]] std::size_t shard_size(std::size_t s) const {
+    return member_offset[s + 1] - member_offset[s];
+  }
+  [[nodiscard]] const std::uint32_t* shard_members(std::size_t s) const {
+    return members.data() + member_offset[s];
+  }
+
+  /// Partition `matrix`'s hosts into min(shards, size) contiguous blocks
+  /// (block i takes the next ceil/floor share of the index range) and pick
+  /// each shard's gateway: the member with the lowest mean finite direct
+  /// cost to every other pool host, ties to the lowest host id. Fully
+  /// deterministic.
+  [[nodiscard]] static ShardLayout build(const CostMatrix& matrix,
+                                         std::size_t shards);
+};
+
+}  // namespace lsl::sched

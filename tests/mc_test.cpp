@@ -9,8 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "exp/harness.hpp"
 #include "exp/scenario.hpp"
 #include "fault/plan.hpp"
+#include "lsl/endpoint.hpp"
 #include "mc/explorer.hpp"
 #include "mc/fuzzer.hpp"
 #include "mc/hooks.hpp"
@@ -524,6 +526,65 @@ TEST(McFuzzTest, SixtyFourRandomFaultSchedulesHoldInvariants) {
   EXPECT_EQ(result.runs, 64u);
   EXPECT_TRUE(result.ok()) << result.str();
   EXPECT_TRUE(result.bad_seeds.empty());
+}
+
+// ---- depot store eviction interleavings -----------------------------------
+
+TEST(McDepotStoreTest, ExplorerInterleavesEvictionOrderings) {
+  // Symmetric async parks: two identical sessions (a->e and b->e via depot
+  // d over mirror-image links) drain into d at the same instant, so their
+  // deferred depot.store events are simultaneously ready. The store cap
+  // fits one session but not both, so whichever store fires second evicts
+  // the first -- and because both events carry depot d's store actor tag
+  // they are dependent, forcing the explorer to run both orders. Flow
+  // fidelity keeps the event count small enough that the tie is reachable
+  // within a modest run budget.
+  std::vector<int> survivors;  // per run: 0 = session A survived, 1 = B
+  mc::ScenarioFn scenario = [&survivors](mc::RunContext& ctx) {
+    exp::SimHarness h(51, exp::Fidelity::kFlow);
+    ctx.attach(h.simulator());
+    const net::NodeId a = h.add_host("a");
+    const net::NodeId b = h.add_host("b");
+    const net::NodeId d = h.add_host("d");
+    const net::NodeId e = h.add_host("e");
+    net::LinkConfig link;
+    link.rate = Bandwidth::mbps(200);
+    link.propagation_delay = 3_ms;
+    h.add_link(a, d, link);
+    h.add_link(b, d, link);
+    h.add_link(d, e, link);
+    session::DepotConfig cfg;
+    cfg.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+    cfg.max_store_bytes = mib(3);  // one 2 MiB session fits, two do not
+    h.deploy(cfg);
+
+    session::TransferSpec spec;
+    spec.dst = e;
+    spec.via = {d};
+    spec.async_session = true;
+    spec.payload_bytes = mib(2);
+    spec.tcp = tcp::TcpOptions{}.with_buffers(mib(1));
+    const auto sa = h.launch(a, spec);
+    const auto sb = h.launch(b, spec);
+    h.simulator().run(h.simulator().now() + 30_s);
+
+    const bool a_stored = h.depot(d).stored_bytes(sa.id).has_value();
+    const bool b_stored = h.depot(d).stored_bytes(sb.id).has_value();
+    ASSERT_NE(a_stored, b_stored);  // exactly one survivor per run
+    EXPECT_EQ(h.depot(d).stats().sessions_evicted, 1u);
+    survivors.push_back(a_stored ? 0 : 1);
+  };
+
+  mc::ExplorerOptions opts;
+  opts.max_runs = 32;
+  mc::Explorer explorer(scenario, opts);
+  const mc::ExploreStats& stats = explorer.explore();
+  EXPECT_EQ(stats.violation_runs, 0u);
+  ASSERT_GE(survivors.size(), 2u);
+  EXPECT_GT(std::count(survivors.begin(), survivors.end(), 0), 0)
+      << "session A never survived: store order never flipped";
+  EXPECT_GT(std::count(survivors.begin(), survivors.end(), 1), 0)
+      << "session B never survived: store order never flipped";
 }
 
 }  // namespace
