@@ -1,0 +1,28 @@
+# Lossy high-BDP long haul: the wan10g preset (10 Gbit/s, 160 ms RTT,
+# loss 1e-4) sits past CUBIC's crossover RTT, where Reno's Mathis rate
+# has collapsed to ~12 Mbit/s but CUBIC's response function holds ~2x
+# more. A mid-path depot halves both the RTT and the per-hop loss for
+# the relayed transfer, so the direct-vs-via pair shows the logistical
+# speedup under whichever stack the `cca` directive (or lslsim --cca=)
+# selects.
+host src.west west.edu
+host depot.mid core
+host dst.east east.edu
+
+# Direct path: one wan10g hop. Via path: two hops at half the delay and
+# roughly half the loss each (end-to-end loss preserved).
+link src.west dst.east   preset=wan10g
+link src.west depot.mid  preset=wan10g delay=40 loss=5e-5
+link depot.mid dst.east  preset=wan10g delay=40 loss=5e-5
+
+# 32 MiB socket buffers end to end (BDP at 160 ms is ~200 MB; the
+# transfers stay loss-limited, not window-limited, for every AIMD stack).
+depot buffers=32768 user=65536
+
+# Keep the direct transfer off the (equal-cost) depot path.
+pin src.west dst.east
+
+cca cubic
+
+transfer src.west dst.east size=384 buffers=32768
+transfer src.west dst.east size=384 buffers=32768 via=depot.mid

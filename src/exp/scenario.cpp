@@ -49,6 +49,40 @@ std::string err_at(std::size_t line_no, const std::string& message) {
   return "line " + std::to_string(line_no) + ": " + message;
 }
 
+/// Named link presets (see the format comment in scenario.hpp). Later
+/// key=value attributes on the same line override preset values.
+bool apply_link_preset(const std::string& name, net::LinkConfig& config) {
+  if (name == "wan2004") {
+    // The paper's era: OC-3 WAN path with early-2000s loss.
+    config.rate = Bandwidth::mbps(155);
+    config.propagation_delay = SimTime::from_seconds(23e-3);
+    config.queue_capacity_bytes = 8192 * kKiB;
+    config.loss_rate = 5e-4;
+  } else if (name == "wan10g") {
+    // Lossy high-BDP long-haul (intercontinental RTT): past the CUBIC
+    // crossover RTT of ~57 ms at this loss, so its response function beats
+    // Reno's by ~1.8x.
+    config.rate = Bandwidth::mbps(10000);
+    config.propagation_delay = SimTime::from_seconds(80e-3);
+    config.queue_capacity_bytes = 32768 * kKiB;
+    config.loss_rate = 1e-4;
+  } else if (name == "metro10g") {
+    // Intra-metro 10 Gbit/s: ms-scale RTT, clean fiber.
+    config.rate = Bandwidth::mbps(10000);
+    config.propagation_delay = SimTime::from_seconds(1e-3);
+    config.queue_capacity_bytes = 4096 * kKiB;
+    config.loss_rate = 1e-5;
+  } else if (name == "metro100g") {
+    config.rate = Bandwidth::mbps(100000);
+    config.propagation_delay = SimTime::from_seconds(1e-3);
+    config.queue_capacity_bytes = 32768 * kKiB;
+    config.loss_rate = 1e-6;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 ParseResult parse_scenario(const std::string& text) {
@@ -103,8 +137,18 @@ ParseResult parse_scenario(const std::string& text) {
         std::string key;
         std::string value;
         double number = 0.0;
-        if (!split_kv(tokens[t], key, value) ||
-            !parse_double(value, number)) {
+        if (!split_kv(tokens[t], key, value)) {
+          return {std::nullopt,
+                  err_at(line_no, "bad attribute '" + tokens[t] + "'")};
+        }
+        if (key == "preset") {
+          if (!apply_link_preset(value, link.config)) {
+            return {std::nullopt,
+                    err_at(line_no, "unknown link preset '" + value + "'")};
+          }
+          continue;
+        }
+        if (!parse_double(value, number)) {
           return {std::nullopt,
                   err_at(line_no, "bad attribute '" + tokens[t] + "'")};
         }
@@ -451,6 +495,21 @@ ParseResult parse_scenario(const std::string& text) {
       continue;
     }
 
+    if (directive == "cca") {
+      if (tokens.size() != 2) {
+        return {std::nullopt,
+                err_at(line_no, "cca needs one of reno|newreno|cubic|bbr")};
+      }
+      flow::Cca cca;
+      if (!flow::parse_cca(tokens[1], cca)) {
+        return {std::nullopt,
+                err_at(line_no, "unknown cca '" + tokens[1] +
+                                    "' (reno|newreno|cubic|bbr)")};
+      }
+      scenario.cca = cca;
+      continue;
+    }
+
     if (directive == "fidelity") {
       if (tokens.size() != 2) {
         return {std::nullopt,
@@ -545,7 +604,13 @@ std::vector<ScenarioOutcome> run_scenario(
   for (const auto& link : scenario.links) {
     harness.add_link(ids.at(link.a), ids.at(link.b), link.config);
   }
-  harness.deploy(scenario.depot);
+  // A `cca` directive applies to every TCP endpoint: transfers below, and
+  // the depot relays' store-and-forward hops here.
+  session::DepotConfig depot = scenario.depot;
+  if (scenario.cca.has_value()) {
+    depot.tcp = depot.tcp.with_cca(*scenario.cca);
+  }
+  harness.deploy(depot);
   auto& topo = harness.topology();
   for (const auto& pin : scenario.pins) {
     const auto a = ids.at(pin.a);
@@ -660,6 +725,9 @@ std::vector<ScenarioOutcome> run_scenario(
     }
     spec.payload_bytes = transfer.bytes;
     spec.tcp = tcp::TcpOptions{}.with_buffers(transfer.buffer_bytes);
+    if (scenario.cca.has_value()) {
+      spec.tcp = spec.tcp.with_cca(*scenario.cca);
+    }
     ScenarioOutcome record;
     record.transfer = transfer;
     const SimTime deadline =

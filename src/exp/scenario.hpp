@@ -12,6 +12,13 @@
 //   link depot.denver bell.uiuc.edu  rate=155 delay=22.5 queue=8192 loss=5e-4
 //   link ash.ucsb.edu bell.uiuc.edu  rate=155 delay=35 queue=8192 loss=5e-4
 //
+//   # or start from a named preset and override selectively; presets:
+//   #   wan2004   155 Mbit/s, 23 ms, 8 MiB queue, loss 5e-4 (the paper's era)
+//   #   wan10g    10 Gbit/s, 80 ms, 32 MiB queue, loss 1e-4 (lossy high-BDP)
+//   #   metro10g  10 Gbit/s, 1 ms, 4 MiB queue, loss 1e-5 (intra-metro)
+//   #   metro100g 100 Gbit/s, 1 ms, 32 MiB queue, loss 1e-6
+//   link ash.ucsb.edu bell.uiuc.edu  preset=wan10g delay=35
+//
 //   # optional: depot tuning (applies to every host)
 //   depot buffers=8192 user=16384 max_sessions=64
 //
@@ -49,6 +56,10 @@
 //   # speedup sweep (lslsim runs run_speedup_sweep over ~size hosts)
 //   pool size=1024 epsilon=0.25 iterations=2 cases=400 sizes=4 drift=0.0
 //
+//   # congestion control for every transfer and depot relay:
+//   # reno | newreno (default) | cubic | bbr
+//   cca cubic
+//
 //   # data-plane fidelity: `packet` (default) simulates every segment;
 //   # `flow` carries payload on the fluid engine -- same sessions, depots,
 //   # recovery, and rerouting, at a fraction of the event count. In pool
@@ -67,6 +78,7 @@
 
 #include "exp/harness.hpp"
 #include "fault/plan.hpp"
+#include "flow/tcp_model.hpp"
 #include "nws/monitor.hpp"
 
 namespace lsl::exp {
@@ -163,6 +175,10 @@ struct Scenario {
   /// packet fidelity otherwise. Pool sweeps read this too: unset means
   /// analytic measurement, set means per-case simulation at that fidelity.
   std::optional<Fidelity> fidelity;
+  /// Present when a `cca` directive appeared: the congestion-control
+  /// algorithm applied to every transfer's endpoints and depot relays
+  /// (lslsim --cca= overrides it). Unset = the NewReno default.
+  std::optional<flow::Cca> cca;
 };
 
 struct ParseResult {

@@ -217,6 +217,7 @@ double FluidNetwork::compute_steady_cap(const FluidFlowSpec& spec) const {
   params.loss_rate = 1.0 - through;
   params.mss = spec.mss;
   params.initial_cwnd_segments = spec.initial_cwnd_segments;
+  params.cca = spec.cca;
   return steady_rate(params).bits_per_second();
 }
 

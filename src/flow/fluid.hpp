@@ -29,6 +29,7 @@
 #include <functional>
 #include <vector>
 
+#include "flow/tcp_model.hpp"
 #include "sim/simulator.hpp"
 #include "util/time.hpp"
 
@@ -51,6 +52,9 @@ struct FluidFlowSpec {
   std::uint32_t mss = 1460;
   /// 0 disables the slow-start ramp (the flow starts at its steady cap).
   std::uint32_t initial_cwnd_segments = 2;
+  /// Steady-state cap dispatch (flow::steady_rate): Mathis for Reno-family,
+  /// the RFC 8312 response function for CUBIC, loss-agnostic for BBR.
+  Cca cca = Cca::kNewReno;
 };
 
 /// Aggregate engine counters (reported by benches and --explain).

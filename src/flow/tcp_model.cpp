@@ -7,18 +7,62 @@
 
 namespace lsl::flow {
 
+const char* to_string(Cca cca) {
+  switch (cca) {
+    case Cca::kReno:
+      return "reno";
+    case Cca::kNewReno:
+      return "newreno";
+    case Cca::kCubic:
+      return "cubic";
+    case Cca::kBbr:
+      return "bbr";
+  }
+  return "?";
+}
+
+bool parse_cca(std::string_view name, Cca& out) {
+  if (name == "reno") {
+    out = Cca::kReno;
+  } else if (name == "newreno") {
+    out = Cca::kNewReno;
+  } else if (name == "cubic") {
+    out = Cca::kCubic;
+  } else if (name == "bbr") {
+    out = Cca::kBbr;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 Bandwidth steady_rate(const ConnectionParams& params) {
   LSL_ASSERT(params.rtt > SimTime::zero());
   const double rtt_s = params.rtt.to_seconds();
   double rate = params.bottleneck.bits_per_second();
   rate = std::min(rate,
                   static_cast<double>(params.window_bytes) * 8.0 / rtt_s);
-  if (params.loss_rate > 0.0) {
+  if (params.loss_rate > 0.0 && params.cca != Cca::kBbr) {
     const double mathis = kMathisConstant *
                           static_cast<double>(params.mss) * 8.0 /
                           (rtt_s * std::sqrt(params.loss_rate));
-    rate = std::min(rate, mathis);
+    double loss_limited = mathis;
+    if (params.cca == Cca::kCubic) {
+      // RFC 8312 response function: W_avg = K_c * (RTT/p)^(3/4) segments,
+      // i.e. rate = K_c * mss * 8 / (RTT^(1/4) * p^(3/4)). CUBIC never does
+      // worse than Reno -- below the crossover RTT it operates in the
+      // TCP-friendly region, so the Mathis term is a floor, not replaced.
+      const double cubic = kCubicRateConstant *
+                           static_cast<double>(params.mss) * 8.0 /
+                           (std::pow(rtt_s, 0.25) *
+                            std::pow(params.loss_rate, 0.75));
+      loss_limited = std::max(mathis, cubic);
+    }
+    rate = std::min(rate, loss_limited);
   }
+  // BBR models the pipe from delivery-rate and min-RTT estimates: random
+  // loss neither shrinks its window nor its pacing rate, so only the
+  // window/RTT and bottleneck caps above apply.
   return Bandwidth{std::max(rate, 1.0)};
 }
 

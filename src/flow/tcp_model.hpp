@@ -11,11 +11,27 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "util/time.hpp"
 #include "util/units.hpp"
 
 namespace lsl::flow {
+
+/// Congestion-control algorithm. Defined at the flow layer (not tcp/) so the
+/// analytic model and the fluid engine can dispatch on it without depending
+/// on the packet stack; tcp::Connection selects its CongestionControl
+/// implementation from the same enum (TcpOptions::cca).
+enum class Cca : std::uint8_t {
+  kReno,     ///< AIMD; classic fast recovery (partial ACK ends the episode)
+  kNewReno,  ///< AIMD; partial-ACK hole filling (the historical default)
+  kCubic,    ///< RFC 8312: cubic window growth in real time, RTT-fair
+  kBbr,      ///< rate-based: model the pipe (btl_bw x min_rtt), ignore loss
+};
+
+[[nodiscard]] const char* to_string(Cca cca);
+/// Case-sensitive lowercase names: reno | newreno | cubic | bbr.
+[[nodiscard]] bool parse_cca(std::string_view name, Cca& out);
 
 /// Mathis constant calibrated against the packet simulator: bulk transfers
 /// over lossy WANs (loss 1e-4..2e-3, RTT 20..80 ms, ample windows) imply
@@ -26,6 +42,17 @@ namespace lsl::flow {
 /// congestion-control or recovery code changes.
 constexpr double kMathisConstant = 1.65;
 
+/// CUBIC response-function constant: deterministic-loss average window is
+///   W_avg = kCubicRateConstant * (RTT / p)^(3/4)   [segments, RTT seconds]
+/// The textbook value for C=0.4, beta=0.7 is ~1.05; the simulator's
+/// per-segment ACKs and SACK recovery run slightly hotter, matching the
+/// Mathis-side calibration. Pinned by CalibrationGolden.CubicConstant.
+constexpr double kCubicRateConstant = 1.17;
+
+/// RFC 8312 CUBIC parameters shared by the packet stack and this model.
+constexpr double kCubicC = 0.4;     ///< window growth scale (segments/s^3)
+constexpr double kCubicBeta = 0.7;  ///< multiplicative-decrease factor
+
 struct ConnectionParams {
   SimTime rtt = SimTime::milliseconds(50);
   /// Path capacity: min of link rates and host throughput caps.
@@ -35,6 +62,10 @@ struct ConnectionParams {
   double loss_rate = 0.0;
   std::uint32_t mss = 1460;
   std::uint32_t initial_cwnd_segments = 2;
+  /// Steady-state model dispatch: Reno/NewReno use the Mathis term, CUBIC
+  /// the RFC 8312 response function (with its TCP-friendly floor), BBR is
+  /// loss-agnostic (window/RTT and bottleneck caps only).
+  Cca cca = Cca::kNewReno;
 };
 
 /// Long-run throughput of one connection.

@@ -1,7 +1,6 @@
 #include "tcp/connection.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <utility>
 
 #include "obs/span.hpp"
@@ -10,11 +9,6 @@
 #include "util/log.hpp"
 
 namespace lsl::tcp {
-
-namespace {
-constexpr std::uint64_t kHugeSsthresh =
-    std::numeric_limits<std::uint64_t>::max() / 2;
-}  // namespace
 
 TcpMetrics* TcpMetrics::get() {
   if (!obs::metrics_enabled()) {
@@ -100,7 +94,7 @@ Connection::Connection(TcpStack& stack, net::NodeId local, net::NodeId remote,
       send_buf_(opts.send_buffer_bytes),
       recv_buf_(opts.recv_buffer_bytes),
       rtt_(opts),
-      ssthresh_(kHugeSsthresh),
+      cc_(make_congestion_control(opts)),
       rto_timer_(sim_, [this] { on_rto(); }, "tcp.rto"),
       persist_timer_(sim_, [this] { on_persist(); }, "tcp.persist"),
       time_wait_timer_(sim_, [this] { become_dead(); }, "tcp.time_wait"),
@@ -113,7 +107,6 @@ Connection::Connection(TcpStack& stack, net::NodeId local, net::NodeId remote,
           "tcp.delack") {
   LSL_ASSERT_MSG(opts_.recv_buffer_bytes >= opts_.mss,
                  "receive buffer smaller than one segment");
-  cwnd_ = static_cast<std::uint64_t>(opts_.initial_cwnd_segments) * opts_.mss;
   metrics_ = TcpMetrics::get();
   if (metrics_ != nullptr) {
     metrics_->connections->inc();
@@ -134,8 +127,10 @@ std::string Connection::debug_string() const {
       to_string(state_), static_cast<unsigned long long>(snd_una_),
       static_cast<unsigned long long>(snd_nxt_),
       static_cast<unsigned long long>(snd_max_),
-      static_cast<unsigned long long>(cwnd_),
-      static_cast<unsigned long long>(ssthresh_ > 1ULL << 40 ? 0 : ssthresh_),
+      static_cast<unsigned long long>(cc_->cwnd()),
+      static_cast<unsigned long long>(cc_->ssthresh() > 1ULL << 40
+                                          ? 0
+                                          : cc_->ssthresh()),
       static_cast<unsigned long long>(snd_wnd_),
       static_cast<unsigned long long>(flight()),
       static_cast<unsigned long long>(send_buf_.head()),
@@ -267,7 +262,7 @@ std::uint64_t Connection::advertised_window() const {
 }
 
 std::uint64_t Connection::usable_window() const {
-  return std::min(cwnd_, snd_wnd_);
+  return std::min(cc_->cwnd(), snd_wnd_);
 }
 
 void Connection::send_data_segment(std::uint64_t wire_seq, std::uint32_t len,
@@ -550,9 +545,7 @@ void Connection::on_rto() {
     return;
   }
 
-  const std::uint64_t fl = flight();
-  ssthresh_ = std::max(fl / 2, static_cast<std::uint64_t>(2) * opts_.mss);
-  cwnd_ = opts_.mss;
+  cc_->on_rto(flight(), sim_.now());
   in_recovery_ = false;
   dup_acks_ = 0;
   sacked_.clear();  // conservative: assume the peer reneged
@@ -777,24 +770,33 @@ void Connection::process_ack(const net::Packet& packet) {
     if (timing_active_ && snd_una_ >= timed_wire_end_) {
       const SimTime sample = sim_.now() - timed_sent_at_;
       rtt_.add_sample(sample);
+      cc_->on_rtt_sample(sample, sim_.now());
       timing_active_ = false;
       if (metrics_ != nullptr) {
         // RTT-sample cadence: one histogram point per timed segment, and a
         // cwnd sample at the same rate (~once per RTT under Karn's rule).
         metrics_->rtt_ms->observe(sample.to_milliseconds());
-        metrics_->cwnd_segments->observe(
-            static_cast<double>(cwnd_) / static_cast<double>(opts_.mss));
+        metrics_->cwnd_segments->observe(static_cast<double>(cc_->cwnd()) /
+                                         static_cast<double>(opts_.mss));
       }
     }
 
     if (in_recovery_) {
       if (ack >= recover_) {
         // Full acknowledgment: deflate to ssthresh and exit recovery.
-        cwnd_ = std::max(ssthresh_,
-                         static_cast<std::uint64_t>(2) * opts_.mss);
+        cc_->on_recovery_exit(sim_.now());
         in_recovery_ = false;
         sacked_.clear();
         rtx_out_.clear();
+      } else if (!cc_->partial_ack_keeps_recovery()) {
+        // Classic Reno: the first partial ACK deflates and ends the
+        // episode; remaining holes wait for a fresh dup-ACK round or RTO.
+        cc_->on_recovery_exit(sim_.now());
+        in_recovery_ = false;
+        dup_acks_ = 0;
+        sacked_.clear();
+        rtx_out_.clear();
+        restart_rto_if_needed();
       } else if (opts_.sack_enabled) {
         rtx_out_.prune_below(snd_una_);
         // The byte at the new snd_una is a proven hole.
@@ -809,16 +811,13 @@ void Connection::process_ack(const net::Packet& packet) {
       } else {
         // NewReno partial ack: retransmit one hole per RTT.
         retransmit_at(snd_una_);
-        cwnd_ = (cwnd_ > newly ? cwnd_ - newly : opts_.mss) + opts_.mss;
+        cc_->on_partial_ack(newly);
         restart_rto_if_needed();
       }
-    } else if (cwnd_ < ssthresh_) {
-      // Slow start: byte-counted growth capped at one MSS per ACK.
-      cwnd_ += std::min<std::uint64_t>(newly, opts_.mss);
     } else {
-      // Congestion avoidance: ~one MSS per RTT.
-      cwnd_ += std::max<std::uint64_t>(
-          1, static_cast<std::uint64_t>(opts_.mss) * opts_.mss / cwnd_);
+      // Normal window growth (slow start / congestion avoidance / the
+      // CCA's own law) belongs to the congestion controller.
+      cc_->on_ack(newly, flight(), sim_.now(), rtt_.srtt());
     }
 
     if (fin_sent_ && !fin_acked_ && snd_una_ > fin_wire_) {
@@ -846,7 +845,7 @@ void Connection::process_ack(const net::Packet& packet) {
       if (opts_.sack_enabled) {
         recovery_fill();
       } else {
-        cwnd_ += opts_.mss;  // Reno inflation for the departed duplicate
+        cc_->on_recovery_dup_ack();  // inflate for the departed duplicate
         try_send();
       }
     } else if (++dup_acks_ == 3) {
@@ -862,8 +861,10 @@ void Connection::process_ack(const net::Packet& packet) {
 void Connection::enter_recovery() {
   in_recovery_ = true;
   recover_ = snd_nxt_;
-  ssthresh_ = std::max(flight() / 2,
-                       static_cast<std::uint64_t>(2) * opts_.mss);
+  // The CCA sets ssthresh and the recovery window (for Reno-family, the
+  // classic ssthresh + 3 MSS inflation). The retransmission below is not
+  // window-gated, so ordering against it does not matter.
+  cc_->on_enter_recovery(flight(), sim_.now());
   ++stats_.fast_retransmits;
   if (metrics_ != nullptr) {
     metrics_->fast_retransmits->inc();
@@ -883,7 +884,6 @@ void Connection::enter_recovery() {
       rtx_out_.add(snd_una_, snd_una_ + sent);
     }
   }
-  cwnd_ = ssthresh_ + static_cast<std::uint64_t>(3) * opts_.mss;
   restart_rto_if_needed();
   if (opts_.sack_enabled) {
     recovery_fill();
@@ -967,7 +967,7 @@ std::uint32_t Connection::send_next_recovery_hole() {
 void Connection::recovery_fill() {
   while (in_recovery_) {
     const std::uint64_t pipe = recovery_pipe();
-    if (pipe + opts_.mss > cwnd_) {
+    if (pipe + opts_.mss > cc_->cwnd()) {
       return;
     }
     if (send_next_recovery_hole() == 0) {
@@ -1195,6 +1195,7 @@ bool Connection::ensure_fluid_channel() {
   spec.window_bytes = fluid_window_;
   spec.mss = opts_.mss;
   spec.initial_cwnd_segments = opts_.initial_cwnd_segments;
+  spec.cca = opts_.cca;
   fluid_flow_ = fnet->start_flow(std::move(spec));
   return fluid_data_plane();
 }

@@ -1,4 +1,6 @@
-// TCP connection: Reno/NewReno congestion control over the packet simulator.
+// TCP connection: loss detection and flow control over the packet simulator,
+// with the congestion window delegated to a pluggable tcp::CongestionControl
+// (Reno / NewReno / CUBIC / BBR -- see congestion.hpp, TcpOptions::cca).
 //
 // Implements the mechanisms the paper's "logistical effect" rests on:
 //   * slow start & congestion avoidance (throughput ramps at RTT cadence),
@@ -26,6 +28,7 @@
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "sim/timer.hpp"
+#include "tcp/congestion.hpp"
 #include "tcp/options.hpp"
 #include "tcp/recv_buffer.hpp"
 #include "tcp/rtt_estimator.hpp"
@@ -147,8 +150,10 @@ class Connection : public std::enable_shared_from_this<Connection> {
   [[nodiscard]] TcpState state() const { return state_; }
   [[nodiscard]] const ConnectionStats& stats() const { return stats_; }
   [[nodiscard]] const TcpOptions& options() const { return opts_; }
-  [[nodiscard]] std::uint64_t cwnd() const { return cwnd_; }
-  [[nodiscard]] std::uint64_t ssthresh() const { return ssthresh_; }
+  [[nodiscard]] std::uint64_t cwnd() const { return cc_->cwnd(); }
+  [[nodiscard]] std::uint64_t ssthresh() const { return cc_->ssthresh(); }
+  /// The congestion-control implementation driving this connection.
+  [[nodiscard]] const CongestionControl& congestion() const { return *cc_; }
   [[nodiscard]] SimTime srtt() const { return rtt_.srtt(); }
   [[nodiscard]] net::NodeId local_node() const { return local_node_; }
   [[nodiscard]] net::NodeId remote_node() const { return remote_node_; }
@@ -277,8 +282,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::uint64_t snd_nxt_ = 0;
   std::uint64_t snd_max_ = 0;  ///< highest wire seq ever sent
   std::uint64_t snd_wnd_ = 0;  ///< peer advertised window (bytes)
-  std::uint64_t cwnd_ = 0;
-  std::uint64_t ssthresh_ = 0;
+  std::unique_ptr<CongestionControl> cc_;  ///< owns cwnd/ssthresh
   int dup_acks_ = 0;
   bool in_recovery_ = false;
   std::uint64_t recover_ = 0;

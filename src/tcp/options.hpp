@@ -8,14 +8,24 @@
 
 #include <cstdint>
 
+#include "flow/tcp_model.hpp"
 #include "util/time.hpp"
 #include "util/units.hpp"
 
 namespace lsl::tcp {
 
+/// Congestion-control algorithm selector (shared with the flow-level
+/// steady-state model; see flow::Cca).
+using Cca = flow::Cca;
+
 struct TcpOptions {
   /// Maximum segment size (payload bytes per packet).
   std::uint32_t mss = 1460;
+
+  /// Congestion-control algorithm (tcp::CongestionControl implementation).
+  /// NewReno + SACK is the historical default every calibration golden and
+  /// determinism baseline was recorded against.
+  Cca cca = Cca::kNewReno;
 
   /// Socket send buffer (bytes the app may queue ahead of ACKs).
   std::uint64_t send_buffer_bytes = 64 * kKiB;
@@ -65,6 +75,12 @@ struct TcpOptions {
     TcpOptions o = *this;
     o.send_buffer_bytes = bytes;
     o.recv_buffer_bytes = bytes;
+    return o;
+  }
+
+  [[nodiscard]] TcpOptions with_cca(Cca algorithm) const {
+    TcpOptions o = *this;
+    o.cca = algorithm;
     return o;
   }
 };

@@ -281,6 +281,76 @@ TEST(CalibrationGolden, MathisConstantMatchesPacketStack) {
   EXPECT_LT(predicted / measured, 1.45);
 }
 
+TEST(CalibrationGolden, CubicConstantMatchesPacketStack) {
+  // CUBIC-limited regime: 2 Gbps / 160 ms RTT / 1e-4 loss, well past the
+  // crossover RTT, with windows far above the loss-limited operating
+  // point. 512 MiB gives ~37 loss epochs per run, enough to wash out the
+  // slow-start transient. Implied constant from the response function:
+  // C = rate_segments * rtt^(1/4) * p^(3/4).
+  net::LinkConfig link;
+  link.rate = Bandwidth::mbps(2000);
+  link.propagation_delay = 80_ms;
+  link.queue_capacity_bytes = mib(8);
+  link.loss_rate = 1e-4;
+  double sum_bps = 0.0;
+  int runs = 0;
+  for (const std::uint64_t seed : {11, 23}) {
+    testing::TwoNodeNet net(link, seed);
+    const auto r = testing::run_bulk_transfer(
+        net.sim, *net.stack_a, *net.stack_b, mib(512),
+        tcp::TcpOptions{}.with_buffers(mib(8)).with_cca(Cca::kCubic),
+        SimTime::seconds(3600));
+    ASSERT_TRUE(r.completed);
+    sum_bps += r.goodput.bits_per_second();
+    ++runs;
+  }
+  const double measured = sum_bps / runs;
+  const double implied_c = measured * std::pow(0.160, 0.25) *
+                           std::pow(1e-4, 0.75) / (1460.0 * 8.0);
+  EXPECT_NEAR(implied_c, kCubicRateConstant, 0.40)
+      << "packet stack drifted from the pinned CUBIC constant; re-fit";
+
+  ConnectionParams params;
+  params.rtt = 160_ms;
+  params.bottleneck = Bandwidth::mbps(2000 * 1460.0 / 1500.0);
+  params.window_bytes = mib(8);
+  params.loss_rate = 1e-4;
+  params.cca = Cca::kCubic;
+  const double predicted = steady_rate(params).bits_per_second();
+  EXPECT_GT(predicted / measured, 0.60);
+  EXPECT_LT(predicted / measured, 1.50);
+}
+
+TEST(CalibrationGolden, BbrTracksTheWindowLimitThroughLoss) {
+  // BBR's model is loss-blind: on the same lossy high-BDP path the flow
+  // model predicts min(window/RTT, bottleneck) and the packet stack must
+  // land within a loose band of it -- orders of magnitude above what a
+  // loss-capped model would say (~21 Mbit/s here).
+  net::LinkConfig link;
+  link.rate = Bandwidth::mbps(2000);
+  link.propagation_delay = 80_ms;
+  link.queue_capacity_bytes = mib(8);
+  link.loss_rate = 1e-4;
+  testing::TwoNodeNet net(link, /*seed=*/11);
+  const auto r = testing::run_bulk_transfer(
+      net.sim, *net.stack_a, *net.stack_b, mib(256),
+      tcp::TcpOptions{}.with_buffers(mib(8)).with_cca(Cca::kBbr),
+      SimTime::seconds(3600));
+  ASSERT_TRUE(r.completed);
+  const double measured = r.goodput.bits_per_second();
+
+  ConnectionParams params;
+  params.rtt = 160_ms;
+  params.bottleneck = Bandwidth::mbps(2000 * 1460.0 / 1500.0);
+  params.window_bytes = mib(8);
+  params.loss_rate = 1e-4;
+  params.cca = Cca::kBbr;
+  const double predicted = steady_rate(params).bits_per_second();
+  EXPECT_NEAR(predicted / 1e6, mib(8) * 8.0 / 0.160 / 1e6, 1.0);
+  EXPECT_GT(predicted / measured, 0.70);
+  EXPECT_LT(predicted / measured, 2.00);
+}
+
 TEST(CalibrationGolden, SlowStartRampMatchesPacketStack) {
   // Ramp-dominated transfer: 512 KiB over a clean 100 Mbps / 60 ms RTT
   // path finishes inside slow start, so the model's doubling ramp is the

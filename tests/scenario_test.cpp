@@ -106,6 +106,59 @@ TEST(ScenarioParserTest, RejectsBadFidelity) {
       parse_scenario(std::string(kValid) + "fidelity flow packet\n").ok());
 }
 
+TEST(ScenarioParserTest, ParsesCcaDirective) {
+  const auto cubic = parse_scenario(std::string(kValid) + "cca cubic\n");
+  ASSERT_TRUE(cubic.ok()) << cubic.error;
+  ASSERT_TRUE(cubic.scenario->cca.has_value());
+  EXPECT_EQ(*cubic.scenario->cca, flow::Cca::kCubic);
+
+  const auto bbr = parse_scenario(std::string(kValid) + "cca bbr\n");
+  ASSERT_TRUE(bbr.ok()) << bbr.error;
+  EXPECT_EQ(*bbr.scenario->cca, flow::Cca::kBbr);
+
+  // Without a directive the option stays unset (NewReno default applies).
+  const auto unset = parse_scenario(kValid);
+  ASSERT_TRUE(unset.ok());
+  EXPECT_FALSE(unset.scenario->cca.has_value());
+}
+
+TEST(ScenarioParserTest, RejectsBadCca) {
+  EXPECT_FALSE(parse_scenario(std::string(kValid) + "cca tahoe\n").ok());
+  EXPECT_FALSE(parse_scenario(std::string(kValid) + "cca\n").ok());
+  EXPECT_FALSE(
+      parse_scenario(std::string(kValid) + "cca cubic bbr\n").ok());
+}
+
+TEST(ScenarioParserTest, ParsesLinkPreset) {
+  const auto result = parse_scenario(
+      "host a\nhost b\nlink a b preset=wan10g\ntransfer a b size=1\n");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const auto& link = result.scenario->links[0].config;
+  EXPECT_DOUBLE_EQ(link.rate.megabits_per_second(), 10000.0);
+  EXPECT_EQ(link.propagation_delay, SimTime::milliseconds(80));
+  EXPECT_EQ(link.queue_capacity_bytes, 32768u * kKiB);
+  EXPECT_DOUBLE_EQ(link.loss_rate, 1e-4);
+}
+
+TEST(ScenarioParserTest, LinkPresetAttributesOverrideInOrder) {
+  // Later key=value attributes win over the preset's values.
+  const auto result = parse_scenario(
+      "host a\nhost b\nlink a b preset=wan10g delay=35 loss=5e-5\n"
+      "transfer a b size=1\n");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const auto& link = result.scenario->links[0].config;
+  EXPECT_DOUBLE_EQ(link.rate.megabits_per_second(), 10000.0);  // preset
+  EXPECT_EQ(link.propagation_delay, SimTime::milliseconds(35));
+  EXPECT_DOUBLE_EQ(link.loss_rate, 5e-5);
+}
+
+TEST(ScenarioParserTest, RejectsUnknownPreset) {
+  const auto result = parse_scenario(
+      "host a\nhost b\nlink a b preset=oc768\ntransfer a b size=1\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("oc768"), std::string::npos);
+}
+
 TEST(ScenarioParserTest, RejectsUnknownDirective) {
   const auto result = parse_scenario("host a\nhost b\nfrobnicate a b\n");
   ASSERT_FALSE(result.ok());
@@ -191,6 +244,33 @@ TEST(ScenarioRunnerTest, FlowFidelityIsDeterministic) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].outcome.elapsed, b[i].outcome.elapsed);
   }
+}
+
+// A scenarios/high_bdp.lsl-shaped topology at test size: one lossy
+// high-BDP hop past the CUBIC crossover RTT, run once per stack via the
+// `cca` directive.
+constexpr const char* kHighBdp = R"(
+host src west
+host dst east
+link src dst preset=wan10g rate=2000 queue=8192
+depot buffers=8192 user=16384
+transfer src dst size=64 buffers=8192
+)";
+
+TEST(ScenarioRunnerTest, CcaDirectiveSelectsTheStackEndToEnd) {
+  const auto reno = parse_scenario(std::string(kHighBdp) + "cca reno\n");
+  const auto cubic = parse_scenario(std::string(kHighBdp) + "cca cubic\n");
+  ASSERT_TRUE(reno.ok()) << reno.error;
+  ASSERT_TRUE(cubic.ok()) << cubic.error;
+  const auto reno_out = run_scenario(*reno.scenario, /*seed=*/7);
+  const auto cubic_out = run_scenario(*cubic.scenario, /*seed=*/7);
+  ASSERT_EQ(reno_out.size(), 1u);
+  ASSERT_EQ(cubic_out.size(), 1u);
+  ASSERT_TRUE(reno_out[0].outcome.completed);
+  ASSERT_TRUE(cubic_out[0].outcome.completed);
+  // 160 ms RTT at loss 1e-4 is past the crossover: CUBIC's response
+  // function must finish the same transfer sooner than Reno's.
+  EXPECT_LT(cubic_out[0].outcome.elapsed, reno_out[0].outcome.elapsed);
 }
 
 TEST(ScenarioRunnerTest, DeterministicForSeed) {

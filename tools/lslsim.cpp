@@ -45,6 +45,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: lslsim <scenario-file> [--seed N] [--sweep] [--jobs N]\n"
                "              [--fidelity=packet|flow]\n"
+               "              [--cca=reno|newreno|cubic|bbr]\n"
                "              [--metrics=<path>] [--metrics-format=json|prom]\n"
                "              [--trace=<path>] [--spans=<path>] [--profile]\n"
                "              [--explain[=SESSION]]\n"
@@ -67,6 +68,9 @@ void usage() {
                "  sweep normally uses the analytic model; --fidelity=flow\n"
                "  or =packet runs each measurement on the simulator at that\n"
                "  fidelity instead (much slower; small pools only).\n"
+               "  --cca selects the congestion-control algorithm for every\n"
+               "  transfer and depot relay, overriding the scenario's own\n"
+               "  `cca` directive. Default: newreno.\n"
                "  --metrics=<path> writes a snapshot of every metric;\n"
                "  --metrics-format=prom selects the Prometheus text format\n"
                "  instead of JSON.\n"
@@ -160,6 +164,7 @@ int main(int argc, char** argv) {
   bool route_service = false;
   std::size_t route_shards = 1;
   const char* fidelity_arg = nullptr;
+  const char* cca_arg = nullptr;
   const char* metrics_path = nullptr;
   bool metrics_prom = false;
   const char* trace_path = nullptr;
@@ -198,6 +203,15 @@ int main(int argc, char** argv) {
           std::strcmp(fidelity_arg, "flow") != 0) {
         std::fprintf(stderr, "lslsim: unknown fidelity '%s' (packet|flow)\n",
                      fidelity_arg);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--cca=", 6) == 0) {
+      cca_arg = argv[i] + 6;
+      lsl::flow::Cca parsed;
+      if (!lsl::flow::parse_cca(cca_arg, parsed)) {
+        std::fprintf(stderr,
+                     "lslsim: unknown cca '%s' (reno|newreno|cubic|bbr)\n",
+                     cca_arg);
         return 2;
       }
     } else if (std::strcmp(argv[i], "--profile") == 0) {
@@ -294,6 +308,12 @@ int main(int argc, char** argv) {
     scenario.fidelity = std::strcmp(fidelity_arg, "flow") == 0
                             ? lsl::exp::Fidelity::kFlow
                             : lsl::exp::Fidelity::kPacket;
+  }
+  if (cca_arg != nullptr) {
+    lsl::flow::Cca cca = lsl::flow::Cca::kNewReno;
+    if (lsl::flow::parse_cca(cca_arg, cca)) {  // validated during getopt
+      scenario.cca = cca;
+    }
   }
 
   if (verify || verify_replay != nullptr || fuzz_runs > 0) {
